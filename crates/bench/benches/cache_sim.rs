@@ -1,0 +1,62 @@
+//! Cache-hierarchy simulation throughput — the characterization substrate's
+//! cost (accesses per second through L1 → L2 → DRAM).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use aapm_platform::cache::{Cache, CacheGeometry};
+use aapm_platform::hierarchy::{MemoryHierarchy, PrefetchConfig};
+
+const STREAM_LEN: usize = 64 * 1024;
+
+fn sequential_stream() -> Vec<u64> {
+    (0..STREAM_LEN as u64).map(|i| i * 64).collect()
+}
+
+fn scattered_stream() -> Vec<u64> {
+    let mut addr: u64 = 0;
+    (0..STREAM_LEN)
+        .map(|_| {
+            addr = (addr + 7_368_787) % (64 << 20);
+            addr
+        })
+        .collect()
+}
+
+fn bench_single_cache(c: &mut Criterion) {
+    let stream = sequential_stream();
+    let mut group = c.benchmark_group("l1_cache");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("sequential_accesses", |b| {
+        let mut cache = Cache::new(CacheGeometry::pentium_m_l1d()).unwrap();
+        b.iter(|| {
+            for &addr in &stream {
+                black_box(cache.access(addr));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for (name, stream) in
+        [("sequential", sequential_stream()), ("scattered", scattered_stream())]
+    {
+        group.bench_function(format!("{name}_with_prefetcher"), |b| {
+            let mut mem = MemoryHierarchy::pentium_m_755()
+                .unwrap()
+                .with_prefetcher(PrefetchConfig::pentium_m());
+            b.iter(|| {
+                for &addr in &stream {
+                    black_box(mem.access(addr));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_cache, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Full governor decision latency per 10 ms sample: Monitor rates are
+//! already in hand, so this measures Estimate + Control.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aapm::governor::{Governor, SampleContext};
+use aapm::limits::{PerformanceFloor, PowerLimit};
+use aapm::pm::PerformanceMaximizer;
+use aapm::ps::PowerSave;
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::power_model::PowerModel;
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::Seconds;
+use aapm_telemetry::pmc::CounterSample;
+
+fn sample(ipc: f64, dpc: f64, dcu: f64) -> CounterSample {
+    let cycles = 20e6;
+    CounterSample {
+        start: Seconds::ZERO,
+        end: Seconds::from_millis(10.0),
+        cycles,
+        counts: vec![
+            (HardwareEvent::InstructionsRetired, ipc * cycles, true),
+            (HardwareEvent::InstructionsDecoded, dpc * cycles, true),
+            (HardwareEvent::DcuMissOutstanding, dcu * cycles, true),
+        ],
+    }
+}
+
+fn bench_pm_decision(c: &mut Criterion) {
+    let table = PStateTable::pentium_m_755();
+    let mut pm =
+        PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(13.5).unwrap());
+    let s = sample(1.1, 1.4, 0.4);
+    c.bench_function("pm_decide_per_sample", |b| {
+        b.iter(|| {
+            let ctx = SampleContext {
+                counters: black_box(&s),
+                power: None, temperature: None,
+                current: PStateId::new(6),
+                table: &table,
+            };
+            pm.decide(&ctx)
+        })
+    });
+}
+
+fn bench_ps_decision(c: &mut Criterion) {
+    let table = PStateTable::pentium_m_755();
+    let mut ps = PowerSave::new(
+        PerfModel::new(PerfModelParams::paper()),
+        PerformanceFloor::new(0.8).unwrap(),
+    );
+    let s = sample(0.4, 0.5, 1.2);
+    c.bench_function("ps_decide_per_sample", |b| {
+        b.iter(|| {
+            let ctx = SampleContext {
+                counters: black_box(&s),
+                power: None, temperature: None,
+                current: PStateId::new(4),
+                table: &table,
+            };
+            ps.decide(&ctx)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pm_decision, bench_ps_decision);
+criterion_main!(benches);

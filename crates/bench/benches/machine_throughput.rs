@@ -1,0 +1,44 @@
+//! Machine-executor throughput: how many simulated 10 ms control intervals
+//! the platform model processes per wall-clock second. This bounds how fast
+//! whole-suite experiments can run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use aapm_bench::fixture_machine;
+use aapm_platform::units::Seconds;
+
+fn bench_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    const TICKS: u64 = 1000;
+    group.throughput(Throughput::Elements(TICKS));
+    group.bench_function("thousand_10ms_ticks", |b| {
+        b.iter(|| {
+            // Budget large enough that the program never finishes mid-bench.
+            let mut machine = fixture_machine(u64::MAX / 4);
+            for _ in 0..TICKS {
+                black_box(machine.tick(Seconds::from_millis(10.0)));
+            }
+            machine.true_energy()
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_phase(c: &mut Criterion) {
+    use aapm_platform::config::MachineConfig;
+    use aapm_platform::machine::Machine;
+    use aapm_workloads::spec;
+
+    let galgel = spec::by_name("galgel").expect("galgel exists");
+    c.bench_function("galgel_full_run", |b| {
+        b.iter(|| {
+            let mut machine =
+                Machine::new(MachineConfig::pentium_m_755(1), galgel.program().clone());
+            machine.run_to_completion(Seconds::from_millis(10.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ticks, bench_multi_phase);
+criterion_main!(benches);

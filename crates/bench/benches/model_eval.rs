@@ -1,0 +1,59 @@
+//! Per-sample cost of the estimation models — the paper's "low runtime
+//! overheads" requirement: the whole Estimate phase must be vanishingly
+//! small against a 10 ms control interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aapm_models::dpc_projection::project_dpc;
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::power_model::PowerModel;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::MegaHertz;
+
+fn bench_power_estimate(c: &mut Criterion) {
+    let model = PowerModel::paper_table_ii();
+    c.bench_function("power_model_estimate_single_state", |b| {
+        b.iter(|| model.estimate(black_box(PStateId::new(7)), black_box(1.37)).unwrap())
+    });
+    c.bench_function("power_model_estimate_all_states", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..8 {
+                total += model.estimate(PStateId::new(i), black_box(1.37)).unwrap().watts();
+            }
+            total
+        })
+    });
+}
+
+fn bench_dpc_projection(c: &mut Criterion) {
+    let table = PStateTable::pentium_m_755();
+    let from = table.get(table.highest()).unwrap().frequency();
+    c.bench_function("dpc_projection_all_states", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for (_, state) in table.iter() {
+                total += project_dpc(black_box(1.2), from, state.frequency());
+            }
+            total
+        })
+    });
+}
+
+fn bench_perf_projection(c: &mut Criterion) {
+    let model = PerfModel::new(PerfModelParams::paper());
+    c.bench_function("perf_model_relative_performance", |b| {
+        b.iter(|| {
+            model.relative_performance(
+                black_box(0.45),
+                black_box(0.9),
+                MegaHertz::new(2000),
+                MegaHertz::new(800),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_power_estimate, bench_dpc_projection, bench_perf_projection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of the model-training pipeline: microbenchmark characterization,
+//! data collection across p-states, and the two fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aapm_models::training::{
+    collect_training_data, train_perf_model, train_power_model, TrainingConfig,
+};
+use aapm_platform::pstate::PStateTable;
+use aapm_workloads::characterize::characterize;
+use aapm_workloads::footprint::Footprint;
+use aapm_workloads::loops::MicroLoop;
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    group.bench_function("characterize_fma_l2", |b| {
+        b.iter(|| characterize(black_box(MicroLoop::Fma), Footprint::L2).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let table = PStateTable::pentium_m_755();
+    let config = TrainingConfig { samples_per_point: 15, ..TrainingConfig::default() };
+    let data = collect_training_data(&config, &table).expect("training data");
+    c.bench_function("train_power_model", |b| {
+        b.iter(|| train_power_model(black_box(&data)).unwrap())
+    });
+    let mut slow = c.benchmark_group("grid_search");
+    slow.sample_size(10);
+    slow.bench_function("train_perf_model", |b| b.iter(|| train_perf_model(black_box(&data))));
+    slow.finish();
+}
+
+criterion_group!(benches, bench_characterization, bench_fits);
+criterion_main!(benches);

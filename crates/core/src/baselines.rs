@@ -1,0 +1,217 @@
+//! Baseline governors the paper compares against.
+//!
+//! * [`StaticClock`] — conventional worst-case provisioning: pin the
+//!   frequency low enough that even the worst-case workload (FMA-256K)
+//!   stays under the power limit (paper Table IV);
+//! * [`Unconstrained`] — maximum performance, no power concern (the 2 GHz
+//!   reference in Figures 6, 7, 9);
+//! * [`DemandBasedSwitching`] — the utilization-driven energy saver the
+//!   paper's PS improves upon: it only lowers frequency when the system is
+//!   *under-utilized*, so at full load it saves nothing.
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+
+use crate::governor::{Governor, SampleContext};
+
+/// Runs at a fixed p-state forever.
+#[derive(Debug, Clone)]
+pub struct StaticClock {
+    target: PStateId,
+    name: String,
+}
+
+impl StaticClock {
+    /// Creates a static-clocking governor pinned to `target`.
+    pub fn new(target: PStateId) -> Self {
+        StaticClock { target, name: format!("static-p{}", target.index()) }
+    }
+
+    /// The pinned p-state.
+    pub fn target(&self) -> PStateId {
+        self.target
+    }
+}
+
+impl Governor for StaticClock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        Vec::new()
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        if ctx.table.contains(self.target) {
+            self.target
+        } else {
+            ctx.table.highest()
+        }
+    }
+}
+
+/// Always runs at the highest p-state.
+#[derive(Debug, Clone, Default)]
+pub struct Unconstrained;
+
+impl Unconstrained {
+    /// Creates the unconstrained governor.
+    pub fn new() -> Self {
+        Unconstrained
+    }
+}
+
+impl Governor for Unconstrained {
+    fn name(&self) -> &str {
+        "unconstrained"
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        Vec::new()
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        ctx.table.highest()
+    }
+}
+
+/// Demand-based switching: scale frequency with *utilization*.
+///
+/// Utilization is approximated as the busy fraction of the interval (cycles
+/// in which the machine retired any work). The governor targets the lowest
+/// frequency that would keep utilization below `target_utilization`. Under
+/// the always-saturated workloads of this study, utilization is 1.0 and DBS
+/// pins the top p-state — demonstrating the paper's point that
+/// utilization-driven saving is inert at full load.
+#[derive(Debug, Clone)]
+pub struct DemandBasedSwitching {
+    target_utilization: f64,
+}
+
+impl DemandBasedSwitching {
+    /// Creates DBS with the conventional 80 % utilization target.
+    pub fn new() -> Self {
+        DemandBasedSwitching { target_utilization: 0.8 }
+    }
+
+    /// Creates DBS with an explicit utilization target in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is outside `(0, 1]`.
+    pub fn with_target(target: f64) -> Self {
+        assert!(target > 0.0 && target <= 1.0, "utilization target must lie in (0, 1]");
+        DemandBasedSwitching { target_utilization: target }
+    }
+}
+
+impl Default for DemandBasedSwitching {
+    fn default() -> Self {
+        DemandBasedSwitching::new()
+    }
+}
+
+impl Governor for DemandBasedSwitching {
+    fn name(&self) -> &str {
+        "dbs"
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        vec![HardwareEvent::InstructionsRetired]
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        // Busy fraction: a saturated core retires work every interval; an
+        // idle one retires none. (The simulated machine is either running a
+        // program or idling after completion.)
+        let busy = if ctx.counters.ipc().unwrap_or(0.0) > 0.0 { 1.0 } else { 0.0 };
+        let current_freq = match ctx.table.get(ctx.current) {
+            Ok(state) => state.frequency(),
+            Err(_) => return ctx.table.highest(),
+        };
+        // Demand in "frequency units": what frequency would put us at the
+        // utilization target?
+        let demanded_mhz = current_freq.mhz() as f64 * busy / self.target_utilization;
+        for (id, state) in ctx.table.iter() {
+            if f64::from(state.frequency().mhz()) >= demanded_mhz {
+                return id;
+            }
+        }
+        ctx.table.highest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::pstate::PStateTable;
+    use aapm_platform::units::Seconds;
+    use aapm_telemetry::pmc::CounterSample;
+
+    fn sample(ipc: f64) -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsRetired, ipc * cycles, true)],
+        }
+    }
+
+    #[test]
+    fn static_clock_holds_its_state() {
+        let table = PStateTable::pentium_m_755();
+        let mut g = StaticClock::new(PStateId::new(3));
+        let s = sample(1.0);
+        for current in [0usize, 3, 7] {
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table: &table };
+            assert_eq!(g.decide(&ctx), PStateId::new(3));
+        }
+        assert_eq!(g.name(), "static-p3");
+    }
+
+    #[test]
+    fn static_clock_with_invalid_target_degrades_to_highest() {
+        let table = PStateTable::pentium_m_755();
+        let mut g = StaticClock::new(PStateId::new(99));
+        let s = sample(1.0);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(0), table: &table };
+        assert_eq!(g.decide(&ctx), table.highest());
+    }
+
+    #[test]
+    fn unconstrained_always_max() {
+        let table = PStateTable::pentium_m_755();
+        let mut g = Unconstrained::new();
+        let s = sample(0.1);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table };
+        assert_eq!(g.decide(&ctx), table.highest());
+    }
+
+    #[test]
+    fn dbs_pins_top_frequency_at_full_load() {
+        // The paper's critique: utilization-driven DVFS is inert when the
+        // system is saturated.
+        let table = PStateTable::pentium_m_755();
+        let mut g = DemandBasedSwitching::new();
+        let s = sample(1.2);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        assert_eq!(g.decide(&ctx), table.highest());
+    }
+
+    #[test]
+    fn dbs_drops_to_lowest_when_idle() {
+        let table = PStateTable::pentium_m_755();
+        let mut g = DemandBasedSwitching::new();
+        let s = sample(0.0);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        assert_eq!(g.decide(&ctx), table.lowest());
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization target")]
+    fn dbs_rejects_invalid_target() {
+        let _ = DemandBasedSwitching::with_target(0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The governor abstraction: the paper's Monitor → Estimate → Control loop.
+//!
+//! Every 10 ms the runtime hands the governor a [`SampleContext`] — the
+//! counter sample its requested events produced, the current p-state and
+//! table — and the governor returns the p-state to run next. Governors are
+//! *application-aware by construction*: they see only what the PMC driver
+//! reports, never the machine's internals (just like the paper's user-level
+//! prototypes).
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::thermal::Celsius;
+use aapm_platform::throttle::ThrottleLevel;
+use aapm_telemetry::daq::PowerSample;
+use aapm_telemetry::pmc::CounterSample;
+
+use crate::limits::{PerformanceFloor, PowerLimit};
+
+/// Everything a governor may observe in one control interval.
+#[derive(Debug)]
+pub struct SampleContext<'a> {
+    /// The counter sample for this interval (rates for requested events).
+    pub counters: &'a CounterSample,
+    /// The interval's measured power sample, when a meter is attached.
+    /// The paper's PM and PS are counter-predictive and ignore it; the
+    /// measured-feedback extension ([`crate::feedback::FeedbackPm`]) uses it.
+    pub power: Option<&'a PowerSample>,
+    /// The die temperature reported by the on-die sensor, when attached.
+    pub temperature: Option<Celsius>,
+    /// The p-state in effect during the interval.
+    pub current: PStateId,
+    /// The platform's p-state table.
+    pub table: &'a PStateTable,
+}
+
+/// A runtime command delivered to a governor mid-run — the simulation
+/// analogue of the paper's `SIGUSR1`/`SIGUSR2` limit-change signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GovernorCommand {
+    /// Change the power limit (PM).
+    SetPowerLimit(PowerLimit),
+    /// Change the performance floor (PS).
+    SetPerformanceFloor(PerformanceFloor),
+}
+
+/// A p-state governor.
+///
+/// Implementations must be deterministic functions of the observed sample
+/// stream (all reproduction experiments rely on replayability).
+pub trait Governor {
+    /// Short name used in reports (`"pm"`, `"ps"`, `"static-1800"`, …).
+    fn name(&self) -> &str;
+
+    /// Hardware events this governor needs monitored. More than two
+    /// programmable events forces the PMC driver to multiplex — part of why
+    /// the paper's solutions use so few counters.
+    fn events(&self) -> Vec<HardwareEvent>;
+
+    /// Chooses the p-state for the next interval.
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId;
+
+    /// Chooses the clock-modulation duty for the next interval. Most
+    /// governors actuate DVFS only; the default keeps the clock ungated.
+    fn throttle_decision(&mut self, _ctx: &SampleContext<'_>) -> ThrottleLevel {
+        ThrottleLevel::FULL
+    }
+
+    /// Delivers a runtime command. The default implementation ignores it.
+    fn command(&mut self, _command: GovernorCommand) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe: the runtime holds `&mut dyn
+    /// Governor`.
+    #[test]
+    fn governor_is_object_safe() {
+        struct Pinned;
+        impl Governor for Pinned {
+            fn name(&self) -> &str {
+                "pinned"
+            }
+            fn events(&self) -> Vec<HardwareEvent> {
+                Vec::new()
+            }
+            fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+                ctx.current
+            }
+        }
+        let mut g = Pinned;
+        let _obj: &mut dyn Governor = &mut g;
+        assert_eq!(_obj.name(), "pinned");
+    }
+}

@@ -1,0 +1,73 @@
+//! # aapm — Application-Aware Power Management
+//!
+//! Reproduction of the core contribution of *Application-Aware Power
+//! Management* (Rajamani, Hanson, Rubio, Ghiasi, Rawson — IISWC 2006): a
+//! three-phase **Monitor → Estimate → Control** methodology that lets a
+//! user-level governor predict, every 10 ms, the power and performance
+//! consequences of every available p-state — and two governors built on it:
+//!
+//! * [`pm::PerformanceMaximizer`] — the best possible performance under an
+//!   explicit power limit (dynamic clocking vs worst-case static clocking);
+//! * [`ps::PowerSave`] — energy savings under an explicit performance
+//!   floor, even at 100 % load.
+//!
+//! Baselines ([`baselines`]), the measured-power-feedback extension the
+//! paper sketches as future work ([`feedback`]), and the simulation runtime
+//! that wires governors to the simulated Pentium M platform ([`runtime`])
+//! round out the crate.
+//!
+//! # Quickstart
+//!
+//! Run PM against a synthetic SPEC workload under a 14.5 W limit:
+//!
+//! ```
+//! use aapm::limits::PowerLimit;
+//! use aapm::pm::PerformanceMaximizer;
+//! use aapm::runtime::{run, SimulationConfig};
+//! use aapm_models::power_model::PowerModel;
+//! use aapm_platform::config::MachineConfig;
+//! use aapm_workloads::spec;
+//!
+//! let ammp = spec::by_name("ammp").expect("ammp is in the suite");
+//! let mut pm = PerformanceMaximizer::new(
+//!     PowerModel::paper_table_ii(),
+//!     PowerLimit::new(14.5)?,
+//! );
+//! let report = run(
+//!     &mut pm,
+//!     MachineConfig::pentium_m_755(42),
+//!     ammp.program().scaled(0.02), // shortened for the doc test
+//!     SimulationConfig::default(),
+//!     &[],
+//! )?;
+//! assert!(report.completed);
+//! # Ok::<(), aapm_platform::error::PlatformError>(())
+//! ```
+
+pub mod baselines;
+pub mod combined_pm;
+pub mod feedback;
+pub mod governor;
+pub mod limits;
+pub mod phase_pm;
+pub mod pm;
+pub mod ps;
+pub mod report;
+pub mod runtime;
+pub mod session;
+pub mod thermal_guard;
+pub mod throttle_save;
+
+pub use baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
+pub use combined_pm::CombinedPm;
+pub use feedback::FeedbackPm;
+pub use governor::{Governor, GovernorCommand, SampleContext};
+pub use limits::{PerformanceFloor, PowerLimit};
+pub use phase_pm::PhasePm;
+pub use pm::{PerformanceMaximizer, PmConfig};
+pub use ps::PowerSave;
+pub use report::RunReport;
+pub use runtime::{run, ScheduledCommand, SimulationConfig};
+pub use session::{run_session, SessionReport};
+pub use thermal_guard::{ThermalGuard, ThermalGuardConfig};
+pub use throttle_save::ThrottleSave;

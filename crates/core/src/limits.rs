@@ -1,0 +1,108 @@
+//! Constraint types for governors: power limits and performance floors.
+
+use std::fmt;
+
+use aapm_platform::error::PlatformError;
+use aapm_platform::units::Watts;
+
+/// An explicit processor power limit (PM's constraint).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PowerLimit(Watts);
+
+impl PowerLimit {
+    /// Creates a power limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] if `watts` is not a positive
+    /// finite value.
+    pub fn new(watts: f64) -> Result<Self, PlatformError> {
+        if !(watts.is_finite() && watts > 0.0) {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "power_limit",
+                reason: format!("must be positive and finite, got {watts}"),
+            });
+        }
+        Ok(PowerLimit(Watts::new(watts)))
+    }
+
+    /// The limit as a power value.
+    pub fn watts(self) -> Watts {
+        self.0
+    }
+}
+
+impl fmt::Display for PowerLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "limit {}", self.0)
+    }
+}
+
+/// A minimum acceptable performance, as a fraction of peak (PS's
+/// constraint). The paper evaluates floors of 0.8, 0.6, 0.4 and 0.2.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct PerformanceFloor(f64);
+
+impl PerformanceFloor {
+    /// Creates a performance floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] unless `fraction` lies in
+    /// `(0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self, PlatformError> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "performance_floor",
+                reason: format!("must lie in (0, 1], got {fraction}"),
+            });
+        }
+        Ok(PerformanceFloor(fraction))
+    }
+
+    /// The floor as a fraction of peak performance.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The maximum tolerable performance reduction (`1 − floor`).
+    pub fn max_reduction(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl fmt::Display for PerformanceFloor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "floor {:.0}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_limits_construct() {
+        let l = PowerLimit::new(17.5).unwrap();
+        assert_eq!(l.watts(), Watts::new(17.5));
+        assert!(PowerLimit::new(0.0).is_err());
+        assert!(PowerLimit::new(-1.0).is_err());
+        assert!(PowerLimit::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn valid_floors_construct() {
+        let f = PerformanceFloor::new(0.8).unwrap();
+        assert!((f.fraction() - 0.8).abs() < 1e-12);
+        assert!((f.max_reduction() - 0.2).abs() < 1e-12);
+        assert!(PerformanceFloor::new(1.0).is_ok());
+        assert!(PerformanceFloor::new(0.0).is_err());
+        assert!(PerformanceFloor::new(1.1).is_err());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(PowerLimit::new(10.5).unwrap().to_string(), "limit 10.500 W");
+        assert_eq!(PerformanceFloor::new(0.6).unwrap().to_string(), "floor 60%");
+    }
+}

@@ -1,0 +1,288 @@
+//! PerformanceMaximizer (PM): best performance under a power limit
+//! (paper §IV.A).
+//!
+//! Every 10 ms PM:
+//!
+//! 1. **monitors** DPC (decoded instructions per cycle) — a single
+//!    programmable counter;
+//! 2. **predicts** DPC at every other p-state with eq. 4 and applies the
+//!    per-p-state power model, adding a guardband (0.5 W by default) for
+//!    model error and system variability;
+//! 3. **controls**: picks the highest-frequency p-state whose estimated
+//!    power stays under the limit — *lowering immediately* when even a
+//!    single sample demands it, but *raising only after ten consecutive
+//!    samples* (100 ms) agree a higher state is safe, minimizing violations
+//!    during hard-to-predict workload transitions.
+//!
+//! The power limit can change at any instant (the paper delivers this via
+//! Unix signals; here via [`GovernorCommand::SetPowerLimit`]).
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::units::Watts;
+use aapm_models::dpc_projection::project_dpc;
+use aapm_models::power_model::PowerModel;
+
+use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::limits::PowerLimit;
+
+/// Tunables of the PM control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmConfig {
+    /// Watts added to every estimate to absorb model error (paper: 0.5 W).
+    pub guardband: Watts,
+    /// Consecutive agreeing samples required before raising frequency
+    /// (paper: ten 10 ms samples = 100 ms).
+    pub raise_samples: usize,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        PmConfig { guardband: Watts::new(0.5), raise_samples: 10 }
+    }
+}
+
+/// The PerformanceMaximizer governor.
+///
+/// # Examples
+///
+/// ```
+/// use aapm::limits::PowerLimit;
+/// use aapm::pm::PerformanceMaximizer;
+/// use aapm_models::power_model::PowerModel;
+///
+/// let pm = PerformanceMaximizer::new(
+///     PowerModel::paper_table_ii(),
+///     PowerLimit::new(17.5)?,
+/// );
+/// assert_eq!(aapm::governor::Governor::name(&pm), "pm");
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerformanceMaximizer {
+    model: PowerModel,
+    limit: PowerLimit,
+    config: PmConfig,
+    raise_streak: usize,
+}
+
+impl PerformanceMaximizer {
+    /// Creates PM with the default guardband and raise window.
+    pub fn new(model: PowerModel, limit: PowerLimit) -> Self {
+        PerformanceMaximizer::with_config(model, limit, PmConfig::default())
+    }
+
+    /// Creates PM with explicit control-loop tunables.
+    pub fn with_config(model: PowerModel, limit: PowerLimit, config: PmConfig) -> Self {
+        PerformanceMaximizer { model, limit, config, raise_streak: 0 }
+    }
+
+    /// The active power limit.
+    pub fn limit(&self) -> PowerLimit {
+        self.limit
+    }
+
+    /// The power model in use.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Estimated power at `target` given a DPC observed at `current`
+    /// (projection + model + guardband).
+    pub fn estimate_at(
+        &self,
+        ctx: &SampleContext<'_>,
+        dpc: f64,
+        target: PStateId,
+    ) -> Option<Watts> {
+        let from = ctx.table.get(ctx.current).ok()?.frequency();
+        let to = ctx.table.get(target).ok()?.frequency();
+        let projected = project_dpc(dpc, from, to);
+        let estimate = self.model.estimate(target, projected).ok()?;
+        Some(estimate + self.config.guardband)
+    }
+
+    /// The highest p-state whose guarded estimate fits under the limit
+    /// (the lowest state if none fits).
+    fn best_pstate(&self, ctx: &SampleContext<'_>, dpc: f64) -> PStateId {
+        for (id, _) in ctx.table.iter_descending() {
+            if let Some(estimate) = self.estimate_at(ctx, dpc, id) {
+                if estimate <= self.limit.watts() {
+                    return id;
+                }
+            }
+        }
+        ctx.table.lowest()
+    }
+}
+
+impl Governor for PerformanceMaximizer {
+    fn name(&self) -> &str {
+        "pm"
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        vec![HardwareEvent::InstructionsDecoded]
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        let dpc = ctx.counters.dpc().unwrap_or(0.0);
+        let candidate = self.best_pstate(ctx, dpc);
+        if candidate < ctx.current {
+            // A single over-limit sample lowers frequency immediately.
+            self.raise_streak = 0;
+            candidate
+        } else if candidate > ctx.current {
+            // Raising waits for a full window of agreeing samples.
+            self.raise_streak += 1;
+            if self.raise_streak >= self.config.raise_samples {
+                self.raise_streak = 0;
+                candidate
+            } else {
+                ctx.current
+            }
+        } else {
+            self.raise_streak = 0;
+            ctx.current
+        }
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        if let GovernorCommand::SetPowerLimit(limit) = command {
+            self.limit = limit;
+            // A fresh limit invalidates the raise history.
+            self.raise_streak = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::pstate::PStateTable;
+    use aapm_platform::units::Seconds;
+    use aapm_telemetry::pmc::CounterSample;
+
+    fn sample(dpc: f64) -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsDecoded, dpc * cycles, true)],
+        }
+    }
+
+    fn decide_at(pm: &mut PerformanceMaximizer, table: &PStateTable, current: usize, dpc: f64) -> PStateId {
+        let s = sample(dpc);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        pm.decide(&ctx)
+    }
+
+    fn pm_with_limit(watts: f64) -> PerformanceMaximizer {
+        PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(watts).unwrap())
+    }
+
+    #[test]
+    fn generous_limit_stays_at_top() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        assert_eq!(decide_at(&mut pm, &table, 7, 2.0), PStateId::new(7));
+    }
+
+    #[test]
+    fn hot_sample_lowers_immediately() {
+        let table = PStateTable::pentium_m_755();
+        // Table II at P7: 2.93·DPC + 12.11 (+0.5 guardband) ≤ 15 fails for
+        // DPC 2.0 (18.5 est); P6: 2.36·2.22+10.18+0.5 = 15.9 also fails
+        // (projected DPC grows when stepping down); P5 @1600: projected DPC
+        // = 2·2000/1600 = 2.5 → 1.82·2.5+8.44+0.5 = 13.5 ≤ 15 ✓.
+        let mut pm = pm_with_limit(15.0);
+        let chosen = decide_at(&mut pm, &table, 7, 2.0);
+        assert_eq!(chosen, PStateId::new(5), "one sample is enough to lower");
+    }
+
+    #[test]
+    fn raising_requires_consecutive_good_samples() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        // Start low; 9 good samples must not raise, the 10th raises.
+        for i in 0..9 {
+            let chosen = decide_at(&mut pm, &table, 2, 0.5);
+            assert_eq!(chosen, PStateId::new(2), "sample {i} must hold");
+        }
+        let chosen = decide_at(&mut pm, &table, 2, 0.5);
+        assert!(chosen > PStateId::new(2), "10th consecutive sample raises");
+    }
+
+    #[test]
+    fn interrupted_streak_resets() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(14.0);
+        // 5 good (low-DPC) samples…
+        for _ in 0..5 {
+            decide_at(&mut pm, &table, 2, 0.2);
+        }
+        // …then one hot sample: at DPC 8 every state above P2 estimates
+        // over 14 W (P3: 1.06·8 + 5.6 + 0.5 = 14.58), so the candidate
+        // equals the current state and the good streak resets.
+        decide_at(&mut pm, &table, 2, 8.0);
+        // 9 more good samples still must not raise (streak restarted).
+        for i in 0..9 {
+            let chosen = decide_at(&mut pm, &table, 2, 0.2);
+            assert_eq!(chosen, PStateId::new(2), "post-reset sample {i}");
+        }
+        assert!(decide_at(&mut pm, &table, 2, 0.2) > PStateId::new(2));
+    }
+
+    #[test]
+    fn impossible_limit_falls_to_lowest_state() {
+        let table = PStateTable::pentium_m_755();
+        // 2 W is below even P0's β (2.58 + guardband).
+        let mut pm = pm_with_limit(2.0);
+        assert_eq!(decide_at(&mut pm, &table, 7, 1.0), table.lowest());
+    }
+
+    #[test]
+    fn limit_change_takes_effect_immediately() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        assert_eq!(decide_at(&mut pm, &table, 7, 2.0), PStateId::new(7));
+        pm.command(GovernorCommand::SetPowerLimit(PowerLimit::new(10.0).unwrap()));
+        let chosen = decide_at(&mut pm, &table, 7, 2.0);
+        assert!(chosen < PStateId::new(7), "tighter limit lowers at once");
+    }
+
+    #[test]
+    fn guardband_biases_choices_down() {
+        let table = PStateTable::pentium_m_755();
+        // Pick a limit that P7 satisfies without guardband but not with a
+        // huge one: est(P7, 1.0) = 15.04.
+        let no_guard = PmConfig { guardband: Watts::new(0.0), raise_samples: 10 };
+        let big_guard = PmConfig { guardband: Watts::new(3.0), raise_samples: 10 };
+        let mut lenient = PerformanceMaximizer::with_config(
+            PowerModel::paper_table_ii(),
+            PowerLimit::new(15.5).unwrap(),
+            no_guard,
+        );
+        let mut strict = PerformanceMaximizer::with_config(
+            PowerModel::paper_table_ii(),
+            PowerLimit::new(15.5).unwrap(),
+            big_guard,
+        );
+        assert_eq!(decide_at(&mut lenient, &table, 7, 1.0), PStateId::new(7));
+        assert!(decide_at(&mut strict, &table, 7, 1.0) < PStateId::new(7));
+    }
+
+    #[test]
+    fn estimate_uses_projected_dpc_downward() {
+        let table = PStateTable::pentium_m_755();
+        let pm = pm_with_limit(15.0);
+        let s = sample(1.0);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(7), table: &table };
+        // At P3 (1200 MHz) the projected DPC is 1.0 × 2000/1200 = 5/3;
+        // Table II: 1.06·(5/3) + 5.60 + 0.5 guardband.
+        let est = pm.estimate_at(&ctx, 1.0, PStateId::new(3)).unwrap();
+        assert!((est.watts() - (1.06 * 5.0 / 3.0 + 5.60 + 0.5)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,246 @@
+//! PowerSave (PS): energy savings under a performance floor (paper §IV.B).
+//!
+//! Where demand-based switching only saves energy when the system is idle,
+//! PS trades an *explicit, bounded* amount of performance for energy even at
+//! full load. Every 10 ms it:
+//!
+//! 1. **monitors** retired IPC and DCU-miss-outstanding cycles — exactly the
+//!    two programmable counters the Pentium M has;
+//! 2. **estimates** IPC (and hence throughput) at every p-state via eq. 3;
+//! 3. **controls**: picks the lowest-frequency p-state whose predicted
+//!    throughput stays at or above `floor ×` the predicted peak throughput.
+//!
+//! Because p-states are discrete, the chosen state usually sits above the
+//! floor — the next lower state would cross it (the paper makes the same
+//! observation about its Figure 9 results).
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+use aapm_models::perf_model::PerfModel;
+
+use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::limits::PerformanceFloor;
+
+/// The PowerSave governor.
+///
+/// # Examples
+///
+/// ```
+/// use aapm::limits::PerformanceFloor;
+/// use aapm::ps::PowerSave;
+/// use aapm_models::perf_model::{PerfModel, PerfModelParams};
+///
+/// let ps = PowerSave::new(
+///     PerfModel::new(PerfModelParams::paper()),
+///     PerformanceFloor::new(0.8)?,
+/// );
+/// assert_eq!(aapm::governor::Governor::name(&ps), "ps");
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSave {
+    model: PerfModel,
+    floor: PerformanceFloor,
+}
+
+impl PowerSave {
+    /// Creates PS with the given projection model and floor.
+    pub fn new(model: PerfModel, floor: PerformanceFloor) -> Self {
+        PowerSave { model, floor }
+    }
+
+    /// The active performance floor.
+    pub fn floor(&self) -> PerformanceFloor {
+        self.floor
+    }
+
+    /// The projection model in use.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// Predicted throughput at `target` relative to the predicted peak
+    /// (highest p-state), from a sample observed at `ctx.current`.
+    pub fn predicted_relative_performance(
+        &self,
+        ctx: &SampleContext<'_>,
+        ipc: f64,
+        dcu: f64,
+        target: PStateId,
+    ) -> Option<f64> {
+        let from = ctx.table.get(ctx.current).ok()?.frequency();
+        let to = ctx.table.get(target).ok()?.frequency();
+        let peak = ctx.table.get(ctx.table.highest()).ok()?.frequency();
+        let to_target = self.model.relative_performance(ipc, dcu, from, to);
+        let to_peak = self.model.relative_performance(ipc, dcu, from, peak);
+        if to_peak <= 0.0 {
+            return None;
+        }
+        Some(to_target / to_peak)
+    }
+}
+
+impl Governor for PowerSave {
+    fn name(&self) -> &str {
+        "ps"
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        vec![HardwareEvent::InstructionsRetired, HardwareEvent::DcuMissOutstanding]
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        let ipc = ctx.counters.ipc().unwrap_or(0.0);
+        let dcu = ctx.counters.dcu().unwrap_or(0.0);
+        // Scan from the lowest frequency up; take the first state whose
+        // predicted throughput clears the floor. The peak state always
+        // clears it (ratio 1.0), so the loop always returns.
+        for (id, _) in ctx.table.iter() {
+            if let Some(relative) = self.predicted_relative_performance(ctx, ipc, dcu, id) {
+                if relative >= self.floor.fraction() {
+                    return id;
+                }
+            }
+        }
+        ctx.table.highest()
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        if let GovernorCommand::SetPerformanceFloor(floor) = command {
+            self.floor = floor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_models::perf_model::PerfModelParams;
+    use aapm_platform::pstate::PStateTable;
+    use aapm_platform::units::Seconds;
+    use aapm_telemetry::pmc::CounterSample;
+
+    fn sample(ipc: f64, dcu: f64) -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![
+                (HardwareEvent::InstructionsRetired, ipc * cycles, true),
+                (HardwareEvent::DcuMissOutstanding, dcu * cycles, true),
+            ],
+        }
+    }
+
+    fn ps_with_floor(floor: f64) -> PowerSave {
+        PowerSave::new(PerfModel::new(PerfModelParams::paper()), PerformanceFloor::new(floor).unwrap())
+    }
+
+    fn decide_at(ps: &mut PowerSave, table: &PStateTable, current: usize, ipc: f64, dcu: f64) -> PStateId {
+        let s = sample(ipc, dcu);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        ps.decide(&ctx)
+    }
+
+    #[test]
+    fn core_bound_workload_respects_frequency_floor() {
+        let table = PStateTable::pentium_m_755();
+        // Core-bound: performance ∝ f, so floor 0.8 requires f ≥ 1600 MHz.
+        let mut ps = ps_with_floor(0.8);
+        let chosen = decide_at(&mut ps, &table, 7, 1.5, 0.1);
+        let freq = table.get(chosen).unwrap().frequency().mhz();
+        assert_eq!(freq, 1600, "1600/2000 = 0.8 exactly meets the floor");
+    }
+
+    #[test]
+    fn memory_bound_workload_drops_much_lower() {
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        // Strongly memory-bound (DCU/IPC = 6): (f'/f)^0.19 ≥ 0.8 allows
+        // f' ≥ 2000·0.8^(1/0.19) ≈ 616 MHz → PS picks 800 MHz.
+        let chosen = decide_at(&mut ps, &table, 7, 0.3, 1.8);
+        let freq = table.get(chosen).unwrap().frequency().mhz();
+        assert_eq!(freq, 800, "memory-bound work tolerates deep slowdowns");
+    }
+
+    #[test]
+    fn floor_one_keeps_max_frequency_for_core_bound() {
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(1.0);
+        let chosen = decide_at(&mut ps, &table, 7, 1.5, 0.1);
+        assert_eq!(chosen, table.highest());
+    }
+
+    #[test]
+    fn lower_floor_never_chooses_higher_frequency() {
+        let table = PStateTable::pentium_m_755();
+        for (ipc, dcu) in [(1.5, 0.1), (0.3, 1.8), (0.6, 0.75)] {
+            let mut last_freq = u32::MAX;
+            for floor in [0.9, 0.7, 0.5, 0.3] {
+                let mut ps = ps_with_floor(floor);
+                let chosen = decide_at(&mut ps, &table, 7, ipc, dcu);
+                let freq = table.get(chosen).unwrap().frequency().mhz();
+                assert!(freq <= last_freq, "floor {floor}: {freq} > {last_freq}");
+                last_freq = freq;
+            }
+        }
+    }
+
+    #[test]
+    fn decision_is_stable_across_current_pstate() {
+        // From any current state, the projected-to-peak normalization makes
+        // the choice depend only on the workload, not where we observe it —
+        // for core-bound work where IPC is truly state-independent.
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        let from_top = decide_at(&mut ps, &table, 7, 1.5, 0.1);
+        let from_low = decide_at(&mut ps, &table, 1, 1.5, 0.1);
+        assert_eq!(from_top, from_low);
+    }
+
+    #[test]
+    fn zero_ipc_sample_chooses_lowest_state() {
+        // A fully-stalled interval can sacrifice frequency for free.
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        let chosen = decide_at(&mut ps, &table, 7, 0.0, 2.0);
+        assert_eq!(chosen, table.lowest());
+    }
+
+    #[test]
+    fn floor_change_takes_effect() {
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        let before = decide_at(&mut ps, &table, 7, 1.5, 0.1);
+        ps.command(GovernorCommand::SetPerformanceFloor(PerformanceFloor::new(0.4).unwrap()));
+        let after = decide_at(&mut ps, &table, 7, 1.5, 0.1);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn alternate_exponent_is_more_conservative() {
+        let table = PStateTable::pentium_m_755();
+        // In-between workload: memory-classified but not extreme.
+        let (ipc, dcu) = (0.45, 0.7);
+        let mut primary = ps_with_floor(0.8);
+        let mut alternate = PowerSave::new(
+            PerfModel::new(PerfModelParams::paper_alternate()),
+            PerformanceFloor::new(0.8).unwrap(),
+        );
+        let f_primary = table
+            .get(decide_at(&mut primary, &table, 7, ipc, dcu))
+            .unwrap()
+            .frequency()
+            .mhz();
+        let f_alternate = table
+            .get(decide_at(&mut alternate, &table, 7, ipc, dcu))
+            .unwrap()
+            .frequency()
+            .mhz();
+        assert!(
+            f_alternate >= f_primary,
+            "exponent 0.59 predicts more loss → keeps frequency ≥ 0.81's choice"
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Measurement sessions: several workloads, one continuous capture.
+//!
+//! The paper's rig ran benchmarks back-to-back while the DAQ captured one
+//! continuous power stream, with a GPIO edge at each benchmark's start and
+//! end to slice the record afterwards (§III.B). [`run_session`] reproduces
+//! that structure: a sequence of programs executes under a single governor
+//! on one machine timeline, a [`SyncChannel`] records the boundaries, and
+//! per-workload reports are sliced out of the shared trace.
+//!
+//! Compared with [`crate::runtime::run`] (one fresh machine per workload),
+//! a session preserves cross-benchmark state: the governor's windows and
+//! streaks, the die temperature, and the p-state all carry over — exactly
+//! what a long bench run on real hardware does.
+
+use aapm_platform::config::MachineConfig;
+use aapm_platform::error::Result;
+use aapm_platform::machine::Machine;
+use aapm_platform::program::PhaseProgram;
+use aapm_platform::units::{Joules, Seconds};
+use aapm_telemetry::daq::PowerDaq;
+use aapm_telemetry::gpio::SyncChannel;
+use aapm_telemetry::pmc::PmcDriver;
+use aapm_telemetry::sensor::ThermalSensor;
+use aapm_telemetry::trace::RunTrace;
+
+use crate::governor::{Governor, SampleContext};
+use crate::report::RunReport;
+use crate::runtime::SimulationConfig;
+
+/// The result of a measurement session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Per-workload reports, in execution order, sliced from the session
+    /// trace.
+    pub runs: Vec<RunReport>,
+    /// The full uninterrupted trace (the paper's Figure 1 is this record
+    /// for the whole suite).
+    pub trace: RunTrace,
+    /// Benchmark boundary markers.
+    pub markers: SyncChannel,
+}
+
+impl SessionReport {
+    /// Total session time.
+    pub fn total_time(&self) -> Seconds {
+        self.runs.iter().map(|r| r.execution_time).sum()
+    }
+
+    /// Total measured energy across the session.
+    pub fn total_energy(&self) -> Joules {
+        self.runs.iter().map(|r| r.measured_energy).sum()
+    }
+
+    /// The report for one workload, by name.
+    pub fn run(&self, workload: &str) -> Option<&RunReport> {
+        self.runs.iter().find(|r| r.workload == workload)
+    }
+}
+
+/// Runs `programs` back-to-back under one governor on one machine timeline.
+///
+/// Each program runs on a fresh machine program counter but the governor,
+/// DAQ, sensors, and p-state persist across boundaries (machines are
+/// re-created per program because a [`Machine`] owns its program; the
+/// outgoing p-state and throttle are carried into the next machine, and
+/// elapsed session time keeps accumulating in the trace).
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run_session(
+    governor: &mut dyn Governor,
+    machine_config: &MachineConfig,
+    programs: &[PhaseProgram],
+    config: SimulationConfig,
+) -> Result<SessionReport> {
+    let table = machine_config.pstates().clone();
+    let mut session_trace = RunTrace::new(config.sample_interval);
+    let mut markers = SyncChannel::new();
+    let mut runs = Vec::with_capacity(programs.len());
+    let mut session_offset = Seconds::ZERO;
+    let mut carried_pstate = machine_config.initial_pstate();
+
+    for (index, program) in programs.iter().enumerate() {
+        let workload = program.name().to_owned();
+        let per_run_config = {
+            let mut b = MachineConfig::builder();
+            b.pstates(table.clone())
+                .timings(*machine_config.timings())
+                .dvfs(*machine_config.dvfs())
+                .thermal(*machine_config.thermal())
+                .initial_pstate(carried_pstate)
+                .seed(machine_config.seed().wrapping_add(index as u64))
+                .execution_variation(machine_config.execution_variation());
+            b.build()?
+        };
+        let mut machine = Machine::new(per_run_config, program.clone());
+        let mut daq = PowerDaq::new(config.daq, config.seed.wrapping_add(index as u64));
+        let mut pmc = PmcDriver::new(governor.events());
+        let mut thermal =
+            ThermalSensor::new(config.thermal_sensor, config.seed.wrapping_add(index as u64));
+        let mut run_trace = RunTrace::new(config.sample_interval);
+
+        markers.rise(session_offset, workload.clone());
+        let mut samples = 0usize;
+        while !machine.finished() && samples < config.max_samples {
+            let interval_pstate = machine.pstate();
+            machine.tick(config.sample_interval);
+            let power = daq.sample(&machine);
+            let counters = pmc.sample(&machine);
+            let temperature = thermal.read(&machine);
+            let ctx = SampleContext {
+                counters: &counters,
+                power: Some(&power),
+                temperature: Some(temperature),
+                current: interval_pstate,
+                table: &table,
+            };
+            let target = governor.decide(&ctx);
+            let throttle = governor.throttle_decision(&ctx);
+            machine.set_pstate(target)?;
+            machine.set_throttle(throttle);
+
+            run_trace.push_sample(&power, interval_pstate, counters.ipc(), counters.dpc());
+            // The session trace carries absolute session time.
+            let mut record = *run_trace.records().last().expect("just pushed");
+            record.time = session_offset + record.time;
+            session_trace.push(record);
+            samples += 1;
+        }
+        let completed = machine.finished();
+        let execution_time = machine.completion_time().unwrap_or_else(|| machine.elapsed());
+        markers.fall(session_offset + execution_time, workload.clone());
+        session_offset += machine.elapsed();
+        carried_pstate = machine.pstate();
+
+        runs.push(RunReport {
+            workload,
+            governor: governor.name().to_owned(),
+            execution_time,
+            measured_energy: run_trace.measured_energy(),
+            true_energy: machine.true_energy(),
+            transitions: machine.transitions_performed(),
+            completed,
+            trace: run_trace,
+        });
+    }
+
+    Ok(SessionReport { runs, trace: session_trace, markers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Unconstrained;
+    use crate::limits::PowerLimit;
+    use crate::pm::PerformanceMaximizer;
+    use aapm_models::power_model::PowerModel;
+    use aapm_platform::phase::PhaseDescriptor;
+
+    fn program(name: &str, instructions: u64) -> PhaseProgram {
+        PhaseProgram::from_phase(
+            PhaseDescriptor::builder(name)
+                .instructions(instructions)
+                .core_cpi(0.8)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn config() -> MachineConfig {
+        MachineConfig::pentium_m_755(5)
+    }
+
+    #[test]
+    fn session_slices_per_workload_reports() {
+        let programs =
+            vec![program("alpha", 400_000_000), program("beta", 200_000_000)];
+        let report = run_session(
+            &mut Unconstrained::new(),
+            &config(),
+            &programs,
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.run("alpha").is_some());
+        assert!(report.run("beta").is_some());
+        assert!(report.run("alpha").unwrap().completed);
+        // alpha (2× the instructions) takes about twice as long.
+        let ratio = report.run("alpha").unwrap().execution_time
+            / report.run("beta").unwrap().execution_time;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn session_trace_is_continuous_and_markers_align() {
+        let programs = vec![program("a", 300_000_000), program("b", 300_000_000)];
+        let report = run_session(
+            &mut Unconstrained::new(),
+            &config(),
+            &programs,
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        // Session trace holds both runs' samples with increasing time.
+        let times: Vec<f64> =
+            report.trace.records().iter().map(|r| r.time.seconds()).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "session time is monotone");
+        assert_eq!(
+            report.trace.len(),
+            report.runs.iter().map(|r| r.trace.len()).sum::<usize>()
+        );
+        // Markers bracket each workload.
+        let (start_a, end_a) = report.markers.region("a").unwrap();
+        let (start_b, _) = report.markers.region("b").unwrap();
+        assert_eq!(start_a, Seconds::ZERO);
+        assert!(end_a <= start_b, "b starts after a ends");
+    }
+
+    #[test]
+    fn governor_state_carries_across_boundaries() {
+        // A hot program forces PM down; the p-state carried into the next
+        // program starts low and needs the raise window to recover.
+        let hot = PhaseProgram::from_phase(
+            PhaseDescriptor::builder("hot")
+                .instructions(600_000_000)
+                .core_cpi(0.45)
+                .decode_ratio(1.5)
+                .activity(1.3)
+                .build()
+                .unwrap(),
+        );
+        let cool = program("cool", 100_000_000);
+        let mut pm =
+            PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(12.5).unwrap());
+        let report = run_session(
+            &mut pm,
+            &config(),
+            &[hot, cool],
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        let cool_run = report.run("cool").unwrap();
+        let first = cool_run.trace.records().first().unwrap();
+        assert!(
+            first.pstate < config().pstates().highest(),
+            "cool run inherits the throttled p-state, got {}",
+            first.pstate
+        );
+    }
+
+    #[test]
+    fn totals_sum_over_runs() {
+        let programs = vec![program("x", 200_000_000), program("y", 200_000_000)];
+        let report = run_session(
+            &mut Unconstrained::new(),
+            &config(),
+            &programs,
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        let time_sum: f64 = report.runs.iter().map(|r| r.execution_time.seconds()).sum();
+        assert!((report.total_time().seconds() - time_sum).abs() < 1e-12);
+        assert!(report.total_energy().joules() > 0.0);
+    }
+}

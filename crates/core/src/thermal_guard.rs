@@ -1,0 +1,218 @@
+//! ThermalGuard: a thermal envelope wrapped around any inner governor.
+//!
+//! The paper motivates PM with "programmable power and thermal envelopes"
+//! (Foxton) and "partial supply/cooling failures". Power limits bound
+//! instantaneous draw; the thermal envelope bounds the *integrated* history
+//! the RC package model turns into die temperature. `ThermalGuard` layers a
+//! temperature ceiling over any governor: while the sensor reads above the
+//! cap it ratchets a p-state ceiling downward (one state per sample —
+//! temperature moves slowly, so this converges long before the package time
+//! constant); once the die cools below `cap − hysteresis` the ceiling
+//! relaxes one state per raise window.
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::thermal::Celsius;
+use aapm_platform::throttle::ThrottleLevel;
+
+use crate::governor::{Governor, GovernorCommand, SampleContext};
+
+/// Configuration of the thermal envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalGuardConfig {
+    /// Die-temperature cap.
+    pub cap: Celsius,
+    /// Degrees below the cap before the ceiling relaxes.
+    pub hysteresis_c: f64,
+    /// Samples below `cap − hysteresis` before relaxing one state.
+    pub relax_samples: usize,
+}
+
+impl Default for ThermalGuardConfig {
+    fn default() -> Self {
+        ThermalGuardConfig { cap: Celsius::new(77.0), hysteresis_c: 3.0, relax_samples: 50 }
+    }
+}
+
+/// A governor decorator enforcing a die-temperature cap.
+#[derive(Debug, Clone)]
+pub struct ThermalGuard<G> {
+    inner: G,
+    config: ThermalGuardConfig,
+    ceiling: Option<PStateId>,
+    relax_streak: usize,
+    name: String,
+}
+
+impl<G: Governor> ThermalGuard<G> {
+    /// Wraps `inner` with the default 77 °C envelope.
+    pub fn new(inner: G) -> Self {
+        ThermalGuard::with_config(inner, ThermalGuardConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit envelope configuration.
+    pub fn with_config(inner: G, config: ThermalGuardConfig) -> Self {
+        let name = format!("thermal<{}>", inner.name());
+        ThermalGuard { inner, config, ceiling: None, relax_streak: 0, name }
+    }
+
+    /// The wrapped governor.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// The current p-state ceiling, if the guard is engaged.
+    pub fn ceiling(&self) -> Option<PStateId> {
+        self.ceiling
+    }
+
+    /// The envelope configuration.
+    pub fn config(&self) -> &ThermalGuardConfig {
+        &self.config
+    }
+
+    fn update_ceiling(&mut self, ctx: &SampleContext<'_>) {
+        let Some(temperature) = ctx.temperature else { return };
+        if temperature > self.config.cap {
+            // Too hot: ratchet down one state per sample.
+            self.relax_streak = 0;
+            let current_ceiling = self.ceiling.unwrap_or_else(|| ctx.table.highest());
+            let lowered =
+                ctx.table.next_lower(current_ceiling.min(ctx.current)).unwrap_or(ctx.table.lowest());
+            self.ceiling = Some(lowered);
+        } else if temperature.degrees() < self.config.cap.degrees() - self.config.hysteresis_c {
+            // Comfortably cool: relax slowly.
+            if let Some(ceiling) = self.ceiling {
+                self.relax_streak += 1;
+                if self.relax_streak >= self.config.relax_samples {
+                    self.relax_streak = 0;
+                    self.ceiling = ctx.table.next_higher(ceiling);
+                }
+            }
+        } else {
+            self.relax_streak = 0;
+        }
+    }
+}
+
+impl<G: Governor> Governor for ThermalGuard<G> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        self.inner.events()
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        self.update_ceiling(ctx);
+        let wanted = self.inner.decide(ctx);
+        match self.ceiling {
+            Some(ceiling) => wanted.min(ceiling),
+            None => wanted,
+        }
+    }
+
+    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
+        self.inner.throttle_decision(ctx)
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        self.inner.command(command);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Unconstrained;
+    use aapm_platform::pstate::PStateTable;
+    use aapm_platform::units::Seconds;
+    use aapm_telemetry::pmc::CounterSample;
+
+    fn sample() -> CounterSample {
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles: 20e6,
+            counts: vec![],
+        }
+    }
+
+    fn decide(
+        guard: &mut ThermalGuard<Unconstrained>,
+        table: &PStateTable,
+        current: usize,
+        temperature: f64,
+    ) -> PStateId {
+        let s = sample();
+        let ctx = SampleContext {
+            counters: &s,
+            power: None,
+            temperature: Some(Celsius::new(temperature)),
+            current: PStateId::new(current),
+            table,
+        };
+        guard.decide(&ctx)
+    }
+
+    #[test]
+    fn cool_die_passes_inner_decision_through() {
+        let table = PStateTable::pentium_m_755();
+        let mut guard = ThermalGuard::new(Unconstrained::new());
+        assert_eq!(decide(&mut guard, &table, 7, 60.0), table.highest());
+        assert_eq!(guard.ceiling(), None);
+    }
+
+    #[test]
+    fn hot_die_ratchets_the_ceiling_down() {
+        let table = PStateTable::pentium_m_755();
+        let mut guard = ThermalGuard::new(Unconstrained::new());
+        let first = decide(&mut guard, &table, 7, 80.0);
+        assert_eq!(first, PStateId::new(6), "one state down per hot sample");
+        let second = decide(&mut guard, &table, 6, 80.0);
+        assert_eq!(second, PStateId::new(5));
+        assert!(guard.ceiling().is_some());
+    }
+
+    #[test]
+    fn ceiling_relaxes_after_sustained_cooling() {
+        let table = PStateTable::pentium_m_755();
+        let config =
+            ThermalGuardConfig { cap: Celsius::new(77.0), hysteresis_c: 3.0, relax_samples: 5 };
+        let mut guard = ThermalGuard::with_config(Unconstrained::new(), config);
+        decide(&mut guard, &table, 7, 80.0);
+        let engaged = guard.ceiling().unwrap();
+        // Within hysteresis: no relaxation.
+        for _ in 0..20 {
+            decide(&mut guard, &table, engaged.index(), 75.0);
+        }
+        assert_eq!(guard.ceiling(), Some(engaged));
+        // Below cap − hysteresis for relax_samples: one state back up.
+        for _ in 0..5 {
+            decide(&mut guard, &table, engaged.index(), 70.0);
+        }
+        assert_eq!(guard.ceiling(), table.next_higher(engaged));
+    }
+
+    #[test]
+    fn missing_sensor_disables_the_guard() {
+        let table = PStateTable::pentium_m_755();
+        let mut guard = ThermalGuard::new(Unconstrained::new());
+        let s = sample();
+        let ctx = SampleContext {
+            counters: &s,
+            power: None,
+            temperature: None,
+            current: PStateId::new(7),
+            table: &table,
+        };
+        assert_eq!(guard.decide(&ctx), table.highest());
+    }
+
+    #[test]
+    fn name_reflects_inner_governor() {
+        let guard = ThermalGuard::new(Unconstrained::new());
+        assert_eq!(Governor::name(&guard), "thermal<unconstrained>");
+    }
+}

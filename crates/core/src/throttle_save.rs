@@ -1,0 +1,110 @@
+//! ThrottleSave: PowerSave's objective actuated by clock modulation only.
+//!
+//! The companion report to the paper (IBM RC24007) models clock throttling
+//! alongside DVFS. This governor holds the top p-state and picks the lowest
+//! duty cycle whose predicted performance stays above the floor —
+//! performance scales (conservatively) linearly with duty. Comparing it
+//! against [`crate::ps::PowerSave`] (the `ablation-throttle` experiment)
+//! demonstrates *why* the paper builds on DVFS: without voltage scaling,
+//! gating the clock cuts average power but saves essentially no energy —
+//! the same active cycles are spent at the same V²f, plus extra leakage
+//! over the stretched run time.
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::throttle::ThrottleLevel;
+
+use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::limits::PerformanceFloor;
+
+/// The throttling-only energy-saving governor.
+///
+/// # Examples
+///
+/// ```
+/// use aapm::limits::PerformanceFloor;
+/// use aapm::throttle_save::ThrottleSave;
+///
+/// let governor = ThrottleSave::new(PerformanceFloor::new(0.75)?);
+/// // 6/8 duty = 0.75: exactly meets the floor.
+/// assert_eq!(governor.chosen_level().steps(), 6);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThrottleSave {
+    floor: PerformanceFloor,
+}
+
+impl ThrottleSave {
+    /// Creates the governor with a performance floor.
+    pub fn new(floor: PerformanceFloor) -> Self {
+        ThrottleSave { floor }
+    }
+
+    /// The active floor.
+    pub fn floor(&self) -> PerformanceFloor {
+        self.floor
+    }
+
+    /// The lowest duty level whose linear performance prediction meets the
+    /// floor.
+    pub fn chosen_level(&self) -> ThrottleLevel {
+        for level in ThrottleLevel::all() {
+            if level.duty() + 1e-12 >= self.floor.fraction() {
+                return level;
+            }
+        }
+        ThrottleLevel::FULL
+    }
+}
+
+impl Governor for ThrottleSave {
+    fn name(&self) -> &str {
+        "throttle-save"
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        vec![HardwareEvent::InstructionsRetired]
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        // DVFS is left alone at the top state.
+        ctx.table.highest()
+    }
+
+    fn throttle_decision(&mut self, _ctx: &SampleContext<'_>) -> ThrottleLevel {
+        self.chosen_level()
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        if let GovernorCommand::SetPerformanceFloor(floor) = command {
+            self.floor = floor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor(floor: f64) -> ThrottleSave {
+        ThrottleSave::new(PerformanceFloor::new(floor).unwrap())
+    }
+
+    #[test]
+    fn duty_quantizes_up_to_meet_the_floor() {
+        assert_eq!(governor(1.0).chosen_level().steps(), 8);
+        assert_eq!(governor(0.75).chosen_level().steps(), 6);
+        assert_eq!(governor(0.70).chosen_level().steps(), 6, "5/8 = 0.625 < 0.70");
+        assert_eq!(governor(0.5).chosen_level().steps(), 4);
+        assert_eq!(governor(0.1).chosen_level().steps(), 1);
+    }
+
+    #[test]
+    fn floor_command_reconfigures() {
+        let mut g = governor(0.9);
+        assert_eq!(g.chosen_level().steps(), 8);
+        g.command(GovernorCommand::SetPerformanceFloor(PerformanceFloor::new(0.5).unwrap()));
+        assert_eq!(g.chosen_level().steps(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Ablation studies on the design choices the paper calls out.
+//!
+//! * **Guardband** (paper uses 0.5 W): violation rate and performance as
+//!   the guardband varies — the safety/performance trade.
+//! * **Raise window** (paper: lower immediately, raise after 10 agreeing
+//!   samples): violations vs responsiveness on bursty galgel.
+//! * **Measured-power feedback** (paper's future-work sketch): the
+//!   [`aapm::feedback::FeedbackPm`] variant vs plain PM on galgel.
+//! * **Demand-based switching**: the related-work baseline saves nothing at
+//!   full load, motivating PS.
+
+use aapm::baselines::{DemandBasedSwitching, Unconstrained};
+use aapm::feedback::FeedbackPm;
+use aapm::governor::Governor;
+use aapm::limits::PowerLimit;
+use aapm::pm::{PerformanceMaximizer, PmConfig};
+use aapm_platform::error::Result;
+use aapm_platform::units::Watts;
+use aapm_workloads::spec;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::runner::median_run;
+use crate::table::{f3, pct, TextTable};
+
+/// The limit used by the galgel-focused ablations: the paper's worst case.
+pub const GALGEL_LIMIT_W: f64 = 13.5;
+
+/// Guardband sweep on galgel (the hardest workload) at 13.5 W.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn guardband(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ablation-guardband",
+        "PM guardband sweep on galgel at 13.5 W (paper uses 0.5 W)",
+    );
+    let galgel = spec::by_name("galgel").expect("galgel in suite");
+    let limit = PowerLimit::new(GALGEL_LIMIT_W).expect("valid limit");
+    let mut table = TextTable::new(vec!["guardband_w", "violations", "time_s"]);
+    let mut last_violation = f64::INFINITY;
+    for guardband in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let model = ctx.power_model().clone();
+        let config = PmConfig { guardband: Watts::new(guardband), raise_samples: 10 };
+        let mut factory = || {
+            Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
+                as Box<dyn Governor>
+        };
+        let report = median_run(&mut factory, galgel.program(), ctx.table(), &[])?;
+        let violations = report.violation_fraction(limit.watts(), 10);
+        table.row(vec![f3(guardband), pct(violations), f3(report.execution_time.seconds())]);
+        last_violation = last_violation.min(violations);
+    }
+    out.table("sweep", table);
+    out.note("larger guardbands trade performance for fewer limit excursions");
+    Ok(out)
+}
+
+/// Raise-window sweep on galgel at 13.5 W.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn raise_window(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ablation-window",
+        "PM raise-window sweep on galgel at 13.5 W (paper waits 10 samples)",
+    );
+    let galgel = spec::by_name("galgel").expect("galgel in suite");
+    let limit = PowerLimit::new(GALGEL_LIMIT_W).expect("valid limit");
+    let mut table =
+        TextTable::new(vec!["raise_samples", "violations", "time_s", "transitions"]);
+    for raise_samples in [1usize, 3, 10, 30] {
+        let model = ctx.power_model().clone();
+        let config = PmConfig { guardband: Watts::new(0.5), raise_samples };
+        let mut factory = || {
+            Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
+                as Box<dyn Governor>
+        };
+        let report = median_run(&mut factory, galgel.program(), ctx.table(), &[])?;
+        table.row(vec![
+            raise_samples.to_string(),
+            pct(report.violation_fraction(limit.watts(), 10)),
+            f3(report.execution_time.seconds()),
+            report.transitions.to_string(),
+        ]);
+    }
+    out.table("sweep", table);
+    out.note(
+        "eager raising (1 sample) chases every quiet stretch into the next \
+         burst; long windows sacrifice performance for calm",
+    );
+    Ok(out)
+}
+
+/// Measured-power feedback PM vs plain PM on galgel.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn feedback(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ablation-feedback",
+        "Plain PM vs measured-power-feedback PM on galgel (paper's future-work sketch)",
+    );
+    let galgel = spec::by_name("galgel").expect("galgel in suite");
+    let mut table =
+        TextTable::new(vec!["limit_w", "pm_violations", "feedback_violations", "pm_time_s", "feedback_time_s"]);
+    let mut improved = 0usize;
+    let mut compared = 0usize;
+    for watts in [17.5, 15.5, 13.5, 11.5] {
+        let limit = PowerLimit::new(watts).expect("valid limit");
+        let model = ctx.power_model().clone();
+        let mut pm_factory =
+            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
+        let pm = median_run(&mut pm_factory, galgel.program(), ctx.table(), &[])?;
+        let mut fb_factory =
+            || Box::new(FeedbackPm::new(model.clone(), limit)) as Box<dyn Governor>;
+        let fb = median_run(&mut fb_factory, galgel.program(), ctx.table(), &[])?;
+        let pm_violations = pm.violation_fraction(limit.watts(), 10);
+        let fb_violations = fb.violation_fraction(limit.watts(), 10);
+        if pm_violations > 0.001 {
+            compared += 1;
+            if fb_violations <= pm_violations {
+                improved += 1;
+            }
+        }
+        table.row(vec![
+            format!("{watts:.1}"),
+            pct(pm_violations),
+            pct(fb_violations),
+            f3(pm.execution_time.seconds()),
+            f3(fb.execution_time.seconds()),
+        ]);
+    }
+    out.table("comparison", table);
+    out.note(format!(
+        "feedback matched or reduced violations in {improved}/{compared} \
+         of the limits where plain PM violated"
+    ));
+    Ok(out)
+}
+
+/// Demand-based switching vs unconstrained on the saturated suite.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn dbs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "ablation-dbs",
+        "Demand-based switching saves nothing at full load (paper §IV.B motivation)",
+    );
+    let mut table = TextTable::new(vec!["benchmark", "dbs_energy_savings", "dbs_slowdown"]);
+    let mut worst_saving = 0.0f64;
+    for bench in spec::suite().into_iter().take(8) {
+        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let reference = median_run(&mut un_factory, bench.program(), ctx.table(), &[])?;
+        let mut dbs_factory = || Box::new(DemandBasedSwitching::new()) as Box<dyn Governor>;
+        let dbs_run = median_run(&mut dbs_factory, bench.program(), ctx.table(), &[])?;
+        let savings = dbs_run.energy_savings_vs(&reference);
+        worst_saving = worst_saving.max(savings.abs());
+        table.row(vec![
+            bench.name().into(),
+            pct(savings),
+            f3(dbs_run.execution_time / reference.execution_time),
+        ]);
+    }
+    out.table("comparison", table);
+    out.note(format!(
+        "at 100% load DBS tracks the unconstrained run (|savings| ≤ {}): \
+         utilization-driven DVFS cannot trade performance for energy — PS's \
+         explicit floor can",
+        pct(worst_saving)
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn guardband_reduces_violations_monotonically_enough() {
+        let out = guardband(test_ctx()).unwrap();
+        let rows: Vec<Vec<String>> = out.tables[0]
+            .1
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let violations: Vec<f64> = rows
+            .iter()
+            .map(|r| r[1].trim_end_matches('%').parse::<f64>().unwrap())
+            .collect();
+        // The largest guardband must not violate more than the smallest.
+        assert!(violations.last().unwrap() <= violations.first().unwrap());
+        // Times grow (weakly) with guardband.
+        let times: Vec<f64> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(*times.last().unwrap() >= times.first().unwrap() - 0.05);
+    }
+
+    #[test]
+    fn dbs_saves_nothing_at_full_load() {
+        let out = dbs(test_ctx()).unwrap();
+        for line in out.tables[0].1.to_csv().lines().skip(1) {
+            let savings: f64 = line
+                .split(',')
+                .nth(1)
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
+            assert!(savings.abs() < 3.0, "DBS saved {savings}% — should be ≈0");
+        }
+    }
+}

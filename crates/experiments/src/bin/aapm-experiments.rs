@@ -1,0 +1,83 @@
+//! Experiment driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! aapm-experiments <id> [--csv <dir>]
+//! aapm-experiments all --csv results/
+//! aapm-experiments --list
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aapm_experiments::{run_by_id, ExperimentContext, ALL_IDS};
+
+fn usage() {
+    eprintln!("usage: aapm-experiments <id>|all [--csv <dir>]");
+    eprintln!("       aapm-experiments --list");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if args[0] == "--list" {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let id = args[0].clone();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" if i + 1 < args.len() => {
+                csv_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("training models on the simulated platform…");
+    let ctx = match ExperimentContext::train() {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trained = ctx.perf_fit();
+    eprintln!(
+        "trained: eq-3 threshold {:.2}, exponent {:.2}; running `{id}`…",
+        trained.params.dcu_threshold, trained.params.exponent
+    );
+
+    match run_by_id(&ctx, &id) {
+        Ok(outputs) => {
+            for output in &outputs {
+                println!("{output}");
+                if let Some(dir) = &csv_dir {
+                    if let Err(e) = output.write_csvs(dir) {
+                        eprintln!("failed to write CSVs for {}: {e}", output.id);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if let Some(dir) = &csv_dir {
+                eprintln!("CSVs written under {}", dir.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

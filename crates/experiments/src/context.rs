@@ -1,0 +1,89 @@
+//! Shared experiment context: the trained models and platform constants.
+//!
+//! Training the models is the expensive preamble of every experiment
+//! (characterize 12 loops, run them at 8 p-states, fit). The context does it
+//! once and is shared by reference across all experiment modules.
+
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::power_model::PowerModel;
+use aapm_models::training::{
+    collect_training_data, train_perf_model, train_power_model, PerfFitReport, TrainingConfig,
+    TrainingData,
+};
+use aapm_platform::error::Result;
+use aapm_platform::pipeline::MemoryTimings;
+use aapm_platform::pstate::PStateTable;
+
+/// Trained models plus the platform constants experiments need.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    table: PStateTable,
+    timings: MemoryTimings,
+    power_model: PowerModel,
+    perf_fit: PerfFitReport,
+    training: TrainingData,
+}
+
+impl ExperimentContext {
+    /// Trains the models on the simulated platform (the paper's §III.A
+    /// procedure) and captures everything experiments share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform errors from training.
+    pub fn train() -> Result<Self> {
+        let table = PStateTable::pentium_m_755();
+        let training = collect_training_data(&TrainingConfig::default(), &table)?;
+        let power_model = train_power_model(&training)?;
+        let perf_fit = train_perf_model(&training);
+        Ok(ExperimentContext {
+            table,
+            timings: MemoryTimings::pentium_m_755(),
+            power_model,
+            perf_fit,
+            training,
+        })
+    }
+
+    /// The platform's p-state table.
+    pub fn table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    /// The platform's memory timings.
+    pub fn timings(&self) -> &MemoryTimings {
+        &self.timings
+    }
+
+    /// The power model trained on this platform (our Table II analogue).
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// The trained eq.-3 parameter fit.
+    pub fn perf_fit(&self) -> &PerfFitReport {
+        &self.perf_fit
+    }
+
+    /// A performance model with the *paper's* primary parameters
+    /// (threshold 1.21, exponent 0.81) — used by default so the
+    /// reproduction exercises the published configuration.
+    pub fn perf_model_paper(&self) -> PerfModel {
+        PerfModel::new(PerfModelParams::paper())
+    }
+
+    /// A performance model with the paper's alternate exponent (0.59).
+    pub fn perf_model_alternate(&self) -> PerfModel {
+        PerfModel::new(PerfModelParams::paper_alternate())
+    }
+
+    /// A performance model with the parameters trained on this platform.
+    pub fn perf_model_trained(&self) -> PerfModel {
+        PerfModel::new(self.perf_fit.params)
+    }
+
+    /// The raw training data (for the Table II experiment's error columns).
+    pub fn training(&self) -> &TrainingData {
+        &self.training
+    }
+}

@@ -1,0 +1,146 @@
+//! Governor efficiency comparison: energy, EDP, ED²P.
+//!
+//! Beyond the paper's own metrics, this tabulates the classic efficiency
+//! products for every governor on a representative workload mix. The
+//! expected shape: PS wins on raw energy (it was designed to), the
+//! unconstrained run wins on ED²P for core-bound work (performance
+//! dominates), and PM sits between — it spends energy only where the limit
+//! allows performance to buy something.
+
+use aapm::baselines::{StaticClock, Unconstrained};
+use aapm::governor::Governor;
+use aapm::limits::{PerformanceFloor, PowerLimit};
+use aapm::pm::PerformanceMaximizer;
+use aapm::ps::PowerSave;
+use aapm_platform::error::Result;
+use aapm_platform::pstate::PStateId;
+use aapm_workloads::spec;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::runner::median_run;
+use crate::table::{f3, TextTable};
+
+/// The representative mix: one memory-bound, one phased, one hot.
+pub const MIX: [&str; 3] = ["swim", "ammp", "crafty"];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "efficiency",
+        "Energy / EDP / ED²P per governor on a representative mix",
+    );
+    let mut table = TextTable::new(vec![
+        "governor",
+        "time_s",
+        "energy_j",
+        "edp_js",
+        "ed2p_js2",
+    ]);
+
+    type Factory<'a> = Box<dyn FnMut() -> Box<dyn Governor> + 'a>;
+    let power_model = ctx.power_model().clone();
+    let perf_model = ctx.perf_model_paper();
+    let mut governors: Vec<(&str, Factory<'_>)> = vec![
+        ("unconstrained", Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>)),
+        (
+            "static-1400",
+            Box::new(|| Box::new(StaticClock::new(PStateId::new(4))) as Box<dyn Governor>),
+        ),
+        (
+            "pm-13.5W",
+            Box::new(move || {
+                Box::new(PerformanceMaximizer::new(
+                    power_model.clone(),
+                    PowerLimit::new(13.5).expect("valid limit"),
+                )) as Box<dyn Governor>
+            }),
+        ),
+        (
+            "ps-80%",
+            Box::new(move || {
+                Box::new(PowerSave::new(
+                    perf_model,
+                    PerformanceFloor::new(0.8).expect("valid floor"),
+                )) as Box<dyn Governor>
+            }),
+        ),
+        (
+            "ps-60%",
+            Box::new(move || {
+                Box::new(PowerSave::new(
+                    perf_model,
+                    PerformanceFloor::new(0.6).expect("valid floor"),
+                )) as Box<dyn Governor>
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, factory) in &mut governors {
+        let mut time = 0.0;
+        let mut energy = 0.0;
+        for name in MIX {
+            let bench = spec::by_name(name).expect("mix is in the suite");
+            let report = median_run(factory.as_mut(), bench.program(), ctx.table(), &[])?;
+            time += report.execution_time.seconds();
+            energy += report.measured_energy.joules();
+        }
+        rows.push((label.to_owned(), time, energy));
+        table.row(vec![
+            (*label).into(),
+            f3(time),
+            f3(energy),
+            f3(energy * time),
+            f3(energy * time * time),
+        ]);
+    }
+    out.table("efficiency", table);
+
+    // Sanity highlights for the note.
+    let by = |name: &str| rows.iter().find(|(l, _, _)| *l == name).expect("row exists");
+    let (_, t_un, e_un) = by("unconstrained");
+    let (_, t_ps, e_ps) = by("ps-80%");
+    out.note(format!(
+        "ps-80% trades {:.0}% more time for {:.0}% less energy than \
+         unconstrained; EDP ranks the middle ground, ED²P leans back toward \
+         performance",
+        (t_ps / t_un - 1.0) * 100.0,
+        (1.0 - e_ps / e_un) * 100.0
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn efficiency_orderings_hold() {
+        let out = run(test_ctx()).unwrap();
+        let rows: Vec<Vec<String>> = out.tables[0]
+            .1
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        let get = |name: &str, col: usize| -> f64 {
+            rows.iter().find(|r| r[0] == name).unwrap()[col].parse().unwrap()
+        };
+        // Unconstrained is fastest; PS-60% uses the least energy of the
+        // DVFS governors.
+        for other in ["static-1400", "pm-13.5W", "ps-80%", "ps-60%"] {
+            assert!(get("unconstrained", 1) <= get(other, 1) + 1e-9, "{other} time");
+        }
+        assert!(get("ps-60%", 2) < get("unconstrained", 2));
+        assert!(get("ps-60%", 2) <= get("ps-80%", 2) + 1e-9);
+        // PM under a 13.5 W limit still beats static-1400 on time.
+        assert!(get("pm-13.5W", 1) < get("static-1400", 1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 6 — suite performance vs power limit: PM dynamic clocking vs
+//! worst-case static clocking.
+//!
+//! For each of the eight power limits, the whole suite runs under PM and
+//! under the Table-IV static frequency; performance is normalized as
+//! `unconstrained suite time / constrained suite time`. The paper's shape:
+//! the PM line dominates the static dots everywhere, and static approaches
+//! PM only where the limit sits just above a fixed frequency's own
+//! worst-case power.
+
+use aapm::baselines::{StaticClock, Unconstrained};
+use aapm::governor::Governor;
+use aapm::pm::PerformanceMaximizer;
+use aapm_platform::error::Result;
+use aapm_workloads::spec;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::runner::{median_run, pm_power_limits, static_frequency_for_limit, worst_case_power_curve};
+use crate::table::{f3, TextTable};
+
+/// Suite execution time under a governor factory.
+fn suite_time(
+    ctx: &ExperimentContext,
+    factory: &mut dyn FnMut() -> Box<dyn Governor>,
+) -> Result<f64> {
+    let mut total = 0.0;
+    for bench in spec::suite() {
+        let report = median_run(factory, bench.program(), ctx.table(), &[])?;
+        total += report.execution_time.seconds();
+    }
+    Ok(total)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "fig6",
+        "Suite performance vs power limit: PM vs static clocking (paper Figure 6)",
+    );
+    let curve = worst_case_power_curve(ctx.table())?;
+    let mut unconstrained_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+    let t_unconstrained = suite_time(ctx, &mut unconstrained_factory)?;
+
+    let mut table = TextTable::new(vec![
+        "limit_w",
+        "pm_normalized_perf",
+        "static_mhz",
+        "static_normalized_perf",
+        "pm_advantage",
+    ]);
+    let mut pm_always_wins = true;
+    for limit in pm_power_limits() {
+        let model = ctx.power_model().clone();
+        let mut pm_factory =
+            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
+        let t_pm = suite_time(ctx, &mut pm_factory)?;
+
+        let static_id = static_frequency_for_limit(&curve, ctx.table(), limit);
+        let mut static_factory = || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
+        let t_static = suite_time(ctx, &mut static_factory)?;
+
+        let pm_perf = t_unconstrained / t_pm;
+        let static_perf = t_unconstrained / t_static;
+        pm_always_wins &= pm_perf >= static_perf - 1e-6;
+        table.row(vec![
+            format!("{:.1}", limit.watts().watts()),
+            f3(pm_perf),
+            ctx.table().get(static_id)?.frequency().mhz().to_string(),
+            f3(static_perf),
+            f3(pm_perf / static_perf),
+        ]);
+    }
+    out.table("performance_vs_limit", table);
+    out.note(format!(
+        "PM dominates static clocking at every limit: {pm_always_wins} \
+         (paper: static approaches dynamic only when the limit is near a \
+         fixed frequency's peak power)"
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn pm_dominates_static_at_every_limit() {
+        let out = run(test_ctx()).unwrap();
+        let rows: Vec<Vec<f64>> = out.tables[0]
+            .1
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse::<f64>().unwrap()).collect())
+            .collect();
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row[1] >= row[3] - 1e-6, "PM {} < static {} at {} W", row[1], row[3], row[0]);
+        }
+        // Performance falls (weakly) as limits tighten, for both schemes.
+        for pair in rows.windows(2) {
+            assert!(pair[1][1] <= pair[0][1] + 1e-6, "PM perf must not rise as limit tightens");
+            assert!(pair[1][3] <= pair[0][3] + 1e-6);
+        }
+        // At the loosest limit PM is close to unconstrained performance.
+        assert!(rows[0][1] > 0.9, "PM at 17.5 W achieves {} of peak", rows[0][1]);
+    }
+}

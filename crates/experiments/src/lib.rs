@@ -1,0 +1,138 @@
+//! # aapm-experiments — regenerating every table and figure
+//!
+//! One module per table/figure of the paper's evaluation, plus the prose
+//! PM-adherence sweep, the headline-claims summary, and ablations. Each
+//! module exposes `run(&ExperimentContext) -> Result<ExperimentOutput>`;
+//! the `aapm-experiments` binary and the `figures` bench target drive them.
+//!
+//! | id | paper content | module |
+//! |---|---|---|
+//! | fig1 | suite power variation at 2 GHz | [`fig01_power_variation`] |
+//! | fig2 | p-state impact on swim/gap/sixtrack | [`fig02_pstate_impact`] |
+//! | tab1 | MS-Loops roster + characterization | [`tab01_microbench`] |
+//! | tab2 | per-p-state power model | [`tab02_power_model`] |
+//! | tab3 | FMA-256K worst-case power curve | [`tab03_worst_case`] |
+//! | tab4 | limit → static frequency | [`tab04_static_freq`] |
+//! | fig5 | PM trace on ammp | [`fig05_pm_trace`] |
+//! | fig6 | suite performance vs limit | [`fig06_perf_vs_limit`] |
+//! | fig7 | per-benchmark PM speedup at 17.5 W | [`fig07_pm_speedup`] |
+//! | fig8 | PS trace on ammp | [`fig08_ps_trace`] |
+//! | fig9 | suite reduction/savings vs floor | [`fig09_ps_suite`] |
+//! | fig10 | per-benchmark energy savings | [`fig10_ps_energy`] |
+//! | fig11 | per-benchmark perf reduction | [`fig11_ps_perf`] |
+//! | pm-adherence | §IV.A.2 limit enforcement | [`pm_adherence`] |
+//! | headline | paper-vs-reproduction claims | [`headline`] |
+//! | ablation-* | guardband/window/feedback/DBS | [`ablations`] |
+//! | ablation-throttle/-thermal | actuator studies | [`ablation_actuators`] |
+
+pub mod ablation_actuators;
+pub mod ablations;
+pub mod context;
+pub mod efficiency;
+pub mod fig01_power_variation;
+pub mod fig02_pstate_impact;
+pub mod fig05_pm_trace;
+pub mod fig06_perf_vs_limit;
+pub mod fig07_pm_speedup;
+pub mod fig08_ps_trace;
+pub mod fig09_ps_suite;
+pub mod fig10_ps_energy;
+pub mod fig11_ps_perf;
+pub mod headline;
+pub mod model_error;
+pub mod output;
+pub mod pm_adherence;
+pub mod ps_sweep;
+pub mod runner;
+pub mod signatures;
+pub mod tab01_microbench;
+pub mod tab02_power_model;
+pub mod tab03_worst_case;
+pub mod tab04_static_freq;
+pub mod table;
+#[cfg(test)]
+mod test_support;
+
+pub use context::ExperimentContext;
+pub use output::ExperimentOutput;
+
+use aapm_platform::error::Result;
+
+/// Ids of all experiments, in presentation order.
+pub const ALL_IDS: [&str; 27] = [
+    "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "pm-adherence", "headline", "ablation-guardband", "ablation-window",
+    "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "signatures", "model-error", "efficiency", "all",
+];
+
+/// Runs one experiment by id (`"all"` is handled by callers).
+///
+/// # Errors
+///
+/// Propagates platform errors; unknown ids return an `InvalidConfig` error.
+pub fn run_by_id(ctx: &ExperimentContext, id: &str) -> Result<Vec<ExperimentOutput>> {
+    let single = |out: ExperimentOutput| Ok(vec![out]);
+    match id {
+        "fig1" => single(fig01_power_variation::run(ctx)?),
+        "fig2" => single(fig02_pstate_impact::run(ctx)?),
+        "tab1" => single(tab01_microbench::run(ctx)?),
+        "tab2" => single(tab02_power_model::run(ctx)?),
+        "tab3" => single(tab03_worst_case::run(ctx)?),
+        "tab4" => single(tab04_static_freq::run(ctx)?),
+        "fig5" => single(fig05_pm_trace::run(ctx)?),
+        "fig6" => single(fig06_perf_vs_limit::run(ctx)?),
+        "fig7" => single(fig07_pm_speedup::run(ctx)?),
+        "fig8" => single(fig08_ps_trace::run(ctx)?),
+        "fig9" => single(fig09_ps_suite::run(ctx)?),
+        "fig10" => single(fig10_ps_energy::run(ctx)?),
+        "fig11" => single(fig11_ps_perf::run(ctx)?),
+        "pm-adherence" => single(pm_adherence::run(ctx)?),
+        "headline" => single(headline::run(ctx)?),
+        "ablation-guardband" => single(ablations::guardband(ctx)?),
+        "ablation-window" => single(ablations::raise_window(ctx)?),
+        "ablation-feedback" => single(ablations::feedback(ctx)?),
+        "ablation-dbs" => single(ablations::dbs(ctx)?),
+        "ablation-throttle" => single(ablation_actuators::throttle_vs_dvfs(ctx)?),
+        "ablation-thermal" => single(ablation_actuators::thermal_envelope(ctx)?),
+        "ablation-deepcap" => single(ablation_actuators::deep_caps(ctx)?),
+        "ablation-phase" => single(ablation_actuators::phase_pm(ctx)?),
+        "signatures" => single(signatures::run(ctx)?),
+        "model-error" => single(model_error::run(ctx)?),
+        "efficiency" => single(efficiency::run(ctx)?),
+        "all" => {
+            // Share the expensive PS sweep across figures 9–11 + headline.
+            let mut outputs = Vec::new();
+            for id in [
+                "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8",
+            ] {
+                outputs.extend(run_by_id(ctx, id)?);
+            }
+            let sweep = ps_sweep::compute(ctx)?;
+            outputs.push(fig09_ps_suite::run_with(&sweep));
+            outputs.push(fig10_ps_energy::run_with(&sweep));
+            outputs.push(fig11_ps_perf::run_with(&sweep));
+            outputs.extend(run_by_id(ctx, "pm-adherence")?);
+            outputs.push(headline::run_with(ctx, &sweep)?);
+            for id in [
+                "ablation-guardband",
+                "ablation-window",
+                "ablation-feedback",
+                "ablation-dbs",
+                "ablation-throttle",
+                "ablation-thermal",
+                "ablation-deepcap",
+                "ablation-phase",
+                "signatures",
+                "model-error",
+                "efficiency",
+            ] {
+                outputs.extend(run_by_id(ctx, id)?);
+            }
+            Ok(outputs)
+        }
+        other => Err(aapm_platform::error::PlatformError::InvalidConfig {
+            parameter: "experiment",
+            reason: format!("unknown experiment id `{other}`; known: {ALL_IDS:?}"),
+        }),
+    }
+}

@@ -1,0 +1,99 @@
+//! Common output container for experiments.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::table::TextTable;
+
+/// The rendered result of one experiment (one table/figure of the paper).
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Short id (`"fig7"`, `"tab2"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Named tables (name is used as the CSV filename stem).
+    pub tables: Vec<(String, TextTable)>,
+    /// Free-form observations (headline numbers, paper comparisons).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Creates an output with no tables or notes yet.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        ExperimentOutput { id, title: title.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, name: impl Into<String>, table: TextTable) -> &mut Self {
+        self.tables.push((name.into(), table));
+        self
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Writes every table as `<dir>/<id>_<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csvs(&self, dir: &Path) -> io::Result<()> {
+        for (name, table) in &self.tables {
+            table.write_csv(&dir.join(format!("{}_{}.csv", self.id, name)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} — {} ====", self.id, self.title)?;
+        for (name, table) in &self.tables {
+            writeln!(f, "\n[{name}]")?;
+            write!(f, "{}", table.render())?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for note in &self.notes {
+                writeln!(f, "note: {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_tables_and_notes() {
+        let mut out = ExperimentOutput::new("figX", "Demo");
+        let mut t = TextTable::new(vec!["col"]);
+        t.row(vec!["val".into()]);
+        out.table("main", t).note("shape holds");
+        let text = out.to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("[main]"));
+        assert!(text.contains("val"));
+        assert!(text.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn csvs_written_per_table() {
+        let mut out = ExperimentOutput::new("figY", "Demo");
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into()]);
+        out.table("one", t.clone()).table("two", t);
+        let dir = std::env::temp_dir().join("aapm-output-test");
+        out.write_csvs(&dir).unwrap();
+        assert!(dir.join("figY_one.csv").exists());
+        assert!(dir.join("figY_two.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared PowerSave sweep: every benchmark × floor × exponent + bounds.
+//!
+//! Figures 9, 10 and 11 all consume the same grid of PS runs; this module
+//! computes it once. Each benchmark also runs unconstrained (the
+//! performance/energy reference) and at 600 MHz (the upper bound on DVFS
+//! savings the paper sorts Figures 10/11 by).
+
+use aapm::baselines::{StaticClock, Unconstrained};
+use aapm::governor::Governor;
+use aapm::limits::PerformanceFloor;
+use aapm::ps::PowerSave;
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_platform::error::Result;
+use aapm_workloads::spec;
+
+use crate::context::ExperimentContext;
+use crate::runner::{median_run, ps_floors};
+
+/// Which eq.-3 exponent a PS run used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exponent {
+    /// The paper's primary fit, 0.81.
+    Primary,
+    /// The paper's alternate local minimum, 0.59.
+    Alternate,
+}
+
+impl Exponent {
+    /// Both exponents, primary first.
+    pub const BOTH: [Exponent; 2] = [Exponent::Primary, Exponent::Alternate];
+
+    /// The numeric exponent value.
+    pub fn value(self) -> f64 {
+        match self {
+            Exponent::Primary => PerfModelParams::paper().exponent,
+            Exponent::Alternate => PerfModelParams::paper_alternate().exponent,
+        }
+    }
+
+    fn model(self) -> PerfModel {
+        match self {
+            Exponent::Primary => PerfModel::new(PerfModelParams::paper()),
+            Exponent::Alternate => PerfModel::new(PerfModelParams::paper_alternate()),
+        }
+    }
+}
+
+/// One (time, energy) measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measure {
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// Measured energy in joules.
+    pub energy_j: f64,
+}
+
+/// All PS measurements for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Unconstrained 2 GHz reference.
+    pub unconstrained: Measure,
+    /// Static 600 MHz bound.
+    pub at_600mhz: Measure,
+    /// `(exponent, floor, measure)` for every grid point.
+    pub ps_runs: Vec<(Exponent, f64, Measure)>,
+}
+
+impl BenchmarkSweep {
+    /// The PS measure for a grid point.
+    pub fn ps(&self, exponent: Exponent, floor: f64) -> &Measure {
+        &self
+            .ps_runs
+            .iter()
+            .find(|(e, f, _)| *e == exponent && (*f - floor).abs() < 1e-9)
+            .expect("grid point exists")
+            .2
+    }
+
+    /// Performance reduction vs unconstrained at a grid point.
+    pub fn reduction(&self, exponent: Exponent, floor: f64) -> f64 {
+        1.0 - self.unconstrained.time_s / self.ps(exponent, floor).time_s
+    }
+
+    /// Energy savings vs unconstrained at a grid point.
+    pub fn savings(&self, exponent: Exponent, floor: f64) -> f64 {
+        1.0 - self.ps(exponent, floor).energy_j / self.unconstrained.energy_j
+    }
+
+    /// Maximum possible DVFS savings (600 MHz) vs unconstrained.
+    pub fn max_savings(&self) -> f64 {
+        1.0 - self.at_600mhz.energy_j / self.unconstrained.energy_j
+    }
+
+    /// Maximum performance reduction (600 MHz) vs unconstrained.
+    pub fn max_reduction(&self) -> f64 {
+        1.0 - self.unconstrained.time_s / self.at_600mhz.time_s
+    }
+}
+
+/// The full sweep over the suite.
+#[derive(Debug, Clone)]
+pub struct PsSweep {
+    /// Per-benchmark measurements.
+    pub benchmarks: Vec<BenchmarkSweep>,
+}
+
+impl PsSweep {
+    /// Suite-level performance reduction at a grid point (total-time based,
+    /// as in the paper's Figure 9).
+    pub fn suite_reduction(&self, exponent: Exponent, floor: f64) -> f64 {
+        let t_ref: f64 = self.benchmarks.iter().map(|b| b.unconstrained.time_s).sum();
+        let t_ps: f64 = self.benchmarks.iter().map(|b| b.ps(exponent, floor).time_s).sum();
+        1.0 - t_ref / t_ps
+    }
+
+    /// Suite-level energy savings at a grid point.
+    pub fn suite_savings(&self, exponent: Exponent, floor: f64) -> f64 {
+        let e_ref: f64 = self.benchmarks.iter().map(|b| b.unconstrained.energy_j).sum();
+        let e_ps: f64 = self.benchmarks.iter().map(|b| b.ps(exponent, floor).energy_j).sum();
+        1.0 - e_ps / e_ref
+    }
+
+    /// One benchmark's sweep, by name.
+    pub fn benchmark(&self, name: &str) -> Option<&BenchmarkSweep> {
+        self.benchmarks.iter().find(|b| b.benchmark == name)
+    }
+}
+
+fn measure_of(report: &aapm::report::RunReport) -> Measure {
+    Measure {
+        time_s: report.execution_time.seconds(),
+        energy_j: report.measured_energy.joules(),
+    }
+}
+
+/// Computes the full sweep.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn compute(ctx: &ExperimentContext) -> Result<PsSweep> {
+    let mut benchmarks = Vec::new();
+    for bench in spec::suite() {
+        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let unconstrained =
+            measure_of(&median_run(&mut un_factory, bench.program(), ctx.table(), &[])?);
+        let mut low_factory =
+            || Box::new(StaticClock::new(ctx.table().lowest())) as Box<dyn Governor>;
+        let at_600mhz =
+            measure_of(&median_run(&mut low_factory, bench.program(), ctx.table(), &[])?);
+        let mut ps_runs = Vec::new();
+        for exponent in Exponent::BOTH {
+            for floor in ps_floors() {
+                let model = exponent.model();
+                let mut factory = || {
+                    Box::new(PowerSave::new(
+                        model,
+                        PerformanceFloor::new(floor).expect("floors are valid"),
+                    )) as Box<dyn Governor>
+                };
+                let report = median_run(&mut factory, bench.program(), ctx.table(), &[])?;
+                ps_runs.push((exponent, floor, measure_of(&report)));
+            }
+        }
+        benchmarks.push(BenchmarkSweep {
+            benchmark: bench.name().to_owned(),
+            unconstrained,
+            at_600mhz,
+            ps_runs,
+        });
+    }
+    Ok(PsSweep { benchmarks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_sweep;
+
+    #[test]
+    fn sweep_covers_grid() {
+        let sweep = test_sweep();
+        assert_eq!(sweep.benchmarks.len(), 26);
+        for b in &sweep.benchmarks {
+            assert_eq!(b.ps_runs.len(), 8, "{}: 2 exponents × 4 floors", b.benchmark);
+            assert!(b.unconstrained.time_s > 0.0);
+            assert!(b.at_600mhz.time_s > b.unconstrained.time_s);
+        }
+    }
+
+    #[test]
+    fn savings_bounded_by_600mhz_bound() {
+        let sweep = test_sweep();
+        for b in &sweep.benchmarks {
+            for exponent in Exponent::BOTH {
+                for floor in [0.8, 0.6, 0.4, 0.2] {
+                    let s = b.savings(exponent, floor);
+                    assert!(
+                        s <= b.max_savings() + 0.03,
+                        "{}: floor {floor} saves {s} beyond the bound {}",
+                        b.benchmark,
+                        b.max_savings()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_floors_save_no_less_energy() {
+        let sweep = test_sweep();
+        for exponent in Exponent::BOTH {
+            let mut last = -1.0;
+            for floor in [0.8, 0.6, 0.4, 0.2] {
+                let s = sweep.suite_savings(exponent, floor);
+                assert!(s >= last - 0.01, "floor {floor}: {s} < {last}");
+                last = s;
+            }
+        }
+    }
+}

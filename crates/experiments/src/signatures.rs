@@ -1,0 +1,185 @@
+//! Per-benchmark counter signatures (the paper's §IV.A.2 discussion).
+//!
+//! The paper explains Figure 7's ordering with counter signatures:
+//! memory-bound workloads show "relatively high DCU Miss Outstanding
+//! cycles/cycle and/or Resource Stalls/cycle … high Memory Requests/cycle";
+//! core-bound ones "low rates of DCU stalls, Resource Stalls and Memory
+//! Requests"; the hottest have "both high Instructions Decoded rates and
+//! L2 Request rates". This experiment tabulates exactly those rates for
+//! every benchmark at 2 GHz, plus the eq.-3 class each sample stream maps
+//! to.
+
+use aapm_models::perf_model::WorkloadClass;
+use aapm_platform::error::Result;
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::machine::Machine;
+use aapm_platform::units::Seconds;
+use aapm_platform::MachineConfig;
+use aapm_telemetry::daq::{DaqConfig, PowerDaq};
+use aapm_telemetry::pmc::PmcDriver;
+use aapm_workloads::spec;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::table::{f3, TextTable};
+
+/// One benchmark's mean counter signature at 2 GHz.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Retired IPC.
+    pub ipc: f64,
+    /// Decoded instructions per cycle.
+    pub dpc: f64,
+    /// DCU-miss-outstanding cycles per cycle.
+    pub dcu: f64,
+    /// Resource-stall cycles per cycle.
+    pub resource_stalls: f64,
+    /// DRAM requests per cycle.
+    pub memory_requests: f64,
+    /// L2 requests per cycle.
+    pub l2_requests: f64,
+    /// Mean measured power in watts.
+    pub power_w: f64,
+    /// The eq.-3 class of the mean sample.
+    pub class: WorkloadClass,
+}
+
+/// Measures every benchmark's signature at 2 GHz.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn measure(ctx: &ExperimentContext) -> Result<Vec<Signature>> {
+    let mut signatures = Vec::new();
+    for bench in spec::suite() {
+        let config = {
+            let mut b = MachineConfig::builder();
+            b.pstates(ctx.table().clone()).seed(0x51_6E);
+            b.build()?
+        };
+        let mut machine = Machine::new(config, bench.program().clone());
+        let mut daq = PowerDaq::new(DaqConfig::default(), 0x51_6E);
+        let mut pmc = PmcDriver::new(vec![
+            HardwareEvent::InstructionsRetired,
+            HardwareEvent::InstructionsDecoded,
+            HardwareEvent::DcuMissOutstanding,
+            HardwareEvent::ResourceStalls,
+            HardwareEvent::MemoryRequests,
+            HardwareEvent::L2Requests,
+        ]);
+        // Warm the multiplexing rotation, then average across a window
+        // long enough to cover multi-phase benchmarks.
+        for _ in 0..6 {
+            machine.tick(Seconds::from_millis(10.0));
+            let _ = pmc.sample(&machine);
+            let _ = daq.sample(&machine);
+        }
+        let samples = 200;
+        let mut sums = [0.0f64; 7];
+        for _ in 0..samples {
+            machine.tick(Seconds::from_millis(10.0));
+            let counters = pmc.sample(&machine);
+            let power = daq.sample(&machine);
+            sums[0] += counters.ipc().unwrap_or(0.0);
+            sums[1] += counters.dpc().unwrap_or(0.0);
+            sums[2] += counters.dcu().unwrap_or(0.0);
+            sums[3] += counters.rate(HardwareEvent::ResourceStalls).unwrap_or(0.0);
+            sums[4] += counters.rate(HardwareEvent::MemoryRequests).unwrap_or(0.0);
+            sums[5] += counters.rate(HardwareEvent::L2Requests).unwrap_or(0.0);
+            sums[6] += power.power.watts();
+        }
+        let n = f64::from(samples);
+        let (ipc, dcu) = (sums[0] / n, sums[2] / n);
+        signatures.push(Signature {
+            benchmark: bench.name().to_owned(),
+            ipc,
+            dpc: sums[1] / n,
+            dcu,
+            resource_stalls: sums[3] / n,
+            memory_requests: sums[4] / n,
+            l2_requests: sums[5] / n,
+            power_w: sums[6] / n,
+            class: ctx.perf_model_paper().classify(ipc, dcu),
+        });
+    }
+    Ok(signatures)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "signatures",
+        "Per-benchmark counter signatures at 2 GHz (paper §IV.A.2 discussion)",
+    );
+    let mut signatures = measure(ctx)?;
+    signatures.sort_by(|a, b| b.dcu.partial_cmp(&a.dcu).expect("rates are finite"));
+    let mut table = TextTable::new(vec![
+        "benchmark",
+        "ipc",
+        "dpc",
+        "dcu_per_cyc",
+        "res_stall_per_cyc",
+        "mem_req_per_cyc",
+        "l2_req_per_cyc",
+        "power_w",
+        "eq3_class",
+    ]);
+    for s in &signatures {
+        table.row(vec![
+            s.benchmark.clone(),
+            f3(s.ipc),
+            f3(s.dpc),
+            f3(s.dcu),
+            f3(s.resource_stalls),
+            format!("{:.4}", s.memory_requests),
+            format!("{:.4}", s.l2_requests),
+            f3(s.power_w),
+            match s.class {
+                WorkloadClass::MemoryBound => "memory".into(),
+                WorkloadClass::CoreBound => "core".into(),
+            },
+        ]);
+    }
+    out.table("signatures", table);
+    out.note(
+        "sorted by DCU-miss-outstanding rate: the paper's memory-bound list \
+         heads the table with high memory-request rates, the core-bound \
+         list trails it, and the hottest workloads combine high decode and \
+         L2-request rates",
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn signatures_match_the_papers_grouping() {
+        let signatures = measure(test_ctx()).unwrap();
+        let by_name = |n: &str| signatures.iter().find(|s| s.benchmark == n).unwrap();
+        // Paper: swim/lucas/equake/mcf/applu/art have high DCU and memory
+        // requests; perlbmk/mesa/eon/crafty/sixtrack low.
+        for memory in ["swim", "lucas", "equake", "mcf", "applu", "art"] {
+            let s = by_name(memory);
+            assert_eq!(s.class, WorkloadClass::MemoryBound, "{memory}");
+            assert!(s.memory_requests > 0.001, "{memory} mem req {}", s.memory_requests);
+        }
+        for core in ["perlbmk", "mesa", "eon", "crafty", "sixtrack"] {
+            let s = by_name(core);
+            assert_eq!(s.class, WorkloadClass::CoreBound, "{core}");
+            // Stall cycles per *instruction* well below the 1.21 threshold.
+            assert!(s.dcu / s.ipc < 1.0, "{core} dcu/inst {}", s.dcu / s.ipc);
+        }
+        // The hottest workloads have the highest decode rates.
+        let crafty = by_name("crafty");
+        assert!(crafty.dpc > 1.8, "crafty decodes hot: {}", crafty.dpc);
+    }
+}

@@ -1,0 +1,83 @@
+//! Table III — measured power vs frequency for the worst-case workload.
+//!
+//! The L2-resident FMA loop is the highest-power MS-Loops member and serves
+//! as the proxy for "realistic worst-case" power: the basis for choosing
+//! static-clocking frequencies (Table IV).
+
+use aapm_platform::error::Result;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::runner::worst_case_power_curve;
+use crate::table::{f3, TextTable};
+
+/// The paper's Table III values (frequency MHz → measured watts).
+pub const PAPER_TABLE_III: [(u32, f64); 8] = [
+    (600, 3.86),
+    (800, 5.21),
+    (1000, 6.56),
+    (1200, 8.16),
+    (1400, 10.16),
+    (1600, 12.46),
+    (1800, 15.29),
+    (2000, 17.78),
+];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "tab3",
+        "FMA-256KB measured power vs frequency (paper Table III)",
+    );
+    let curve = worst_case_power_curve(ctx.table())?;
+    let mut table =
+        TextTable::new(vec!["freq_mhz", "measured_w", "paper_w", "delta_pct"]);
+    let mut worst_delta = 0.0f64;
+    for ((freq, watts), (paper_mhz, paper_w)) in curve.iter().zip(PAPER_TABLE_III) {
+        assert_eq!(freq.mhz(), paper_mhz, "p-state tables align");
+        let delta = (watts.watts() - paper_w) / paper_w;
+        worst_delta = worst_delta.max(delta.abs());
+        table.row(vec![
+            freq.mhz().to_string(),
+            f3(watts.watts()),
+            f3(paper_w),
+            format!("{:+.1}%", delta * 100.0),
+        ]);
+    }
+    out.table("curve", table);
+    out.note(format!(
+        "largest deviation from the paper's measurements: {:.1}% — the \
+         platform's power constants were calibrated against this table",
+        worst_delta * 100.0
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn curve_tracks_paper_within_five_percent() {
+        let out = run(test_ctx()).unwrap();
+        let rows: Vec<Vec<String>> = out.tables[0]
+            .1
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        assert_eq!(rows.len(), 8);
+        for row in rows {
+            let measured: f64 = row[1].parse().unwrap();
+            let paper: f64 = row[2].parse().unwrap();
+            let delta = (measured - paper).abs() / paper;
+            assert!(delta < 0.05, "{} MHz: {measured} vs {paper}", row[0]);
+        }
+    }
+}

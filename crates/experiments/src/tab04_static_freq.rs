@@ -1,0 +1,83 @@
+//! Table IV — power-limit-determined static frequencies.
+//!
+//! Conventional static clocking must provision for the worst case: for each
+//! power limit, the static frequency is the highest whose worst-case
+//! (FMA-256K) power stays under the limit.
+
+use aapm_platform::error::Result;
+
+use crate::context::ExperimentContext;
+use crate::output::ExperimentOutput;
+use crate::runner::{pm_power_limits, static_frequency_for_limit, worst_case_power_curve};
+use crate::table::TextTable;
+
+/// The paper's Table IV (limit watts → static MHz).
+pub const PAPER_TABLE_IV: [(f64, u32); 8] = [
+    (17.5, 1800),
+    (16.5, 1800),
+    (15.5, 1800),
+    (14.5, 1600),
+    (13.5, 1600),
+    (12.5, 1600),
+    (11.5, 1400),
+    (10.5, 1400),
+];
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates platform errors.
+pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+    let mut out = ExperimentOutput::new(
+        "tab4",
+        "Power-limit determined static frequencies (paper Table IV)",
+    );
+    let curve = worst_case_power_curve(ctx.table())?;
+    let mut table = TextTable::new(vec!["limit_w", "static_mhz", "paper_mhz"]);
+    let mut matches = 0usize;
+    for (limit, (paper_limit, paper_mhz)) in pm_power_limits().iter().zip(PAPER_TABLE_IV) {
+        assert!((limit.watts().watts() - paper_limit).abs() < 1e-9);
+        let id = static_frequency_for_limit(&curve, ctx.table(), *limit);
+        let mhz = ctx.table().get(id)?.frequency().mhz();
+        if mhz == paper_mhz {
+            matches += 1;
+        }
+        table.row(vec![
+            format!("{:.1}", limit.watts().watts()),
+            mhz.to_string(),
+            paper_mhz.to_string(),
+        ]);
+    }
+    out.table("static_frequencies", table);
+    out.note(format!("{matches}/8 rows match the paper's Table IV exactly"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_ctx;
+
+    #[test]
+    fn static_frequencies_match_paper() {
+        let out = run(test_ctx()).unwrap();
+        let rows: Vec<Vec<String>> = out.tables[0]
+            .1
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect();
+        assert_eq!(rows.len(), 8);
+        let matching =
+            rows.iter().filter(|r| r[1] == r[2]).count();
+        assert!(matching >= 7, "at least 7 of 8 rows should match, got {matching}");
+        // Frequencies must be non-increasing as limits tighten.
+        for pair in rows.windows(2) {
+            let hi: u32 = pair[0][1].parse().unwrap();
+            let lo: u32 = pair[1][1].parse().unwrap();
+            assert!(lo <= hi);
+        }
+    }
+}

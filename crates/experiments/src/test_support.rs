@@ -1,0 +1,24 @@
+//! Shared fixtures for the experiment tests.
+//!
+//! Training the models and computing the PS sweep are the two expensive
+//! fixtures; they are built once per test process and shared.
+
+#![cfg(test)]
+
+use std::sync::OnceLock;
+
+use crate::context::ExperimentContext;
+use crate::ps_sweep::{self, PsSweep};
+
+static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+static SWEEP: OnceLock<PsSweep> = OnceLock::new();
+
+/// The shared trained context.
+pub fn test_ctx() -> &'static ExperimentContext {
+    CTX.get_or_init(|| ExperimentContext::train().expect("training succeeds"))
+}
+
+/// The shared PS sweep.
+pub fn test_sweep() -> &'static PsSweep {
+    SWEEP.get_or_init(|| ps_sweep::compute(test_ctx()).expect("sweep succeeds"))
+}

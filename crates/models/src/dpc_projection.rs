@@ -1,0 +1,87 @@
+//! DPC projection across p-states (paper eq. 4).
+//!
+//! PM observes DPC at the *current* frequency but must estimate power at
+//! every other p-state. The paper's projection is deliberately conservative:
+//!
+//! * Lowering frequency (`f' ≤ f`): assume decode throughput per *second*
+//!   stays constant (memory-bound worst case), so decodes per cycle scale up
+//!   by `f / f'`.
+//! * Raising frequency (`f' > f`): assume DPC stays the same (core-bound
+//!   worst case — activity does not dilute), so the power estimate at the
+//!   higher state is not optimistic.
+//!
+//! Both branches bias the *power estimate upward*, which is the safe
+//! direction for a power-capping governor.
+
+use aapm_platform::units::MegaHertz;
+
+/// Projects an observed DPC at frequency `from` to frequency `to`
+/// (paper eq. 4).
+///
+/// # Examples
+///
+/// ```
+/// use aapm_models::dpc_projection::project_dpc;
+/// use aapm_platform::units::MegaHertz;
+///
+/// let dpc = 1.0;
+/// // Downward: decode rate per second conserved → per-cycle rate rises.
+/// let down = project_dpc(dpc, MegaHertz::new(2000), MegaHertz::new(1000));
+/// assert!((down - 2.0).abs() < 1e-12);
+/// // Upward: per-cycle rate conserved.
+/// let up = project_dpc(dpc, MegaHertz::new(1000), MegaHertz::new(2000));
+/// assert!((up - 1.0).abs() < 1e-12);
+/// ```
+pub fn project_dpc(dpc: f64, from: MegaHertz, to: MegaHertz) -> f64 {
+    if to <= from {
+        dpc * from.ratio(to)
+    } else {
+        dpc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_frequency_is_identity() {
+        let f = MegaHertz::new(1400);
+        assert_eq!(project_dpc(1.3, f, f), 1.3);
+    }
+
+    #[test]
+    fn downward_scales_by_frequency_ratio() {
+        let projected = project_dpc(0.9, MegaHertz::new(1800), MegaHertz::new(600));
+        assert!((projected - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upward_is_conservative_identity() {
+        assert_eq!(project_dpc(0.9, MegaHertz::new(600), MegaHertz::new(2000)), 0.9);
+    }
+
+    #[test]
+    fn projection_is_monotone_nonincreasing_in_target_frequency() {
+        // Lower targets always project at least as much per-cycle activity.
+        let from = MegaHertz::new(1400);
+        let targets = [600u32, 800, 1000, 1200, 1400, 1600, 1800, 2000];
+        let mut last = f64::INFINITY;
+        for mhz in targets {
+            let p = project_dpc(1.0, from, MegaHertz::new(mhz));
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn round_trip_down_then_up_returns_projected_value() {
+        // Down-projection then up-projection is *not* an inverse pair —
+        // up-projection is the identity — mirroring the paper's asymmetric
+        // conservatism.
+        let f_hi = MegaHertz::new(2000);
+        let f_lo = MegaHertz::new(1000);
+        let down = project_dpc(1.0, f_hi, f_lo);
+        assert_eq!(project_dpc(down, f_lo, f_hi), down);
+    }
+}

@@ -1,0 +1,131 @@
+//! Linear-fit primitives for model training.
+//!
+//! The paper constructs its power model "as a linear fit of measured DPC,
+//! minimizing the absolute-value error between the measured power and
+//! estimated power". [`least_absolute`] implements that L1 criterion via
+//! iteratively reweighted least squares (IRLS); [`least_squares`] provides
+//! the ordinary L2 fit for comparison.
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fit at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least-squares fit. Returns `None` with fewer than two points or
+/// zero x-variance.
+pub fn least_squares(points: &[(f64, f64)]) -> Option<LinearFit> {
+    weighted_least_squares(points, None)
+}
+
+fn weighted_least_squares(points: &[(f64, f64)], weights: Option<&[f64]>) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let w = |i: usize| weights.map_or(1.0, |w| w[i]);
+    let sw: f64 = (0..points.len()).map(w).sum();
+    if sw <= 0.0 {
+        return None;
+    }
+    let mx = points.iter().enumerate().map(|(i, p)| w(i) * p.0).sum::<f64>() / sw;
+    let my = points.iter().enumerate().map(|(i, p)| w(i) * p.1).sum::<f64>() / sw;
+    let sxx: f64 = points.iter().enumerate().map(|(i, p)| w(i) * (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().enumerate().map(|(i, p)| w(i) * (p.0 - mx) * (p.1 - my)).sum();
+    if sxx.abs() < 1e-12 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    Some(LinearFit { slope, intercept: my - slope * mx })
+}
+
+/// Least-absolute-deviations fit via IRLS (the paper's fitting criterion).
+///
+/// Starts from the L2 solution and reweights each point by the inverse of
+/// its current absolute residual. Returns `None` under the same conditions
+/// as [`least_squares`].
+pub fn least_absolute(points: &[(f64, f64)], iterations: usize) -> Option<LinearFit> {
+    let mut fit = least_squares(points)?;
+    let mut weights = vec![1.0; points.len()];
+    for _ in 0..iterations {
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let residual = (y - fit.predict(x)).abs();
+            // Huber-style floor keeps weights finite near zero residual.
+            weights[i] = 1.0 / residual.max(1e-6);
+        }
+        match weighted_least_squares(points, Some(&weights)) {
+            Some(next) => fit = next,
+            None => break,
+        }
+    }
+    Some(fit)
+}
+
+/// Mean absolute error of `fit` over `points`.
+pub fn mean_absolute_error(fit: &LinearFit, points: &[(f64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|&(x, y)| (y - fit.predict(x)).abs()).sum::<f64>() / points.len() as f64
+}
+
+/// Largest absolute error of `fit` over `points`.
+pub fn max_absolute_error(fit: &LinearFit, points: &[(f64, f64)]) -> f64 {
+    points.iter().map(|&(x, y)| (y - fit.predict(x)).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let l2 = least_squares(&points).unwrap();
+        assert!((l2.slope - 3.0).abs() < 1e-9);
+        assert!((l2.intercept - 2.0).abs() < 1e-9);
+        let l1 = least_absolute(&points, 20).unwrap();
+        assert!((l1.slope - 3.0).abs() < 1e-6);
+        assert!((l1.intercept - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_fit_resists_outliers_better_than_l2() {
+        // 9 points on y = 2x, one wild outlier at the high-leverage end.
+        let mut points: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        points.push((9.0, 100.0));
+        let l2 = least_squares(&points).unwrap();
+        let l1 = least_absolute(&points, 50).unwrap();
+        assert!((l1.slope - 2.0).abs() < (l2.slope - 2.0).abs());
+        assert!(
+            mean_absolute_error(&l1, &points) <= mean_absolute_error(&l2, &points) + 1e-9,
+            "L1 fit should not have worse MAE"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(least_squares(&[]).is_none());
+        assert!(least_squares(&[(1.0, 1.0)]).is_none());
+        assert!(least_squares(&[(2.0, 1.0), (2.0, 3.0)]).is_none(), "zero x-variance");
+        assert!(least_absolute(&[(2.0, 1.0), (2.0, 3.0)], 5).is_none());
+    }
+
+    #[test]
+    fn error_metrics() {
+        let fit = LinearFit { slope: 1.0, intercept: 0.0 };
+        let points = [(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)];
+        assert!((mean_absolute_error(&fit, &points) - (1.0 + 0.0 + 0.0) / 3.0).abs() < 1e-12);
+        assert_eq!(max_absolute_error(&fit, &points), 1.0);
+        assert_eq!(mean_absolute_error(&fit, &[]), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Online phase-change detection on a counter stream.
+//!
+//! The paper notes that anticipating a p-state's effect is "especially
+//! useful to fine-tune p-states to rapidly changing program behavior". PM's
+//! asymmetric policy is deliberately slow to raise frequency (ten agreeing
+//! samples); a phase detector lets a governor distinguish "the workload
+//! genuinely changed" from "one noisy sample" and re-evaluate immediately.
+//!
+//! [`PhaseDetector`] tracks an EWMA baseline of any per-sample rate (DPC
+//! for PM) and reports a phase change when a sample departs from the
+//! baseline by more than a relative threshold; the baseline then restarts
+//! at the new level.
+
+/// EWMA-based relative-change detector.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_models::phase_detect::PhaseDetector;
+///
+/// let mut detector = PhaseDetector::new(0.3, 0.2);
+/// for _ in 0..20 {
+///     assert!(!detector.observe(1.0)); // steady phase
+/// }
+/// assert!(detector.observe(2.0), "a 2× jump is a phase change");
+/// assert!(!detector.observe(2.02), "the new level is now the baseline");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseDetector {
+    /// Relative departure from the baseline that signals a change.
+    threshold: f64,
+    /// EWMA smoothing factor per sample, in `(0, 1]`.
+    smoothing: f64,
+    baseline: Option<f64>,
+}
+
+impl PhaseDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold > 0` and `0 < smoothing ≤ 1`.
+    pub fn new(threshold: f64, smoothing: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(smoothing > 0.0 && smoothing <= 1.0, "smoothing must lie in (0, 1]");
+        PhaseDetector { threshold, smoothing, baseline: None }
+    }
+
+    /// A detector tuned for 10 ms DPC streams: 30 % departures count as
+    /// phase changes, baseline adapts with a 0.2 factor.
+    pub fn for_dpc() -> Self {
+        PhaseDetector::new(0.3, 0.2)
+    }
+
+    /// The current baseline, if any sample has been observed.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Feeds one sample; returns `true` if it starts a new phase.
+    pub fn observe(&mut self, value: f64) -> bool {
+        match self.baseline {
+            None => {
+                self.baseline = Some(value);
+                false
+            }
+            Some(baseline) => {
+                let scale = baseline.abs().max(1e-6);
+                if (value - baseline).abs() / scale > self.threshold {
+                    self.baseline = Some(value);
+                    true
+                } else {
+                    self.baseline =
+                        Some(baseline + self.smoothing * (value - baseline));
+                    false
+                }
+            }
+        }
+    }
+
+    /// Forgets the baseline (e.g. after an actuation that changes the
+    /// meaning of the monitored rate).
+    pub fn reset(&mut self) {
+        self.baseline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_establishes_baseline_silently() {
+        let mut d = PhaseDetector::for_dpc();
+        assert!(!d.observe(1.5));
+        assert_eq!(d.baseline(), Some(1.5));
+    }
+
+    #[test]
+    fn drift_within_threshold_is_tracked_not_flagged() {
+        let mut d = PhaseDetector::new(0.3, 0.5);
+        d.observe(1.0);
+        // Slow drift upward, each step < 30% of the baseline.
+        for step in 1..=10 {
+            let value = 1.0 + step as f64 * 0.05;
+            assert!(!d.observe(value), "step {step} should track, not flag");
+        }
+        assert!(d.baseline().unwrap() > 1.2, "baseline followed the drift");
+    }
+
+    #[test]
+    fn jumps_flag_once_then_settle() {
+        let mut d = PhaseDetector::for_dpc();
+        for _ in 0..5 {
+            d.observe(0.5);
+        }
+        assert!(d.observe(1.8));
+        assert!(!d.observe(1.75), "second sample of the new phase is quiet");
+        assert!(d.observe(0.5), "dropping back is another phase change");
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let mut d = PhaseDetector::for_dpc();
+        d.observe(0.0);
+        assert!(d.observe(0.1), "any departure from zero is a change");
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut d = PhaseDetector::for_dpc();
+        d.observe(1.0);
+        d.reset();
+        assert!(!d.observe(5.0), "first sample after reset is a baseline");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        let _ = PhaseDetector::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,198 @@
+//! The per-p-state linear DPC power model (paper eq. 2, Table II).
+//!
+//! `Power = α(p) · DPC + β(p)` — one (α, β) pair per p-state, because
+//! voltage and frequency dominate both the slope and the floor. DPC is the
+//! *decoded*-instructions-per-cycle rate, capturing speculative pipeline
+//! activity that retired-instruction counts miss.
+
+use std::fmt;
+
+use aapm_platform::error::{PlatformError, Result};
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::Watts;
+
+/// Coefficients of one p-state's linear model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PStateCoefficients {
+    /// Watts per unit DPC.
+    pub alpha: f64,
+    /// Watts at zero DPC (idle pipeline floor).
+    pub beta: f64,
+}
+
+impl PStateCoefficients {
+    /// Evaluates the model at a DPC value.
+    pub fn estimate(&self, dpc: f64) -> Watts {
+        Watts::new(self.alpha * dpc + self.beta)
+    }
+}
+
+/// A complete DPC power model: one coefficient pair per p-state.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_models::power_model::PowerModel;
+/// use aapm_platform::pstate::{PStateId, PStateTable};
+///
+/// let model = PowerModel::paper_table_ii();
+/// let table = PStateTable::pentium_m_755();
+/// let top = table.highest();
+/// // Paper Table II at 2 GHz: 2.93·DPC + 12.11.
+/// let p = model.estimate(top, 1.0)?;
+/// assert!((p.watts() - 15.04).abs() < 1e-9);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    coefficients: Vec<PStateCoefficients>,
+}
+
+impl PowerModel {
+    /// Builds a model from per-p-state coefficients (index = p-state id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] if `coefficients` is empty.
+    pub fn new(coefficients: Vec<PStateCoefficients>) -> Result<Self> {
+        if coefficients.is_empty() {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "coefficients",
+                reason: "power model needs at least one p-state".into(),
+            });
+        }
+        Ok(PowerModel { coefficients })
+    }
+
+    /// The coefficients published in the paper's Table II for the
+    /// Pentium M 755's eight p-states (600 MHz → 2 GHz).
+    pub fn paper_table_ii() -> Self {
+        let pairs: [(f64, f64); 8] = [
+            (0.34, 2.58),
+            (0.54, 3.56),
+            (0.77, 4.49),
+            (1.06, 5.60),
+            (1.42, 6.95),
+            (1.82, 8.44),
+            (2.36, 10.18),
+            (2.93, 12.11),
+        ];
+        PowerModel {
+            coefficients: pairs
+                .iter()
+                .map(|&(alpha, beta)| PStateCoefficients { alpha, beta })
+                .collect(),
+        }
+    }
+
+    /// Number of p-states the model covers.
+    pub fn len(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Whether the model covers no p-states (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.coefficients.is_empty()
+    }
+
+    /// Whether the model covers every state of `table`.
+    pub fn covers(&self, table: &PStateTable) -> bool {
+        self.coefficients.len() == table.len()
+    }
+
+    /// Coefficients for one p-state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownPState`] for out-of-range ids.
+    pub fn coefficients(&self, id: PStateId) -> Result<&PStateCoefficients> {
+        self.coefficients.get(id.index()).ok_or(PlatformError::UnknownPState {
+            index: id.index(),
+            table_len: self.coefficients.len(),
+        })
+    }
+
+    /// Estimated power at `id` for an observed DPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownPState`] for out-of-range ids.
+    pub fn estimate(&self, id: PStateId, dpc: f64) -> Result<Watts> {
+        Ok(self.coefficients(id)?.estimate(dpc))
+    }
+
+    /// Iterates `(id, coefficients)` from the lowest p-state up.
+    pub fn iter(&self) -> impl Iterator<Item = (PStateId, &PStateCoefficients)> {
+        self.coefficients.iter().enumerate().map(|(i, c)| (PStateId::new(i), c))
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DPC power model ({} p-states):", self.coefficients.len())?;
+        for (id, c) in self.iter() {
+            writeln!(f, "  {id}: P = {:.3}·DPC + {:.3} W", c.alpha, c.beta)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_ii_values() {
+        let model = PowerModel::paper_table_ii();
+        assert_eq!(model.len(), 8);
+        let lowest = model.coefficients(PStateId::new(0)).unwrap();
+        assert_eq!((lowest.alpha, lowest.beta), (0.34, 2.58));
+        let highest = model.coefficients(PStateId::new(7)).unwrap();
+        assert_eq!((highest.alpha, highest.beta), (2.93, 12.11));
+    }
+
+    #[test]
+    fn estimates_are_linear_in_dpc() {
+        let model = PowerModel::paper_table_ii();
+        let id = PStateId::new(7);
+        let p0 = model.estimate(id, 0.0).unwrap();
+        let p1 = model.estimate(id, 1.0).unwrap();
+        let p2 = model.estimate(id, 2.0).unwrap();
+        assert!((p1.watts() - p0.watts() - 2.93).abs() < 1e-12);
+        assert!((p2.watts() - p1.watts() - 2.93).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_grow_with_pstate() {
+        // Both slope and floor rise with voltage·frequency.
+        let model = PowerModel::paper_table_ii();
+        let mut last = (0.0, 0.0);
+        for (_, c) in model.iter() {
+            assert!(c.alpha > last.0 && c.beta > last.1);
+            last = (c.alpha, c.beta);
+        }
+    }
+
+    #[test]
+    fn out_of_range_pstate_errors() {
+        let model = PowerModel::paper_table_ii();
+        assert!(model.estimate(PStateId::new(8), 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        assert!(PowerModel::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn covers_checks_length() {
+        let model = PowerModel::paper_table_ii();
+        assert!(model.covers(&PStateTable::pentium_m_755()));
+    }
+
+    #[test]
+    fn display_lists_all_states() {
+        let text = PowerModel::paper_table_ii().to_string();
+        assert!(text.contains("P0") && text.contains("P7"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests of the estimation models.
+
+use aapm_models::dpc_projection::project_dpc;
+use aapm_models::fit::{least_absolute, least_squares, mean_absolute_error};
+use aapm_models::perf_model::{PerfModel, PerfModelParams, WorkloadClass};
+use aapm_models::power_model::PowerModel;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::MegaHertz;
+use proptest::prelude::*;
+
+fn freq_strategy() -> impl Strategy<Value = MegaHertz> {
+    prop::sample::select(vec![600u32, 800, 1000, 1200, 1400, 1600, 1800, 2000])
+        .prop_map(MegaHertz::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq.-4 DPC projection: identity at the same frequency, conservative
+    /// (never lower) when moving down, identity when moving up.
+    #[test]
+    fn dpc_projection_conservatism(
+        dpc in 0.0f64..4.0,
+        from in freq_strategy(),
+        to in freq_strategy(),
+    ) {
+        let projected = project_dpc(dpc, from, to);
+        if to == from {
+            prop_assert_eq!(projected, dpc);
+        } else if to < from {
+            prop_assert!(projected >= dpc);
+            // Exact scaling by the frequency ratio.
+            prop_assert!((projected - dpc * from.ratio(to)).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(projected, dpc);
+        }
+    }
+
+    /// Eq.-3 classification is scale-invariant in (ipc, dcu) and projection
+    /// preserves the sign of frequency moves.
+    #[test]
+    fn perf_model_classification_scale_invariance(
+        ipc in 0.01f64..3.0,
+        dcu_ratio in 0.0f64..6.0,
+        scale in 0.1f64..5.0,
+    ) {
+        let model = PerfModel::new(PerfModelParams::paper());
+        let dcu = ipc * dcu_ratio;
+        let class_a = model.classify(ipc, dcu);
+        let class_b = model.classify(ipc * scale, dcu * scale);
+        prop_assert_eq!(class_a, class_b);
+        let expected = if dcu_ratio >= 1.21 {
+            WorkloadClass::MemoryBound
+        } else {
+            WorkloadClass::CoreBound
+        };
+        prop_assert_eq!(class_a, expected);
+    }
+
+    /// Relative performance is 1 at the same frequency, monotone in the
+    /// target frequency, and bounded by the frequency ratio.
+    #[test]
+    fn relative_performance_bounds(
+        ipc in 0.01f64..3.0,
+        dcu_ratio in 0.0f64..6.0,
+        from in freq_strategy(),
+    ) {
+        let model = PerfModel::new(PerfModelParams::paper());
+        let dcu = ipc * dcu_ratio;
+        prop_assert!((model.relative_performance(ipc, dcu, from, from) - 1.0).abs() < 1e-12);
+        let mut last = 0.0;
+        for mhz in [600u32, 800, 1000, 1200, 1400, 1600, 1800, 2000] {
+            let to = MegaHertz::new(mhz);
+            let rel = model.relative_performance(ipc, dcu, from, to);
+            prop_assert!(rel >= last);
+            // Never better than the pure frequency ratio, never worse than
+            // flat (for downward moves the model floor is ratio^(1-e) ≥ ratio).
+            let ratio = to.ghz() / from.ghz();
+            prop_assert!(rel <= ratio.max(1.0) + 1e-12);
+            last = rel;
+        }
+    }
+
+    /// Projecting down and back up with the same model returns the original
+    /// IPC (eq. 3 is a pure power law in f).
+    #[test]
+    fn ipc_projection_round_trips(
+        ipc in 0.01f64..3.0,
+        dcu_ratio in 1.3f64..6.0, // memory-bound branch, the non-trivial one
+        a in freq_strategy(),
+        b in freq_strategy(),
+    ) {
+        let model = PerfModel::new(PerfModelParams::paper());
+        let dcu = ipc * dcu_ratio;
+        let there = model.project_ipc(ipc, dcu, a, b);
+        // The DCU rate scales with the IPC projection (stall cycles per
+        // instruction are preserved by the model's assumptions).
+        let dcu_there = there * dcu_ratio;
+        let back = model.project_ipc(there, dcu_there, b, a);
+        prop_assert!((back - ipc).abs() < 1e-9, "{ipc} -> {there} -> {back}");
+    }
+
+    /// The power model is linear: estimate(αx + βy) relations hold exactly.
+    #[test]
+    fn power_model_linearity(
+        state in 0usize..8,
+        a in 0.0f64..3.0,
+        b in 0.0f64..3.0,
+    ) {
+        let model = PowerModel::paper_table_ii();
+        let id = PStateId::new(state);
+        let pa = model.estimate(id, a).unwrap().watts();
+        let pb = model.estimate(id, b).unwrap().watts();
+        let pm = model.estimate(id, (a + b) / 2.0).unwrap().watts();
+        prop_assert!((pm - (pa + pb) / 2.0).abs() < 1e-9);
+    }
+
+    /// For any fixed DPC, the estimated power rises strictly with the
+    /// p-state (both α and β grow).
+    #[test]
+    fn power_estimates_monotone_in_pstate(dpc in 0.0f64..3.0) {
+        let model = PowerModel::paper_table_ii();
+        let table = PStateTable::pentium_m_755();
+        let mut last = 0.0;
+        for (id, _) in table.iter() {
+            let p = model.estimate(id, dpc).unwrap().watts();
+            prop_assert!(p > last);
+            last = p;
+        }
+    }
+
+    /// On random data the L1 fit never has (meaningfully) worse mean
+    /// absolute error than the L2 fit — it optimizes that criterion.
+    #[test]
+    fn l1_fit_never_worse_on_mae(
+        points in prop::collection::vec((0.0f64..10.0, -5.0f64..25.0), 3..40),
+    ) {
+        // Skip degenerate zero-x-variance inputs.
+        let x0 = points[0].0;
+        prop_assume!(points.iter().any(|p| (p.0 - x0).abs() > 1e-6));
+        let l2 = least_squares(&points).unwrap();
+        let l1 = least_absolute(&points, 50).unwrap();
+        let mae_l2 = mean_absolute_error(&l2, &points);
+        let mae_l1 = mean_absolute_error(&l1, &points);
+        // IRLS is approximate; allow a small tolerance.
+        prop_assert!(mae_l1 <= mae_l2 * 1.02 + 1e-9, "l1 {mae_l1} vs l2 {mae_l2}");
+    }
+}

@@ -1,0 +1,146 @@
+//! DVFS actuation: voltage/frequency transitions and their costs.
+//!
+//! On the Pentium M, a p-state change reprograms the PLL and the external
+//! voltage-identification (VID) pins of the voltage regulator. The core is
+//! halted while the PLL relocks; raising frequency additionally waits for
+//! the regulator to ramp the voltage *up* first (running fast at low voltage
+//! would be unsafe), while lowering frequency can drop voltage after the
+//! frequency change without stalling the core for the ramp.
+
+use crate::pstate::PState;
+use crate::units::Seconds;
+
+/// Parameters of the DVFS transition machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsParams {
+    /// Core stall while the PLL relocks, per frequency change.
+    pub pll_relock: Seconds,
+    /// Voltage regulator slew rate in volts per second.
+    pub vrm_slew_volts_per_sec: f64,
+    /// Fixed driver/MSR overhead per transition.
+    pub driver_overhead: Seconds,
+}
+
+impl DvfsParams {
+    /// Enhanced SpeedStep-class costs: ~10 µs PLL relock, 1 mV/µs regulator
+    /// slew, ~2 µs of driver work.
+    pub fn enhanced_speedstep() -> Self {
+        DvfsParams {
+            pll_relock: Seconds::from_micros(10.0),
+            vrm_slew_volts_per_sec: 1000.0, // 1 mV/µs
+            driver_overhead: Seconds::from_micros(2.0),
+        }
+    }
+}
+
+impl Default for DvfsParams {
+    fn default() -> Self {
+        DvfsParams::enhanced_speedstep()
+    }
+}
+
+/// A pending p-state transition: the core is stalled for `stall`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Total core-stall time for the transition.
+    pub stall: Seconds,
+    /// Whether the voltage had to ramp before the frequency change
+    /// (upward transitions only).
+    pub voltage_ramp_blocking: bool,
+}
+
+/// Computes the cost of moving between two p-states.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_platform::dvfs::{transition_cost, DvfsParams};
+/// use aapm_platform::pstate::{PStateId, PStateTable};
+///
+/// let table = PStateTable::pentium_m_755();
+/// let params = DvfsParams::enhanced_speedstep();
+/// let up = transition_cost(
+///     table.get(PStateId::new(0))?,
+///     table.get(PStateId::new(7))?,
+///     &params,
+/// );
+/// let down = transition_cost(
+///     table.get(PStateId::new(7))?,
+///     table.get(PStateId::new(0))?,
+///     &params,
+/// );
+/// // Raising frequency waits for the voltage ramp; lowering does not.
+/// assert!(up.stall > down.stall);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+pub fn transition_cost(from: &PState, to: &PState, params: &DvfsParams) -> Transition {
+    if from == to {
+        return Transition { stall: Seconds::ZERO, voltage_ramp_blocking: false };
+    }
+    let dv = to.voltage() - from.voltage();
+    let going_up = dv > 0.0;
+    let ramp = Seconds::new(dv.abs() / params.vrm_slew_volts_per_sec);
+    let stall = if going_up {
+        // Ramp voltage first (blocking), then relock the PLL.
+        params.driver_overhead + ramp + params.pll_relock
+    } else {
+        // Relock immediately; voltage drifts down afterwards off the
+        // critical path.
+        params.driver_overhead + params.pll_relock
+    };
+    Transition { stall, voltage_ramp_blocking: going_up }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pstate::{PStateId, PStateTable};
+
+    fn table() -> PStateTable {
+        PStateTable::pentium_m_755()
+    }
+
+    #[test]
+    fn same_state_transition_is_free() {
+        let t = table();
+        let ps = t.get(PStateId::new(3)).unwrap();
+        let tr = transition_cost(ps, ps, &DvfsParams::enhanced_speedstep());
+        assert_eq!(tr.stall, Seconds::ZERO);
+    }
+
+    #[test]
+    fn upward_transition_includes_voltage_ramp() {
+        let t = table();
+        let params = DvfsParams::enhanced_speedstep();
+        let from = t.get(PStateId::new(0)).unwrap();
+        let to = t.get(PStateId::new(7)).unwrap();
+        let tr = transition_cost(from, to, &params);
+        assert!(tr.voltage_ramp_blocking);
+        // ΔV = 1.340 − 0.998 = 0.342 V at 1 mV/µs → 342 µs of ramp.
+        let expected_ramp_us = 342.0;
+        let overhead_us = 12.0; // relock + driver
+        assert!((tr.stall.micros() - (expected_ramp_us + overhead_us)).abs() < 1.0);
+    }
+
+    #[test]
+    fn downward_transition_skips_ramp() {
+        let t = table();
+        let params = DvfsParams::enhanced_speedstep();
+        let from = t.get(PStateId::new(7)).unwrap();
+        let to = t.get(PStateId::new(0)).unwrap();
+        let tr = transition_cost(from, to, &params);
+        assert!(!tr.voltage_ramp_blocking);
+        assert!((tr.stall.micros() - 12.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn adjacent_up_step_is_cheap_relative_to_sample_interval() {
+        let t = table();
+        let params = DvfsParams::enhanced_speedstep();
+        let from = t.get(PStateId::new(6)).unwrap();
+        let to = t.get(PStateId::new(7)).unwrap();
+        let tr = transition_cost(from, to, &params);
+        // One VID step (48 mV) ramps in 48 µs — well under the 10 ms sample.
+        assert!(tr.stall.millis() < 0.1);
+    }
+}

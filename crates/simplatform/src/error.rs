@@ -1,0 +1,107 @@
+//! Error types for the platform simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::units::MegaHertz;
+
+/// Errors raised by platform components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A p-state index was outside the platform's p-state table.
+    UnknownPState {
+        /// The offending index.
+        index: usize,
+        /// Number of entries in the table.
+        table_len: usize,
+    },
+    /// A frequency was requested that the p-state table does not contain.
+    UnknownFrequency {
+        /// The requested frequency.
+        frequency: MegaHertz,
+    },
+    /// A p-state table failed validation.
+    InvalidPStateTable {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A phase descriptor failed validation.
+    InvalidPhase {
+        /// Name of the offending phase.
+        phase: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A cache geometry was not realizable (sizes must be power-of-two
+    /// multiples of line size and associativity).
+    InvalidCacheGeometry {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownPState { index, table_len } => {
+                write!(f, "p-state index {index} out of range for table of {table_len} entries")
+            }
+            PlatformError::UnknownFrequency { frequency } => {
+                write!(f, "no p-state with frequency {frequency}")
+            }
+            PlatformError::InvalidPStateTable { reason } => {
+                write!(f, "invalid p-state table: {reason}")
+            }
+            PlatformError::InvalidPhase { phase, reason } => {
+                write!(f, "invalid phase `{phase}`: {reason}")
+            }
+            PlatformError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration parameter `{parameter}`: {reason}")
+            }
+            PlatformError::InvalidCacheGeometry { reason } => {
+                write!(f, "invalid cache geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for PlatformError {}
+
+/// Convenient result alias for platform operations.
+pub type Result<T> = std::result::Result<T, PlatformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty_lowercase_messages() {
+        let errors = [
+            PlatformError::UnknownPState { index: 9, table_len: 8 },
+            PlatformError::UnknownFrequency { frequency: MegaHertz::new(1234) },
+            PlatformError::InvalidPStateTable { reason: "empty".into() },
+            PlatformError::InvalidPhase { phase: "x".into(), reason: "bad".into() },
+            PlatformError::InvalidConfig { parameter: "p", reason: "bad".into() },
+            PlatformError::InvalidCacheGeometry { reason: "bad".into() },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("p-state"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+}

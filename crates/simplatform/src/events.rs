@@ -1,0 +1,168 @@
+//! Hardware performance-monitoring events.
+//!
+//! The Pentium M exposes 92 selectable events on two general-purpose
+//! counters. The simulator models the subset the paper's methodology uses
+//! (decoded instructions, retired instructions, DCU miss outstanding cycles,
+//! resource stalls, memory-bus requests, L2 requests) plus a few neighbours
+//! that are useful for workload characterization. Events are identified by a
+//! compact enum so counter banks can be fixed-size arrays.
+
+use std::fmt;
+
+/// A selectable hardware event.
+///
+/// Each variant corresponds to one event-select encoding on the real PMU.
+/// `Cycles` plays the role of the timestamp counter: it is always available
+/// and does not occupy one of the two general-purpose counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum HardwareEvent {
+    /// Unhalted core clock cycles (free-running, TSC-like).
+    Cycles,
+    /// Instructions retired (architecturally completed).
+    InstructionsRetired,
+    /// Instructions decoded, including speculative work that is later
+    /// squashed. The paper's power model input (DPC = decoded per cycle).
+    InstructionsDecoded,
+    /// Cycles in which the L1 data cache has at least one miss outstanding
+    /// ("DCU Miss Outstanding"); can exceed elapsed cycles when several
+    /// misses overlap. The paper's memory-boundedness input.
+    DcuMissOutstanding,
+    /// Cycles in which instruction issue stalled for a resource.
+    ResourceStalls,
+    /// Requests that reached the front-side bus, i.e. DRAM accesses.
+    MemoryRequests,
+    /// Accesses presented to the unified L2 cache (L1 misses + prefetches).
+    L2Requests,
+    /// L1 data-cache misses.
+    L1DMisses,
+    /// L2 cache misses.
+    L2Misses,
+    /// Retired floating-point operations.
+    FpOperations,
+    /// Retired branch instructions.
+    BranchesRetired,
+    /// Mispredicted retired branches.
+    BranchMispredictions,
+    /// Hardware prefetch requests issued.
+    HardwarePrefetches,
+    /// Micro-operations retired.
+    UopsRetired,
+}
+
+impl HardwareEvent {
+    /// Every event the simulated PMU can count, in canonical order.
+    pub const ALL: [HardwareEvent; 14] = [
+        HardwareEvent::Cycles,
+        HardwareEvent::InstructionsRetired,
+        HardwareEvent::InstructionsDecoded,
+        HardwareEvent::DcuMissOutstanding,
+        HardwareEvent::ResourceStalls,
+        HardwareEvent::MemoryRequests,
+        HardwareEvent::L2Requests,
+        HardwareEvent::L1DMisses,
+        HardwareEvent::L2Misses,
+        HardwareEvent::FpOperations,
+        HardwareEvent::BranchesRetired,
+        HardwareEvent::BranchMispredictions,
+        HardwareEvent::HardwarePrefetches,
+        HardwareEvent::UopsRetired,
+    ];
+
+    /// Number of distinct events.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// A stable dense index for array-backed counter banks.
+    pub fn index(self) -> usize {
+        match self {
+            HardwareEvent::Cycles => 0,
+            HardwareEvent::InstructionsRetired => 1,
+            HardwareEvent::InstructionsDecoded => 2,
+            HardwareEvent::DcuMissOutstanding => 3,
+            HardwareEvent::ResourceStalls => 4,
+            HardwareEvent::MemoryRequests => 5,
+            HardwareEvent::L2Requests => 6,
+            HardwareEvent::L1DMisses => 7,
+            HardwareEvent::L2Misses => 8,
+            HardwareEvent::FpOperations => 9,
+            HardwareEvent::BranchesRetired => 10,
+            HardwareEvent::BranchMispredictions => 11,
+            HardwareEvent::HardwarePrefetches => 12,
+            HardwareEvent::UopsRetired => 13,
+        }
+    }
+
+    /// Whether this event is free-running (does not occupy a programmable
+    /// counter). Only [`HardwareEvent::Cycles`] qualifies, mirroring the TSC.
+    pub fn is_free_running(self) -> bool {
+        self == HardwareEvent::Cycles
+    }
+
+    /// Short mnemonic used in traces and tables.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HardwareEvent::Cycles => "CYC",
+            HardwareEvent::InstructionsRetired => "INST_RET",
+            HardwareEvent::InstructionsDecoded => "INST_DEC",
+            HardwareEvent::DcuMissOutstanding => "DCU_MISS_OUT",
+            HardwareEvent::ResourceStalls => "RES_STALL",
+            HardwareEvent::MemoryRequests => "MEM_REQ",
+            HardwareEvent::L2Requests => "L2_REQ",
+            HardwareEvent::L1DMisses => "L1D_MISS",
+            HardwareEvent::L2Misses => "L2_MISS",
+            HardwareEvent::FpOperations => "FP_OPS",
+            HardwareEvent::BranchesRetired => "BR_RET",
+            HardwareEvent::BranchMispredictions => "BR_MISP",
+            HardwareEvent::HardwarePrefetches => "HW_PREF",
+            HardwareEvent::UopsRetired => "UOPS_RET",
+        }
+    }
+}
+
+impl fmt::Display for HardwareEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = HashSet::new();
+        for event in HardwareEvent::ALL {
+            let idx = event.index();
+            assert!(idx < HardwareEvent::COUNT, "index {idx} out of bounds");
+            assert!(seen.insert(idx), "duplicate index {idx}");
+        }
+        assert_eq!(seen.len(), HardwareEvent::COUNT);
+    }
+
+    #[test]
+    fn all_array_matches_index_order() {
+        for (i, event) in HardwareEvent::ALL.iter().enumerate() {
+            assert_eq!(event.index(), i, "ALL[{i}] has index {}", event.index());
+        }
+    }
+
+    #[test]
+    fn only_cycles_is_free_running() {
+        for event in HardwareEvent::ALL {
+            assert_eq!(event.is_free_running(), event == HardwareEvent::Cycles);
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_nonempty() {
+        let mut seen = HashSet::new();
+        for event in HardwareEvent::ALL {
+            let m = event.mnemonic();
+            assert!(!m.is_empty());
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+            assert_eq!(format!("{event}"), m);
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! The machine executor: runs a [`PhaseProgram`] under DVFS control.
+//!
+//! [`Machine`] is the system under test. It advances in continuous time
+//! (ticks of any length, typically the 10 ms sampling interval), executing
+//! the program's phases at the current p-state, accumulating hardware event
+//! counts and true energy. Governors interact with it only through
+//! [`Machine::set_pstate`] and the telemetry layer — just as the paper's
+//! user-level controller saw the real machine only through the PMC driver
+//! and the DAQ.
+
+use crate::config::MachineConfig;
+use crate::counters::{CounterBlock, CounterSnapshot};
+use crate::dvfs::transition_cost;
+use crate::error::Result;
+use crate::events::HardwareEvent;
+use crate::noise::NoiseSource;
+use crate::pipeline::{evaluate, PhaseRates};
+use crate::power::GroundTruthPower;
+use crate::program::PhaseProgram;
+use crate::pstate::{PState, PStateId};
+use crate::thermal::{Celsius, ThermalModel};
+use crate::throttle::ThrottleLevel;
+use crate::units::{Joules, Seconds, Watts};
+
+/// What happened during one [`Machine::tick`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickOutcome {
+    /// Simulated time advanced (always the requested `dt`).
+    pub advanced: Seconds,
+    /// Instructions retired during the tick.
+    pub instructions: f64,
+    /// Average true power over the tick.
+    pub average_power: Watts,
+    /// Whether the program finished during or before this tick.
+    pub finished: bool,
+}
+
+/// The simulated system under test.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_platform::config::MachineConfig;
+/// use aapm_platform::machine::Machine;
+/// use aapm_platform::phase::PhaseDescriptor;
+/// use aapm_platform::program::PhaseProgram;
+/// use aapm_platform::units::Seconds;
+///
+/// let phase = PhaseDescriptor::builder("work").instructions(10_000_000).build()?;
+/// let mut machine = Machine::new(MachineConfig::default(), PhaseProgram::from_phase(phase));
+/// while !machine.finished() {
+///     machine.tick(Seconds::from_millis(10.0));
+/// }
+/// assert!(machine.completion_time().is_some());
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    power_model: GroundTruthPower,
+    program: PhaseProgram,
+    current: PStateId,
+    phase_index: usize,
+    phase_done_instructions: f64,
+    phase_jitter: f64,
+    counters: CounterBlock,
+    elapsed: Seconds,
+    true_energy: Joules,
+    transition_remaining: Seconds,
+    transitions_performed: u64,
+    completion_time: Option<Seconds>,
+    throttle: ThrottleLevel,
+    thermal: ThermalModel,
+    noise: NoiseSource,
+}
+
+impl Machine {
+    /// Creates a machine ready to execute `program` from its first phase.
+    pub fn new(config: MachineConfig, program: PhaseProgram) -> Self {
+        let mut noise = NoiseSource::seeded(config.seed());
+        let phase_jitter = Self::sample_jitter(&mut noise, config.execution_variation());
+        let thermal = ThermalModel::new(*config.thermal());
+        Machine {
+            power_model: *config.power(),
+            current: config.initial_pstate(),
+            config,
+            program,
+            phase_index: 0,
+            phase_done_instructions: 0.0,
+            phase_jitter,
+            counters: CounterBlock::new(),
+            elapsed: Seconds::ZERO,
+            true_energy: Joules::ZERO,
+            transition_remaining: Seconds::ZERO,
+            transitions_performed: 0,
+            completion_time: None,
+            throttle: ThrottleLevel::FULL,
+            thermal,
+            noise,
+        }
+    }
+
+    fn sample_jitter(noise: &mut NoiseSource, variation: f64) -> f64 {
+        if variation == 0.0 {
+            1.0
+        } else {
+            // Clamp to keep throughput positive even in the far tails.
+            noise.gaussian(1.0, variation).clamp(0.5, 1.5)
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &PhaseProgram {
+        &self.program
+    }
+
+    /// The current p-state id.
+    pub fn pstate(&self) -> PStateId {
+        self.current
+    }
+
+    /// The current operating point.
+    pub fn operating_point(&self) -> &PState {
+        self.config.pstates().get(self.current).expect("current p-state always valid")
+    }
+
+    /// Simulated time since boot.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// True energy consumed since boot (what a perfect meter would report).
+    pub fn true_energy(&self) -> Joules {
+        self.true_energy
+    }
+
+    /// Whether the program has retired all of its instructions.
+    pub fn finished(&self) -> bool {
+        self.phase_index >= self.program.len()
+    }
+
+    /// Time at which the program finished, if it has.
+    pub fn completion_time(&self) -> Option<Seconds> {
+        self.completion_time
+    }
+
+    /// Number of p-state transitions performed so far.
+    pub fn transitions_performed(&self) -> u64 {
+        self.transitions_performed
+    }
+
+    /// Snapshot of the hardware counters (the PMC driver reads this).
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Instantaneous true power right now (idle power if finished or
+    /// mid-transition; duty-weighted under clock modulation).
+    pub fn instantaneous_power(&self) -> Watts {
+        let ps = *self.operating_point();
+        if self.finished() || self.transition_remaining.is_positive() {
+            return self.power_model.idle_power(&ps);
+        }
+        let phase = &self.program.phases()[self.phase_index];
+        let rates = evaluate(phase, &ps, self.config.timings());
+        let duty = self.throttle.duty();
+        self.power_model.power(&ps, &rates, phase.activity()) * duty
+            + self.power_model.gated_power(&ps) * (1.0 - duty)
+    }
+
+    /// The current clock-modulation (throttle) level.
+    pub fn throttle(&self) -> ThrottleLevel {
+        self.throttle
+    }
+
+    /// Sets the clock-modulation duty level, effective immediately. Unlike
+    /// DVFS, clock modulation reprograms within microseconds, so no stall
+    /// is charged.
+    pub fn set_throttle(&mut self, level: ThrottleLevel) {
+        self.throttle = level;
+    }
+
+    /// Requests a p-state change, effective immediately; the core stalls for
+    /// the transition cost before executing further instructions. Requesting
+    /// the current p-state is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::PlatformError::UnknownPState`] if `target` is
+    /// not in the table.
+    pub fn set_pstate(&mut self, target: PStateId) -> Result<()> {
+        let to = *self.config.pstates().get(target)?;
+        if target == self.current {
+            return Ok(());
+        }
+        let from = *self.operating_point();
+        let transition = transition_cost(&from, &to, self.config.dvfs());
+        self.current = target;
+        self.transition_remaining += transition.stall;
+        self.transitions_performed += 1;
+        Ok(())
+    }
+
+    /// Advances simulated time by `dt`, executing the program.
+    ///
+    /// The tick is subdivided internally at phase boundaries and DVFS
+    /// stalls; counters, energy, and elapsed time always advance by exactly
+    /// `dt` worth of simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn tick(&mut self, dt: Seconds) -> TickOutcome {
+        assert!(dt.is_positive(), "tick duration must be positive");
+        let mut remaining = dt;
+        let mut energy = Joules::ZERO;
+        let mut instructions = 0.0;
+
+        while remaining.is_positive() {
+            let ps = *self.operating_point();
+
+            // 1. DVFS stall: clock halted, idle power, no events.
+            if self.transition_remaining.is_positive() {
+                let adv = remaining.min(self.transition_remaining);
+                energy += self.power_model.idle_power(&ps) * adv;
+                self.transition_remaining = (self.transition_remaining - adv).clamp_non_negative();
+                remaining = (remaining - adv).clamp_non_negative();
+                continue;
+            }
+
+            // 2. Program complete: idle spin for the rest of the tick.
+            if self.finished() {
+                energy += self.power_model.idle_power(&ps) * remaining;
+                self.counters.add(HardwareEvent::Cycles, ps.frequency().hz() * remaining.seconds());
+                remaining = Seconds::ZERO;
+                continue;
+            }
+
+            // 3. Execute the current phase. Clock modulation gates the
+            // core clock for (1 − duty) of the wall-clock time: work and
+            // cycle-counted events scale with the duty, the gated fraction
+            // draws leakage only.
+            let duty = self.throttle.duty();
+            let phase = self.program.phases()[self.phase_index].clone();
+            let rates = evaluate(&phase, &ps, self.config.timings());
+            let ips = rates.instructions_per_second * self.phase_jitter * duty;
+            let left_in_phase = phase.instructions() as f64 - self.phase_done_instructions;
+            let time_to_phase_end = Seconds::new(left_in_phase / ips);
+            let adv = remaining.min(time_to_phase_end);
+
+            let executed = ips * adv.seconds();
+            self.accumulate_events(&rates, &ps, adv * duty);
+            let active_power = self.power_model.power(&ps, &rates, phase.activity());
+            energy += active_power * (adv * duty)
+                + self.power_model.gated_power(&ps) * (adv * (1.0 - duty));
+            instructions += executed;
+            self.phase_done_instructions += executed;
+            remaining = (remaining - adv).clamp_non_negative();
+
+            // Phase complete? (Tolerate float residue.)
+            if self.phase_done_instructions >= phase.instructions() as f64 - 1e-6
+                || adv == time_to_phase_end
+            {
+                self.phase_index += 1;
+                self.phase_done_instructions = 0.0;
+                self.phase_jitter =
+                    Self::sample_jitter(&mut self.noise, self.config.execution_variation());
+                if self.finished() {
+                    self.completion_time =
+                        Some(self.elapsed + (dt - remaining.clamp_non_negative()));
+                }
+            }
+        }
+
+        self.elapsed += dt;
+        self.true_energy += energy;
+        let average_power = energy / dt;
+        self.thermal.advance(average_power, dt);
+        TickOutcome { advanced: dt, instructions, average_power, finished: self.finished() }
+    }
+
+    /// Current die temperature from the integrated RC thermal model.
+    pub fn temperature(&self) -> Celsius {
+        self.thermal.temperature()
+    }
+
+    fn accumulate_events(&mut self, rates: &PhaseRates, ps: &PState, dt: Seconds) {
+        let cycles = ps.frequency().hz() * dt.seconds();
+        let c = &mut self.counters;
+        c.add(HardwareEvent::Cycles, cycles);
+        c.add(HardwareEvent::InstructionsRetired, rates.ipc * cycles);
+        c.add(HardwareEvent::InstructionsDecoded, rates.dpc * cycles);
+        c.add(HardwareEvent::DcuMissOutstanding, rates.dcu_outstanding_per_cycle * cycles);
+        c.add(HardwareEvent::ResourceStalls, rates.resource_stalls_per_cycle * cycles);
+        c.add(HardwareEvent::MemoryRequests, rates.memory_requests_per_cycle * cycles);
+        c.add(HardwareEvent::L2Requests, rates.l2_requests_per_cycle * cycles);
+        c.add(HardwareEvent::L1DMisses, rates.l1_misses_per_cycle * cycles);
+        c.add(HardwareEvent::L2Misses, rates.l2_misses_per_cycle * cycles);
+        c.add(HardwareEvent::FpOperations, rates.fp_per_cycle * cycles);
+        c.add(HardwareEvent::BranchesRetired, rates.branches_per_cycle * cycles);
+        c.add(HardwareEvent::BranchMispredictions, rates.mispredicts_per_cycle * cycles);
+        c.add(HardwareEvent::HardwarePrefetches, rates.prefetches_per_cycle * cycles);
+        c.add(HardwareEvent::UopsRetired, rates.uops_per_cycle * cycles);
+    }
+
+    /// Runs the machine to completion with a fixed tick, returning total
+    /// wall-clock time. Convenience for tests and uncontrolled runs.
+    pub fn run_to_completion(&mut self, tick: Seconds) -> Seconds {
+        while !self.finished() {
+            self.tick(tick);
+        }
+        self.completion_time().expect("finished machines have a completion time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseDescriptor;
+
+    fn simple_program(instructions: u64) -> PhaseProgram {
+        // Mispredict rate zeroed so total CPI equals core CPI exactly.
+        let phase = PhaseDescriptor::builder("work")
+            .instructions(instructions)
+            .core_cpi(1.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        PhaseProgram::from_phase(phase)
+    }
+
+    fn quiet_config() -> MachineConfig {
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0).seed(1);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn program_completes_in_expected_time() {
+        // 20M instructions at CPI 1.0, 2 GHz → 10 ms.
+        let mut machine = Machine::new(quiet_config(), simple_program(20_000_000));
+        let time = machine.run_to_completion(Seconds::from_millis(1.0));
+        assert!((time.millis() - 10.0).abs() < 0.1, "took {time}");
+    }
+
+    #[test]
+    fn counters_match_analytic_rates() {
+        let mut machine = Machine::new(quiet_config(), simple_program(200_000_000));
+        let before = machine.counter_snapshot();
+        machine.tick(Seconds::from_millis(10.0));
+        let delta = machine.counter_snapshot() - before;
+        // 2 GHz for 10 ms = 20M cycles; CPI 1.0 → 20M instructions.
+        assert!((delta.get(HardwareEvent::Cycles) - 20e6).abs() < 1.0);
+        assert!((delta.ipc() - 1.0).abs() < 1e-9);
+        assert!((delta.dpc() - 1.1).abs() < 1e-9, "default decode ratio 1.1");
+    }
+
+    #[test]
+    fn lower_pstate_slows_execution() {
+        let config = quiet_config();
+        let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
+        let mut slow = Machine::new(config, simple_program(50_000_000));
+        slow.set_pstate(PStateId::new(0)).unwrap();
+        let t_fast = fast.run_to_completion(Seconds::from_millis(1.0));
+        let t_slow = slow.run_to_completion(Seconds::from_millis(1.0));
+        // Core-bound: time ratio ≈ frequency ratio 2000/600.
+        let ratio = t_slow / t_fast;
+        assert!((ratio - 2000.0 / 600.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_accumulates_and_scales_with_pstate() {
+        let config = quiet_config();
+        let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
+        let mut slow = Machine::new(config, simple_program(50_000_000));
+        slow.set_pstate(PStateId::new(0)).unwrap();
+        fast.run_to_completion(Seconds::from_millis(1.0));
+        slow.run_to_completion(Seconds::from_millis(1.0));
+        assert!(fast.true_energy() > Joules::ZERO);
+        // Core-bound work at low V/f takes longer but still wins on energy.
+        assert!(slow.true_energy() < fast.true_energy());
+    }
+
+    #[test]
+    fn transition_stall_consumes_time_without_instructions() {
+        let mut machine = Machine::new(quiet_config(), simple_program(100_000_000));
+        machine.set_pstate(PStateId::new(0)).unwrap();
+        machine.set_pstate(PStateId::new(7)).unwrap(); // long upward ramp
+        let before = machine.counter_snapshot();
+        // The upward ramp is ~354 µs; tick 100 µs: entirely stalled.
+        let outcome = machine.tick(Seconds::from_micros(100.0));
+        let delta = machine.counter_snapshot() - before;
+        assert_eq!(outcome.instructions, 0.0);
+        assert_eq!(delta.get(HardwareEvent::InstructionsRetired), 0.0);
+        assert!(outcome.average_power > Watts::ZERO, "idle power still drawn");
+    }
+
+    #[test]
+    fn setting_same_pstate_is_free() {
+        let mut machine = Machine::new(quiet_config(), simple_program(1_000_000));
+        let current = machine.pstate();
+        machine.set_pstate(current).unwrap();
+        assert_eq!(machine.transitions_performed(), 0);
+    }
+
+    #[test]
+    fn unknown_pstate_rejected() {
+        let mut machine = Machine::new(quiet_config(), simple_program(1_000_000));
+        assert!(machine.set_pstate(PStateId::new(42)).is_err());
+    }
+
+    #[test]
+    fn finished_machine_idles() {
+        let mut machine = Machine::new(quiet_config(), simple_program(1_000));
+        machine.run_to_completion(Seconds::from_millis(1.0));
+        let energy_before = machine.true_energy();
+        let outcome = machine.tick(Seconds::from_millis(10.0));
+        assert!(outcome.finished);
+        assert_eq!(outcome.instructions, 0.0);
+        assert!(machine.true_energy() > energy_before, "idle power accumulates");
+    }
+
+    #[test]
+    fn multi_phase_program_advances_through_phases() {
+        let a = PhaseDescriptor::builder("a")
+            .instructions(10_000_000)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        let b = PhaseDescriptor::builder("b")
+            .instructions(10_000_000)
+            .core_cpi(2.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        let program = PhaseProgram::new("ab", vec![a, b]).unwrap();
+        let mut machine = Machine::new(quiet_config(), program);
+        let time = machine.run_to_completion(Seconds::from_millis(1.0));
+        // 10M @ CPI 1 + 10M @ CPI 2 at 2 GHz = 5ms + 10ms.
+        assert!((time.millis() - 15.0).abs() < 0.2, "took {time}");
+    }
+
+    #[test]
+    fn completion_time_is_within_final_tick() {
+        let mut machine = Machine::new(quiet_config(), simple_program(20_000_000));
+        // Run with a coarse tick so completion lands mid-tick.
+        while !machine.finished() {
+            machine.tick(Seconds::from_millis(3.0));
+        }
+        let t = machine.completion_time().unwrap();
+        assert!(t <= machine.elapsed());
+        assert!((t.millis() - 10.0).abs() < 0.1, "completed at {t}");
+    }
+
+    #[test]
+    fn die_heats_while_running_and_more_at_higher_pstates() {
+        let mut hot = Machine::new(quiet_config(), simple_program(2_000_000_000));
+        let mut cool = Machine::new(quiet_config(), simple_program(2_000_000_000));
+        cool.set_pstate(PStateId::new(0)).unwrap();
+        let ambient = hot.temperature();
+        for _ in 0..200 {
+            hot.tick(Seconds::from_millis(10.0));
+            cool.tick(Seconds::from_millis(10.0));
+        }
+        assert!(hot.temperature() > ambient);
+        assert!(hot.temperature() > cool.temperature());
+    }
+
+    #[test]
+    fn throttling_slows_execution_proportionally() {
+        let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
+        let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
+        half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
+        let t_full = full.run_to_completion(Seconds::from_millis(1.0));
+        let t_half = half.run_to_completion(Seconds::from_millis(1.0));
+        let ratio = t_half / t_full;
+        assert!((ratio - 2.0).abs() < 0.01, "50% duty doubles time, got {ratio}");
+    }
+
+    #[test]
+    fn throttling_cuts_average_power_but_not_energy() {
+        let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
+        let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
+        half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
+        let t_full = full.run_to_completion(Seconds::from_millis(1.0));
+        let t_half = half.run_to_completion(Seconds::from_millis(1.0));
+        let p_full = full.true_energy() / t_full;
+        let p_half = half.true_energy() / t_half;
+        assert!(p_half < p_full, "gating halves the active time per second");
+        // No voltage scaling: the same active energy is spent, plus extra
+        // leakage over the doubled run time — total energy must not drop.
+        assert!(
+            half.true_energy() >= full.true_energy(),
+            "throttling saves no energy: {} vs {}",
+            half.true_energy(),
+            full.true_energy()
+        );
+    }
+
+    #[test]
+    fn throttled_counters_scale_with_duty() {
+        let mut machine = Machine::new(quiet_config(), simple_program(200_000_000));
+        machine.set_throttle(crate::throttle::ThrottleLevel::new(2).unwrap());
+        let before = machine.counter_snapshot();
+        machine.tick(Seconds::from_millis(10.0));
+        let delta = machine.counter_snapshot() - before;
+        // At 2 GHz × 10 ms × 2/8 duty, only 5M unhalted cycles elapse…
+        assert!((delta.get(HardwareEvent::Cycles) - 5e6).abs() < 1.0);
+        // …and per-cycle rates look normal to the counters.
+        assert!((delta.ipc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let config = MachineConfig::pentium_m_755(99);
+        let mut m1 = Machine::new(config.clone(), simple_program(30_000_000));
+        let mut m2 = Machine::new(config, simple_program(30_000_000));
+        let t1 = m1.run_to_completion(Seconds::from_millis(1.0));
+        let t2 = m2.run_to_completion(Seconds::from_millis(1.0));
+        assert_eq!(t1, t2);
+        assert_eq!(m1.true_energy(), m2.true_energy());
+    }
+
+    #[test]
+    fn different_seeds_vary_execution_time_slightly() {
+        let t1 = Machine::new(MachineConfig::pentium_m_755(1), simple_program(200_000_000))
+            .run_to_completion(Seconds::from_millis(1.0));
+        let t2 = Machine::new(MachineConfig::pentium_m_755(2), simple_program(200_000_000))
+            .run_to_completion(Seconds::from_millis(1.0));
+        assert_ne!(t1, t2);
+        let rel = (t1 / t2 - 1.0).abs();
+        assert!(rel < 0.05, "variation should be small, got {rel}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Ground-truth processor power model.
+//!
+//! This is the simulator's *physics*: what the sense resistors on the paper's
+//! Radisys board would actually measure. It is deliberately richer than the
+//! linear DPC model the paper's governors use (`aapm-models`), so that the
+//! estimation models have realistic, workload-dependent error — the source of
+//! the paper's `galgel` power-limit excursions.
+//!
+//! The model follows the standard CMOS decomposition,
+//! `P = P_leak(V) + Ceff · V² · f`, with the effective switched capacitance
+//! `Ceff` decomposed over microarchitectural activity (decode bandwidth,
+//! floating-point work, cache and bus traffic), each scaled by the phase's
+//! switching-activity factor.
+
+use crate::pipeline::PhaseRates;
+use crate::pstate::PState;
+use crate::units::Watts;
+
+/// Coefficients of the ground-truth power model.
+///
+/// Units: `leakage_coeff` is W/V³; every `c_*` coefficient is effective
+/// capacitance in W / (GHz · V²) per unit of its driving per-cycle rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConstants {
+    /// Leakage scale: `P_leak = leakage_coeff · V³`.
+    pub leakage_coeff: f64,
+    /// Clock tree, fetch and other always-on switching.
+    pub c_idle: f64,
+    /// Per decoded instruction per cycle.
+    pub c_decode: f64,
+    /// Per retired micro-op per cycle (execute/retire datapath).
+    pub c_uop: f64,
+    /// Per floating-point operation per cycle.
+    pub c_fp: f64,
+    /// Per L1 data access per cycle.
+    pub c_l1: f64,
+    /// Per L2 request per cycle.
+    pub c_l2: f64,
+    /// Per front-side-bus (DRAM) request per cycle.
+    pub c_bus: f64,
+}
+
+impl PowerConstants {
+    /// Constants calibrated so the simulated platform reproduces the paper's
+    /// measured landmarks: the FMA-256K worst-case loop draws ≈ 17.8 W at
+    /// 2 GHz and ≈ 3.9 W at 600 MHz (paper Table III), the hottest SPEC
+    /// workloads reach ≈ 18–19 W at 2 GHz, and the suite's power range at
+    /// 2 GHz spans well over 35 % of peak (paper Figure 1).
+    pub fn calibrated() -> Self {
+        PowerConstants {
+            leakage_coeff: 1.52,
+            c_idle: 0.80,
+            c_decode: 0.62,
+            c_uop: 0.35,
+            c_fp: 0.95,
+            c_l1: 0.45,
+            c_l2: 3.50,
+            c_bus: 5.50,
+        }
+    }
+}
+
+impl Default for PowerConstants {
+    fn default() -> Self {
+        PowerConstants::calibrated()
+    }
+}
+
+/// The ground-truth power model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroundTruthPower {
+    constants: PowerConstants,
+}
+
+impl GroundTruthPower {
+    /// Creates a model with the given constants.
+    pub fn new(constants: PowerConstants) -> Self {
+        GroundTruthPower { constants }
+    }
+
+    /// Creates the calibrated Pentium M-like model.
+    pub fn calibrated() -> Self {
+        GroundTruthPower::new(PowerConstants::calibrated())
+    }
+
+    /// The model's constants.
+    pub fn constants(&self) -> &PowerConstants {
+        &self.constants
+    }
+
+    /// Leakage power at the given supply voltage.
+    pub fn leakage(&self, pstate: &PState) -> Watts {
+        let v = pstate.voltage().volts();
+        Watts::new(self.constants.leakage_coeff * v * v * v)
+    }
+
+    /// Effective switched capacitance for the given activity rates, scaled
+    /// by the phase activity factor (which multiplies everything except the
+    /// always-on clock-tree term).
+    pub fn effective_capacitance(&self, rates: &PhaseRates, activity: f64) -> f64 {
+        let c = &self.constants;
+        let workload = c.c_decode * rates.dpc
+            + c.c_uop * rates.uops_per_cycle
+            + c.c_fp * rates.fp_per_cycle
+            + c.c_l1 * rates.l1_accesses_per_cycle
+            + c.c_l2 * rates.l2_requests_per_cycle
+            + c.c_bus * rates.memory_requests_per_cycle;
+        c.c_idle + workload * activity
+    }
+
+    /// True power for a phase running with `rates` at `pstate`.
+    pub fn power(&self, pstate: &PState, rates: &PhaseRates, activity: f64) -> Watts {
+        let dynamic = self.effective_capacitance(rates, activity)
+            * pstate.voltage().squared()
+            * pstate.frequency().ghz();
+        self.leakage(pstate) + Watts::new(dynamic)
+    }
+
+    /// True power when the core is halted (idle loop, DVFS transition).
+    /// Only the clock tree and leakage draw power.
+    pub fn idle_power(&self, pstate: &PState) -> Watts {
+        let dynamic =
+            self.constants.c_idle * pstate.voltage().squared() * pstate.frequency().ghz();
+        self.leakage(pstate) + Watts::new(dynamic)
+    }
+
+    /// True power while the clock is gated by the throttle modulator: the
+    /// clock tree is stopped, so only leakage remains.
+    pub fn gated_power(&self, pstate: &PState) -> Watts {
+        self.leakage(pstate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseDescriptor;
+    use crate::pipeline::{evaluate, MemoryTimings};
+    use crate::pstate::PStateTable;
+
+    fn rates_for(phase: &PhaseDescriptor, idx: usize) -> (PhaseRates, PState) {
+        let table = PStateTable::pentium_m_755();
+        let ps = *table.get(crate::pstate::PStateId::new(idx)).unwrap();
+        (evaluate(phase, &ps, &MemoryTimings::pentium_m_755()), ps)
+    }
+
+    fn busy_phase() -> PhaseDescriptor {
+        PhaseDescriptor::builder("busy")
+            .core_cpi(0.55)
+            .decode_ratio(1.25)
+            .fp_fraction(0.3)
+            .mem_fraction(0.4)
+            .l1_mpi(0.02)
+            .l2_mpi(0.001)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn power_increases_with_pstate() {
+        let model = GroundTruthPower::calibrated();
+        let phase = busy_phase();
+        let mut last = Watts::ZERO;
+        for idx in 0..8 {
+            let (rates, ps) = rates_for(&phase, idx);
+            let p = model.power(&ps, &rates, phase.activity());
+            assert!(p > last, "power must rise with frequency+voltage: {p} after {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn idle_power_below_active_power() {
+        let model = GroundTruthPower::calibrated();
+        let phase = busy_phase();
+        let (rates, ps) = rates_for(&phase, 7);
+        assert!(model.idle_power(&ps) < model.power(&ps, &rates, 1.0));
+    }
+
+    #[test]
+    fn leakage_grows_with_voltage() {
+        let model = GroundTruthPower::calibrated();
+        let table = PStateTable::pentium_m_755();
+        let low = model.leakage(table.get(table.lowest()).unwrap());
+        let high = model.leakage(table.get(table.highest()).unwrap());
+        assert!(high > low);
+        // V ratio 1.34/0.998 cubed ≈ 2.42
+        let ratio = high.watts() / low.watts();
+        assert!((ratio - (1.340_f64 / 0.998).powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_factor_scales_dynamic_power_only() {
+        let model = GroundTruthPower::calibrated();
+        let phase = busy_phase();
+        let (rates, ps) = rates_for(&phase, 7);
+        let nominal = model.power(&ps, &rates, 1.0);
+        let hot = model.power(&ps, &rates, 1.3);
+        assert!(hot > nominal);
+        // The gap is exactly 30% of the workload-dependent dynamic part.
+        let idle = model.idle_power(&ps);
+        let workload_dyn = nominal - idle;
+        let expected = nominal + workload_dyn * 0.3;
+        assert!((hot.watts() - expected.watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_peak_power_in_pentium_m_envelope() {
+        // The hottest plausible workload must stay under the 21 W TDP class
+        // but above 17 W, matching the paper's galgel samples (> 18 W peak).
+        let model = GroundTruthPower::calibrated();
+        // A galgel-like power burst: dense FP work with elevated switching
+        // activity. The paper saw such bursts exceed 18 W in 10 ms samples.
+        let hot = PhaseDescriptor::builder("hot")
+            .core_cpi(0.50)
+            .decode_ratio(1.30)
+            .fp_fraction(0.30)
+            .mem_fraction(0.45)
+            .l1_mpi(0.02)
+            .l2_mpi(0.0003)
+            .activity(1.30)
+            .build()
+            .unwrap();
+        let (rates, ps) = rates_for(&hot, 7);
+        let p = model.power(&ps, &rates, hot.activity());
+        assert!(
+            p.watts() > 17.0 && p.watts() < 21.5,
+            "hot workload at 2 GHz should land in 17–21.5 W, got {p}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_power_well_below_peak() {
+        let model = GroundTruthPower::calibrated();
+        let memory = PhaseDescriptor::builder("mem")
+            .core_cpi(1.0)
+            .mem_fraction(0.5)
+            .l1_mpi(0.07)
+            .l2_mpi(0.035)
+            .overlap(0.1)
+            .build()
+            .unwrap();
+        let (rates, ps) = rates_for(&memory, 7);
+        let p = model.power(&ps, &rates, memory.activity());
+        // Figure 1's range: memory-bound workloads sit several watts below
+        // the hottest ones even at full utilization.
+        assert!(p.watts() < 13.0, "memory-bound at 2 GHz should be < 13 W, got {p}");
+        assert!(p.watts() > 6.0, "but clearly above idle, got {p}");
+    }
+}

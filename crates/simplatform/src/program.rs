@@ -1,0 +1,196 @@
+//! Workload programs: ordered sequences of phases.
+//!
+//! A [`PhaseProgram`] is what the [`crate::machine::Machine`] executes. The
+//! workload crate builds programs for the MS-Loops microbenchmarks and the
+//! synthetic SPEC CPU2000 suite; property tests build random ones.
+
+use std::fmt;
+
+use crate::error::{PlatformError, Result};
+use crate::phase::PhaseDescriptor;
+
+/// An ordered sequence of phases executed start to finish.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_platform::phase::PhaseDescriptor;
+/// use aapm_platform::program::PhaseProgram;
+///
+/// let warm = PhaseDescriptor::builder("warm").instructions(1_000).build()?;
+/// let hot = PhaseDescriptor::builder("hot").instructions(9_000).build()?;
+/// let program = PhaseProgram::new("demo", vec![warm, hot])?;
+/// assert_eq!(program.total_instructions(), 10_000);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProgram {
+    name: String,
+    phases: Vec<PhaseDescriptor>,
+}
+
+impl PhaseProgram {
+    /// Creates a program from a non-empty list of phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidPhase`] if `phases` is empty.
+    pub fn new(name: impl Into<String>, phases: Vec<PhaseDescriptor>) -> Result<Self> {
+        let name = name.into();
+        if phases.is_empty() {
+            return Err(PlatformError::InvalidPhase {
+                phase: name,
+                reason: "program must contain at least one phase".into(),
+            });
+        }
+        Ok(PhaseProgram { name, phases })
+    }
+
+    /// Creates a single-phase program named after the phase.
+    pub fn from_phase(phase: PhaseDescriptor) -> Self {
+        let name = phase.name().to_owned();
+        PhaseProgram { name, phases: vec![phase] }
+    }
+
+    /// Program name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Always `false`: programs cannot be empty.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[PhaseDescriptor] {
+        &self.phases
+    }
+
+    /// Phase at `index`, if within bounds.
+    pub fn phase(&self, index: usize) -> Option<&PhaseDescriptor> {
+        self.phases.get(index)
+    }
+
+    /// Total retired-instruction budget over all phases.
+    pub fn total_instructions(&self) -> u64 {
+        self.phases.iter().map(PhaseDescriptor::instructions).sum()
+    }
+
+    /// Returns a copy with every phase's instruction budget multiplied by
+    /// `factor` (rounded to the nearest instruction, at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled(&self, factor: f64) -> PhaseProgram {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let scaled = (p.instructions() as f64 * factor).round().max(1.0) as u64;
+                p.with_instructions(scaled)
+            })
+            .collect();
+        PhaseProgram { name: self.name.clone(), phases }
+    }
+
+    /// Returns a copy that repeats this program's phase list `times` times,
+    /// modelling iterative outer loops (e.g. time steps in `swim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is zero.
+    pub fn repeated(&self, times: usize) -> PhaseProgram {
+        assert!(times > 0, "repetition count must be positive");
+        let mut phases = Vec::with_capacity(self.phases.len() * times);
+        for _ in 0..times {
+            phases.extend(self.phases.iter().cloned());
+        }
+        PhaseProgram { name: self.name.clone(), phases }
+    }
+}
+
+impl fmt::Display for PhaseProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} phases, {} instructions)",
+            self.name,
+            self.phases.len(),
+            self.total_instructions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, instructions: u64) -> PhaseDescriptor {
+        PhaseDescriptor::builder(name).instructions(instructions).build().unwrap()
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(PhaseProgram::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn total_instructions_sums_phases() {
+        let program = PhaseProgram::new("p", vec![phase("a", 10), phase("b", 32)]).unwrap();
+        assert_eq!(program.total_instructions(), 42);
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn from_phase_inherits_name() {
+        let program = PhaseProgram::from_phase(phase("solo", 5));
+        assert_eq!(program.name(), "solo");
+        assert_eq!(program.len(), 1);
+    }
+
+    #[test]
+    fn scaling_scales_every_phase() {
+        let program = PhaseProgram::new("p", vec![phase("a", 100), phase("b", 50)]).unwrap();
+        let scaled = program.scaled(2.0);
+        assert_eq!(scaled.total_instructions(), 300);
+        assert_eq!(scaled.phase(0).unwrap().instructions(), 200);
+    }
+
+    #[test]
+    fn scaling_never_drops_a_phase_to_zero() {
+        let program = PhaseProgram::from_phase(phase("tiny", 1));
+        let scaled = program.scaled(0.001);
+        assert_eq!(scaled.total_instructions(), 1);
+    }
+
+    #[test]
+    fn repetition_multiplies_phases() {
+        let program = PhaseProgram::new("p", vec![phase("a", 10), phase("b", 20)]).unwrap();
+        let repeated = program.repeated(3);
+        assert_eq!(repeated.len(), 6);
+        assert_eq!(repeated.total_instructions(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_repetition_panics() {
+        let program = PhaseProgram::from_phase(phase("a", 1));
+        let _ = program.repeated(0);
+    }
+
+    #[test]
+    fn display_mentions_name_and_counts() {
+        let program = PhaseProgram::new("demo", vec![phase("a", 7)]).unwrap();
+        let text = format!("{program}");
+        assert!(text.contains("demo"));
+        assert!(text.contains('7'));
+    }
+}

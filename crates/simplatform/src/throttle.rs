@@ -1,0 +1,109 @@
+//! Clock throttling (duty-cycle modulation).
+//!
+//! Besides DVFS, the platform supports the Pentium M's second
+//! power-management mechanism: on-demand clock modulation, which gates the
+//! core clock for a fraction of each modulation window (the paper's
+//! companion report, IBM RC24007, models both actuators). Eight duty
+//! levels (1/8 … 8/8) mirror the ACPI T-state encoding.
+//!
+//! Throttling is the *inferior* knob: it scales work and active power
+//! linearly with the duty cycle but keeps the supply voltage — so unlike
+//! DVFS there is no quadratic dynamic-energy win, and leakage accrues over
+//! the stretched run time. The `ablation-throttle` experiment quantifies
+//! this against PowerSave.
+
+use std::fmt;
+
+use crate::error::{PlatformError, Result};
+
+/// Number of duty steps (ACPI T-states on the simulated part).
+pub const THROTTLE_STEPS: u8 = 8;
+
+/// A clock-modulation duty level: the core clock runs `level/8` of the
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThrottleLevel(u8);
+
+impl ThrottleLevel {
+    /// Full speed (no gating).
+    pub const FULL: ThrottleLevel = ThrottleLevel(THROTTLE_STEPS);
+
+    /// Creates a throttle level running `steps` of every 8 clock windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] unless `1 ≤ steps ≤ 8`.
+    pub fn new(steps: u8) -> Result<Self> {
+        if steps == 0 || steps > THROTTLE_STEPS {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "throttle_level",
+                reason: format!("duty steps must lie in 1..={THROTTLE_STEPS}, got {steps}"),
+            });
+        }
+        Ok(ThrottleLevel(steps))
+    }
+
+    /// The raw step count (1–8).
+    pub fn steps(self) -> u8 {
+        self.0
+    }
+
+    /// The duty cycle as a fraction in `(0, 1]`.
+    pub fn duty(self) -> f64 {
+        f64::from(self.0) / f64::from(THROTTLE_STEPS)
+    }
+
+    /// Whether the clock is ungated.
+    pub fn is_full(self) -> bool {
+        self.0 == THROTTLE_STEPS
+    }
+
+    /// All eight levels, lowest duty first.
+    pub fn all() -> impl Iterator<Item = ThrottleLevel> {
+        (1..=THROTTLE_STEPS).map(ThrottleLevel)
+    }
+}
+
+impl Default for ThrottleLevel {
+    fn default() -> Self {
+        ThrottleLevel::FULL
+    }
+}
+
+impl fmt::Display for ThrottleLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}/8", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_levels_construct() {
+        assert_eq!(ThrottleLevel::new(8).unwrap(), ThrottleLevel::FULL);
+        assert!((ThrottleLevel::new(4).unwrap().duty() - 0.5).abs() < 1e-12);
+        assert!(ThrottleLevel::new(0).is_err());
+        assert!(ThrottleLevel::new(9).is_err());
+    }
+
+    #[test]
+    fn all_levels_ascend() {
+        let levels: Vec<_> = ThrottleLevel::all().collect();
+        assert_eq!(levels.len(), 8);
+        assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        assert!(levels.last().unwrap().is_full());
+    }
+
+    #[test]
+    fn default_is_full_speed() {
+        assert!(ThrottleLevel::default().is_full());
+        assert_eq!(ThrottleLevel::default().duty(), 1.0);
+    }
+
+    #[test]
+    fn display_shows_duty() {
+        assert_eq!(ThrottleLevel::new(3).unwrap().to_string(), "T3/8");
+    }
+}

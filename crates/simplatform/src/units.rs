@@ -1,0 +1,485 @@
+//! Strongly-typed physical quantities used throughout the platform model.
+//!
+//! The simulator mixes quantities in several units (seconds, watts, joules,
+//! megahertz, volts). Newtypes keep them from being confused ([C-NEWTYPE])
+//! while still being cheap `f64`/`u32` wrappers.
+//!
+//! # Examples
+//!
+//! ```
+//! use aapm_platform::units::{Seconds, Watts};
+//!
+//! let dt = Seconds::from_millis(10.0);
+//! let power = Watts::new(12.5);
+//! let energy = power * dt;
+//! assert!((energy.joules() - 0.125).abs() < 1e-12);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// The zero duration.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a duration from a raw number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN.
+    pub fn new(secs: f64) -> Self {
+        assert!(!secs.is_nan(), "duration must not be NaN");
+        Seconds(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds::new(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Seconds::new(us * 1e-6)
+    }
+
+    /// Returns the duration as a raw number of seconds.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration in milliseconds.
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the duration in microseconds.
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns `true` if the duration is positive (greater than zero).
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Seconds) -> Seconds {
+        Seconds(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Seconds) -> Seconds {
+        Seconds(self.0.max(other.0))
+    }
+
+    /// Clamps a possibly-negative duration to zero.
+    pub fn clamp_non_negative(self) -> Seconds {
+        Seconds(self.0.max(0.0))
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Seconds {
+    fn sub_assign(&mut self, rhs: Seconds) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl Div for Seconds {
+    /// Dividing two durations yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} s", self.0)
+    }
+}
+
+/// Electrical power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero watts.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power value from a raw number of watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is NaN.
+    pub fn new(w: f64) -> Self {
+        assert!(!w.is_nan(), "power must not be NaN");
+        Watts(w)
+    }
+
+    /// Returns the power as a raw number of watts.
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the smaller of two powers.
+    pub fn min(self, other: Watts) -> Watts {
+        Watts(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two powers.
+    pub fn max(self, other: Watts) -> Watts {
+        Watts(self.0.max(other.0))
+    }
+
+    /// Clamps a possibly-negative reading to zero (ADC noise can undershoot).
+    pub fn clamp_non_negative(self) -> Watts {
+        Watts(self.0.max(0.0))
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Watts {
+    type Output = Watts;
+    fn neg(self) -> Watts {
+        Watts(-self.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Watts {
+    type Output = Watts;
+    fn div(self, rhs: f64) -> Watts {
+        Watts(self.0 / rhs)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.0 * rhs.seconds())
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Joules(f64);
+
+impl Joules {
+    /// Zero joules.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// Creates an energy value from a raw number of joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is NaN.
+    pub fn new(j: f64) -> Self {
+        assert!(!j.is_nan(), "energy must not be NaN");
+        Joules(j)
+    }
+
+    /// Returns the energy as a raw number of joules.
+    pub fn joules(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    /// Average power over an interval.
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.0 / rhs.seconds())
+    }
+}
+
+impl Div for Joules {
+    /// Dividing two energies yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Joules) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} J", self.0)
+    }
+}
+
+/// Core clock frequency in megahertz.
+///
+/// Stored as an integer because ACPI p-state tables enumerate discrete
+/// frequencies; derived quantities (GHz, Hz) are floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MegaHertz(u32);
+
+impl MegaHertz {
+    /// Creates a frequency from a raw number of megahertz.
+    pub const fn new(mhz: u32) -> Self {
+        MegaHertz(mhz)
+    }
+
+    /// Returns the frequency in megahertz.
+    pub const fn mhz(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the frequency in gigahertz.
+    pub fn ghz(self) -> f64 {
+        f64::from(self.0) * 1e-3
+    }
+
+    /// Returns the frequency in hertz.
+    pub fn hz(self) -> f64 {
+        f64::from(self.0) * 1e6
+    }
+
+    /// Returns the ratio `self / other` as a dimensionless number.
+    pub fn ratio(self, other: MegaHertz) -> f64 {
+        f64::from(self.0) / f64::from(other.0)
+    }
+}
+
+impl fmt::Display for MegaHertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+/// Supply voltage in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volts(f64);
+
+impl Volts {
+    /// Creates a voltage from a raw number of volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN or negative.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "voltage must be finite and non-negative");
+        Volts(v)
+    }
+
+    /// Returns the voltage as a raw number of volts.
+    pub fn volts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the squared voltage, the term that enters dynamic power.
+    pub fn squared(self) -> f64 {
+        self.0 * self.0
+    }
+}
+
+impl Sub for Volts {
+    type Output = f64;
+    /// Difference between two voltages, in volts.
+    fn sub(self, rhs: Volts) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversions_round_trip() {
+        let s = Seconds::from_millis(10.0);
+        assert!((s.seconds() - 0.01).abs() < 1e-15);
+        assert!((s.millis() - 10.0).abs() < 1e-12);
+        assert!((s.micros() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_arithmetic() {
+        let a = Seconds::new(1.5);
+        let b = Seconds::new(0.5);
+        assert_eq!(a + b, Seconds::new(2.0));
+        assert_eq!(a - b, Seconds::new(1.0));
+        assert_eq!(a * 2.0, Seconds::new(3.0));
+        assert_eq!(a / 3.0, Seconds::new(0.5));
+        assert!((a / b - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_duration_clamps_to_zero() {
+        let d = Seconds::new(1.0) - Seconds::new(2.0);
+        assert!(d < Seconds::ZERO);
+        assert_eq!(d.clamp_non_negative(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(10.0) * Seconds::new(2.0);
+        assert_eq!(e, Joules::new(20.0));
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules::new(20.0) / Seconds::new(4.0);
+        assert_eq!(p, Watts::new(5.0));
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        let f = MegaHertz::new(1800);
+        assert_eq!(f.mhz(), 1800);
+        assert!((f.ghz() - 1.8).abs() < 1e-12);
+        assert!((f.hz() - 1.8e9).abs() < 1.0);
+        assert!((f.ratio(MegaHertz::new(900)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_squared() {
+        let v = Volts::new(1.2);
+        assert!((v.squared() - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_of_quantities() {
+        let total: Watts = vec![Watts::new(1.0), Watts::new(2.5)].into_iter().sum();
+        assert_eq!(total, Watts::new(3.5));
+        let total: Joules = vec![Joules::new(1.0), Joules::new(2.0)].into_iter().sum();
+        assert_eq!(total, Joules::new(3.0));
+        let total: Seconds = vec![Seconds::new(0.25), Seconds::new(0.75)].into_iter().sum();
+        assert_eq!(total, Seconds::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_duration_panics() {
+        let _ = Seconds::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert!(!format!("{}", Seconds::new(1.0)).is_empty());
+        assert!(!format!("{}", Watts::new(1.0)).is_empty());
+        assert!(!format!("{}", Joules::new(1.0)).is_empty());
+        assert!(!format!("{}", MegaHertz::new(600)).is_empty());
+        assert!(!format!("{}", Volts::new(1.0)).is_empty());
+    }
+}

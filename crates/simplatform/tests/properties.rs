@@ -1,0 +1,221 @@
+//! Property-based tests of platform invariants.
+
+use aapm_platform::cache::{Cache, CacheGeometry};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::dram::{Dram, DramTimings};
+use aapm_platform::dvfs::{transition_cost, DvfsParams};
+use aapm_platform::machine::Machine;
+use aapm_platform::phase::PhaseDescriptor;
+use aapm_platform::pipeline::{evaluate, MemoryTimings};
+use aapm_platform::power::GroundTruthPower;
+use aapm_platform::program::PhaseProgram;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::throttle::ThrottleLevel;
+use aapm_platform::units::Seconds;
+use proptest::prelude::*;
+
+/// Strategy: a valid phase over the plausible workload space.
+fn phase_strategy() -> impl Strategy<Value = PhaseDescriptor> {
+    (
+        1_000_000u64..500_000_000,
+        0.4f64..2.0,     // core cpi
+        1.0f64..1.6,     // decode ratio
+        0.0f64..0.4,     // fp
+        0.1f64..0.55,    // mem
+        0.0f64..1.0,     // l1 fraction of mem
+        0.0f64..1.0,     // l2 fraction of l1
+        0.0f64..0.9,     // overlap
+        0.7f64..1.35,    // activity
+    )
+        .prop_map(
+            |(instr, cpi, decode, fp, mem, l1_frac, l2_frac, overlap, activity)| {
+                let l1 = mem * 0.25 * l1_frac;
+                let l2 = l1 * l2_frac;
+                PhaseDescriptor::builder("prop")
+                    .instructions(instr)
+                    .core_cpi(cpi)
+                    .decode_ratio(decode)
+                    .fp_fraction(fp)
+                    .mem_fraction(mem)
+                    .l1_mpi(l1)
+                    .l2_mpi(l2)
+                    .overlap(overlap)
+                    .activity(activity)
+                    .build()
+                    .expect("constructed within invariants")
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Throughput (instructions/second) never decreases with frequency, and
+    /// CPI never decreases either (stall cycles can only grow with f).
+    #[test]
+    fn throughput_monotone_in_frequency(phase in phase_strategy()) {
+        let table = PStateTable::pentium_m_755();
+        let timings = MemoryTimings::pentium_m_755();
+        let mut last_ips = 0.0;
+        let mut last_cpi = 0.0;
+        for (_, state) in table.iter() {
+            let rates = evaluate(&phase, state, &timings);
+            prop_assert!(rates.instructions_per_second >= last_ips);
+            prop_assert!(rates.cpi >= last_cpi);
+            last_ips = rates.instructions_per_second;
+            last_cpi = rates.cpi;
+        }
+    }
+
+    /// True power increases strictly with the p-state for any phase, and
+    /// active power always exceeds idle power which exceeds gated power.
+    #[test]
+    fn power_ordering_invariants(phase in phase_strategy()) {
+        let table = PStateTable::pentium_m_755();
+        let timings = MemoryTimings::pentium_m_755();
+        let power = GroundTruthPower::calibrated();
+        let mut last = 0.0;
+        for (_, state) in table.iter() {
+            let rates = evaluate(&phase, state, &timings);
+            let active = power.power(state, &rates, phase.activity());
+            prop_assert!(active.watts() > last);
+            prop_assert!(active >= power.idle_power(state));
+            prop_assert!(power.idle_power(state) > power.gated_power(state));
+            last = active.watts();
+        }
+    }
+
+    /// The DCU counter reports at least the stall the core actually feels.
+    #[test]
+    fn dcu_reports_at_least_felt_stall(phase in phase_strategy()) {
+        let table = PStateTable::pentium_m_755();
+        let timings = MemoryTimings::pentium_m_755();
+        for (_, state) in table.iter() {
+            let rates = evaluate(&phase, state, &timings);
+            // Resource stalls include L2 + DRAM-felt + mispredict; DCU
+            // covers L2 + full DRAM. Compare the memory components only:
+            let mispredict_stall =
+                phase.branch_fraction() * phase.mispredict_rate()
+                    * timings.mispredict_penalty_cycles * rates.ipc;
+            prop_assert!(
+                rates.dcu_outstanding_per_cycle
+                    >= rates.resource_stalls_per_cycle - mispredict_stall - 1e-9
+            );
+        }
+    }
+
+    /// Executing a program tick by tick retires exactly its instruction
+    /// budget, regardless of tick size.
+    #[test]
+    fn machine_conserves_instructions(
+        phase in phase_strategy(),
+        tick_ms in 1.0f64..40.0,
+    ) {
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0);
+        let mut machine =
+            Machine::new(builder.build().unwrap(), PhaseProgram::from_phase(phase.clone()));
+        let mut retired = 0.0;
+        let mut guard = 0;
+        while !machine.finished() && guard < 2_000_000 {
+            retired += machine.tick(Seconds::from_millis(tick_ms)).instructions;
+            guard += 1;
+        }
+        prop_assert!(machine.finished(), "machine must finish");
+        let budget = phase.instructions() as f64;
+        prop_assert!(
+            (retired - budget).abs() / budget < 1e-6,
+            "retired {retired} vs budget {budget}"
+        );
+    }
+
+    /// Energy and elapsed time are invariant to how the run is sliced into
+    /// ticks.
+    #[test]
+    fn tick_slicing_does_not_change_physics(phase in phase_strategy()) {
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0);
+        let config = builder.build().unwrap();
+        let run = |tick_ms: f64| {
+            let mut machine =
+                Machine::new(config.clone(), PhaseProgram::from_phase(phase.clone()));
+            let time = machine.run_to_completion(Seconds::from_millis(tick_ms));
+            (time, machine.true_energy())
+        };
+        let (t_fine, e_fine) = run(1.0);
+        let (t_coarse, e_coarse) = run(25.0);
+        // Completion time is exact; energy differs only by the idle tail of
+        // the final (larger) tick.
+        prop_assert!((t_fine.seconds() - t_coarse.seconds()).abs() < 1e-9);
+        let idle_tail_bound = 13.0 * 0.025; // < idle watts × coarse tick
+        prop_assert!((e_fine.joules() - e_coarse.joules()).abs() < idle_tail_bound);
+    }
+
+    /// Throttling at duty d scales completion time by exactly 1/d for any
+    /// workload (clock gating freezes the whole core).
+    #[test]
+    fn throttle_scales_time_inversely(phase in phase_strategy(), steps in 1u8..8) {
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0);
+        let config = builder.build().unwrap();
+        let mut full = Machine::new(config.clone(), PhaseProgram::from_phase(phase.clone()));
+        let mut gated = Machine::new(config, PhaseProgram::from_phase(phase));
+        gated.set_throttle(ThrottleLevel::new(steps).unwrap());
+        let t_full = full.run_to_completion(Seconds::from_millis(5.0));
+        let t_gated = gated.run_to_completion(Seconds::from_millis(5.0));
+        let duty = f64::from(steps) / 8.0;
+        prop_assert!((t_gated.seconds() * duty - t_full.seconds()).abs() / t_full.seconds() < 1e-6);
+    }
+
+    /// Cache residency never exceeds capacity, and a just-accessed line is
+    /// always resident.
+    #[test]
+    fn cache_capacity_and_residency(addresses in prop::collection::vec(0u64..(1 << 22), 1..400)) {
+        let geometry = CacheGeometry { capacity_bytes: 4096, line_bytes: 64, ways: 4 };
+        let mut cache = Cache::new(geometry).unwrap();
+        for &addr in &addresses {
+            cache.access(addr);
+            prop_assert!(cache.probe(addr), "just-accessed line must be resident");
+            prop_assert!(cache.resident_lines() <= 64, "capacity is 64 lines");
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addresses.len() as u64);
+    }
+
+    /// DRAM latencies are always one of the three configured values and the
+    /// stats add up.
+    #[test]
+    fn dram_latency_values(addresses in prop::collection::vec(0u64..(1 << 26), 1..300)) {
+        let timings = DramTimings::ddr333();
+        let mut dram = Dram::new(timings);
+        for &addr in &addresses {
+            let latency = dram.access(addr);
+            prop_assert!(
+                latency == timings.row_hit_ns
+                    || latency == timings.row_empty_ns
+                    || latency == timings.row_conflict_ns
+            );
+        }
+        prop_assert_eq!(dram.stats().accesses(), addresses.len() as u64);
+    }
+
+    /// DVFS transitions cost more when the voltage swing is larger, and
+    /// upward transitions always cost at least as much as downward ones.
+    #[test]
+    fn transition_costs_scale_with_voltage_swing(a in 0usize..8, b in 0usize..8) {
+        let table = PStateTable::pentium_m_755();
+        let params = DvfsParams::enhanced_speedstep();
+        let from = table.get(PStateId::new(a)).unwrap();
+        let to = table.get(PStateId::new(b)).unwrap();
+        let up = transition_cost(from, to, &params);
+        let down = transition_cost(to, from, &params);
+        if a == b {
+            prop_assert_eq!(up.stall, Seconds::ZERO);
+        } else {
+            let (upward, downward) = if b > a { (up, down) } else { (down, up) };
+            prop_assert!(upward.stall >= downward.stall);
+            prop_assert!(upward.voltage_ramp_blocking);
+            prop_assert!(!downward.voltage_ramp_blocking);
+        }
+    }
+}

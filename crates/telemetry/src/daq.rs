@@ -1,0 +1,244 @@
+//! Power-measurement chain: sense resistors → amplifier → ADC → samples.
+//!
+//! Models the paper's rig: a Radisys board with high-precision sense
+//! resistors between the voltage regulators and the processor, filtered,
+//! amplified and digitized by a National Instruments SCXI-1125 + PCI-6052E
+//! pair. The chain is non-intrusive: it reads the machine's true energy
+//! counter (what the resistors integrate physically) and corrupts it with
+//! gain error, additive noise, and ADC quantization.
+
+use aapm_platform::machine::Machine;
+use aapm_platform::noise::NoiseSource;
+use aapm_platform::units::{Joules, Seconds, Watts};
+
+/// Configuration of the measurement chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaqConfig {
+    /// Multiplicative gain error of the analog front-end (1.0 = perfect).
+    pub gain: f64,
+    /// Standard deviation of additive noise per sample, in watts.
+    pub noise_std_watts: f64,
+    /// ADC quantization step in watts (0 disables quantization).
+    pub quantization_watts: f64,
+}
+
+impl DaqConfig {
+    /// The paper's instrument class: 16-bit ADC over a ~25 W range
+    /// (≈ 0.4 mW LSB — negligible), mild front-end noise, sub-percent gain
+    /// error.
+    pub fn ni_scxi_1125() -> Self {
+        DaqConfig { gain: 1.0, noise_std_watts: 0.12, quantization_watts: 0.0004 }
+    }
+
+    /// A perfect meter (for tests that need exact power).
+    pub fn ideal() -> Self {
+        DaqConfig { gain: 1.0, noise_std_watts: 0.0, quantization_watts: 0.0 }
+    }
+}
+
+impl Default for DaqConfig {
+    fn default() -> Self {
+        DaqConfig::ni_scxi_1125()
+    }
+}
+
+/// One power sample: the average measured power over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Start of the averaging interval.
+    pub start: Seconds,
+    /// End of the averaging interval.
+    pub end: Seconds,
+    /// Measured average power (noisy, quantized).
+    pub power: Watts,
+    /// True average power over the same interval (for model-error studies;
+    /// the paper's governors never see this).
+    pub true_power: Watts,
+}
+
+impl PowerSample {
+    /// Interval length.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// Energy implied by the measured power over the interval.
+    pub fn energy(&self) -> Joules {
+        self.power * self.duration()
+    }
+}
+
+/// The sampling power meter.
+///
+/// Call [`PowerDaq::sample`] once per sampling interval *after* advancing
+/// the machine; each call reports the average power since the previous call.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_platform::{config::MachineConfig, machine::Machine};
+/// use aapm_platform::phase::PhaseDescriptor;
+/// use aapm_platform::program::PhaseProgram;
+/// use aapm_platform::units::Seconds;
+/// use aapm_telemetry::daq::{DaqConfig, PowerDaq};
+///
+/// let phase = PhaseDescriptor::builder("w").instructions(100_000_000).build()?;
+/// let mut machine = Machine::new(MachineConfig::default(), PhaseProgram::from_phase(phase));
+/// let mut daq = PowerDaq::new(DaqConfig::default(), 7);
+/// machine.tick(Seconds::from_millis(10.0));
+/// let sample = daq.sample(&machine);
+/// assert!(sample.power.watts() > 0.0);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerDaq {
+    config: DaqConfig,
+    noise: NoiseSource,
+    last_time: Seconds,
+    last_energy: Joules,
+}
+
+impl PowerDaq {
+    /// Creates a meter with its own noise stream.
+    pub fn new(config: DaqConfig, seed: u64) -> Self {
+        PowerDaq {
+            config,
+            noise: NoiseSource::seeded(seed ^ 0xDA0_0001),
+            last_time: Seconds::ZERO,
+            last_energy: Joules::ZERO,
+        }
+    }
+
+    /// The chain configuration.
+    pub fn config(&self) -> &DaqConfig {
+        &self.config
+    }
+
+    /// Measures the average power since the previous sample (or since boot
+    /// for the first sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's clock has not advanced since the last sample.
+    pub fn sample(&mut self, machine: &Machine) -> PowerSample {
+        let now = machine.elapsed();
+        let energy = machine.true_energy();
+        let dt = now - self.last_time;
+        assert!(dt.is_positive(), "machine must advance between DAQ samples");
+        let true_power = (energy - self.last_energy) / dt;
+        let mut measured =
+            true_power.watts() * self.config.gain + self.noise.gaussian(0.0, self.config.noise_std_watts);
+        if self.config.quantization_watts > 0.0 {
+            measured = (measured / self.config.quantization_watts).round()
+                * self.config.quantization_watts;
+        }
+        let sample = PowerSample {
+            start: self.last_time,
+            end: now,
+            power: Watts::new(measured).clamp_non_negative(),
+            true_power,
+        };
+        self.last_time = now;
+        self.last_energy = energy;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::config::MachineConfig;
+    use aapm_platform::phase::PhaseDescriptor;
+    use aapm_platform::program::PhaseProgram;
+
+    fn machine() -> Machine {
+        let phase = PhaseDescriptor::builder("w")
+            .instructions(10_000_000_000)
+            .core_cpi(0.8)
+            .build()
+            .unwrap();
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0);
+        Machine::new(builder.build().unwrap(), PhaseProgram::from_phase(phase))
+    }
+
+    #[test]
+    fn ideal_daq_reports_true_power() {
+        let mut m = machine();
+        let mut daq = PowerDaq::new(DaqConfig::ideal(), 1);
+        m.tick(Seconds::from_millis(10.0));
+        let s = daq.sample(&m);
+        assert_eq!(s.power, s.true_power);
+        assert!(s.power.watts() > 5.0);
+    }
+
+    #[test]
+    fn consecutive_samples_tile_the_timeline() {
+        let mut m = machine();
+        let mut daq = PowerDaq::new(DaqConfig::default(), 1);
+        let mut prev_end = Seconds::ZERO;
+        for _ in 0..5 {
+            m.tick(Seconds::from_millis(10.0));
+            let s = daq.sample(&m);
+            assert_eq!(s.start, prev_end);
+            assert!((s.duration().millis() - 10.0).abs() < 1e-9);
+            prev_end = s.end;
+        }
+    }
+
+    #[test]
+    fn noisy_samples_scatter_around_truth() {
+        let mut m = machine();
+        let mut daq = PowerDaq::new(
+            DaqConfig { gain: 1.0, noise_std_watts: 0.2, quantization_watts: 0.0 },
+            42,
+        );
+        let mut errors = Vec::new();
+        for _ in 0..500 {
+            m.tick(Seconds::from_millis(10.0));
+            let s = daq.sample(&m);
+            errors.push(s.power.watts() - s.true_power.watts());
+        }
+        let mean: f64 = errors.iter().sum::<f64>() / errors.len() as f64;
+        let std =
+            (errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64)
+                .sqrt();
+        assert!(mean.abs() < 0.05, "noise should be zero-mean, got {mean}");
+        assert!((std - 0.2).abs() < 0.04, "std should match config, got {std}");
+    }
+
+    #[test]
+    fn gain_error_biases_readings() {
+        let mut m = machine();
+        let mut daq =
+            PowerDaq::new(DaqConfig { gain: 1.02, noise_std_watts: 0.0, quantization_watts: 0.0 }, 1);
+        m.tick(Seconds::from_millis(10.0));
+        let s = daq.sample(&m);
+        assert!((s.power.watts() / s.true_power.watts() - 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut m = machine();
+        let step = 0.5;
+        let mut daq =
+            PowerDaq::new(DaqConfig { gain: 1.0, noise_std_watts: 0.0, quantization_watts: step }, 1);
+        m.tick(Seconds::from_millis(10.0));
+        let s = daq.sample(&m);
+        let remainder = (s.power.watts() / step).fract();
+        assert!(remainder.abs() < 1e-9 || (1.0 - remainder).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_samples() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let mut d1 = PowerDaq::new(DaqConfig::default(), 5);
+        let mut d2 = PowerDaq::new(DaqConfig::default(), 5);
+        for _ in 0..10 {
+            m1.tick(Seconds::from_millis(10.0));
+            m2.tick(Seconds::from_millis(10.0));
+            assert_eq!(d1.sample(&m1), d2.sample(&m2));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Derived metrics from counter samples.
+//!
+//! Governors consume raw per-cycle rates; humans and analysis tools prefer
+//! the conventional derived metrics (MPKI, memory-boundedness, speculation
+//! waste, bus utilization). This module computes them from a
+//! [`CounterSample`] when the underlying events were monitored.
+
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::units::MegaHertz;
+
+use crate::pmc::CounterSample;
+
+/// Conventional derived metrics for one sampling interval.
+///
+/// Every field is `None` when the events it needs were not monitored in
+/// the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DerivedMetrics {
+    /// Retired instructions per cycle.
+    pub ipc: Option<f64>,
+    /// L1 data misses per thousand instructions.
+    pub l1_mpki: Option<f64>,
+    /// L2 misses per thousand instructions.
+    pub l2_mpki: Option<f64>,
+    /// DCU-miss-outstanding cycles per retired instruction — the paper's
+    /// memory-boundedness measure (eq.-3 threshold: 1.21).
+    pub memory_boundedness: Option<f64>,
+    /// Decoded-but-not-retired fraction: speculative waste.
+    pub speculation_waste: Option<f64>,
+    /// Branch misprediction rate (mispredictions per branch).
+    pub mispredict_rate: Option<f64>,
+    /// DRAM bus traffic in bytes per second (64 B per request).
+    pub bus_bytes_per_sec: Option<f64>,
+}
+
+/// Computes derived metrics for a sample taken at `frequency`.
+pub fn derive(sample: &CounterSample, frequency: MegaHertz) -> DerivedMetrics {
+    let instructions = sample.count(HardwareEvent::InstructionsRetired);
+    let per_kilo_inst = |count: Option<f64>| match (count, instructions) {
+        (Some(c), Some(i)) if i > 0.0 => Some(c / i * 1000.0),
+        _ => None,
+    };
+    let memory_boundedness = match (sample.count(HardwareEvent::DcuMissOutstanding), instructions)
+    {
+        (Some(dcu), Some(i)) if i > 0.0 => Some(dcu / i),
+        _ => None,
+    };
+    let speculation_waste =
+        match (sample.count(HardwareEvent::InstructionsDecoded), instructions) {
+            (Some(decoded), Some(retired)) if decoded > 0.0 => {
+                Some(((decoded - retired) / decoded).max(0.0))
+            }
+            _ => None,
+        };
+    let mispredict_rate = match (
+        sample.count(HardwareEvent::BranchMispredictions),
+        sample.count(HardwareEvent::BranchesRetired),
+    ) {
+        (Some(missed), Some(branches)) if branches > 0.0 => Some(missed / branches),
+        _ => None,
+    };
+    let bus_bytes_per_sec = sample.rate(HardwareEvent::MemoryRequests).map(|per_cycle| {
+        per_cycle * 64.0 * frequency.hz()
+    });
+    DerivedMetrics {
+        ipc: sample.ipc(),
+        l1_mpki: per_kilo_inst(sample.count(HardwareEvent::L1DMisses)),
+        l2_mpki: per_kilo_inst(sample.count(HardwareEvent::L2Misses)),
+        memory_boundedness,
+        speculation_waste,
+        mispredict_rate,
+        bus_bytes_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::units::Seconds;
+
+    fn sample(counts: Vec<(HardwareEvent, f64)>) -> CounterSample {
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles: 20e6,
+            counts: counts.into_iter().map(|(e, c)| (e, c, true)).collect(),
+        }
+    }
+
+    #[test]
+    fn full_event_set_yields_all_metrics() {
+        let s = sample(vec![
+            (HardwareEvent::InstructionsRetired, 10e6),
+            (HardwareEvent::InstructionsDecoded, 12.5e6),
+            (HardwareEvent::DcuMissOutstanding, 15e6),
+            (HardwareEvent::L1DMisses, 200e3),
+            (HardwareEvent::L2Misses, 50e3),
+            (HardwareEvent::BranchesRetired, 1e6),
+            (HardwareEvent::BranchMispredictions, 40e3),
+            (HardwareEvent::MemoryRequests, 50e3),
+        ]);
+        let m = derive(&s, MegaHertz::new(2000));
+        assert!((m.ipc.unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.l1_mpki.unwrap() - 20.0).abs() < 1e-9);
+        assert!((m.l2_mpki.unwrap() - 5.0).abs() < 1e-9);
+        assert!((m.memory_boundedness.unwrap() - 1.5).abs() < 1e-12);
+        assert!((m.speculation_waste.unwrap() - 0.2).abs() < 1e-12);
+        assert!((m.mispredict_rate.unwrap() - 0.04).abs() < 1e-12);
+        // 50e3 requests / 20e6 cycles × 64 B × 2e9 Hz = 320 MB/s.
+        assert!((m.bus_bytes_per_sec.unwrap() - 320e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn missing_events_yield_none_not_garbage() {
+        let s = sample(vec![(HardwareEvent::InstructionsRetired, 10e6)]);
+        let m = derive(&s, MegaHertz::new(2000));
+        assert!(m.ipc.is_some());
+        assert_eq!(m.l1_mpki, None);
+        assert_eq!(m.memory_boundedness, None);
+        assert_eq!(m.mispredict_rate, None);
+        assert_eq!(m.bus_bytes_per_sec, None);
+    }
+
+    #[test]
+    fn zero_instruction_interval_is_safe() {
+        let s = sample(vec![
+            (HardwareEvent::InstructionsRetired, 0.0),
+            (HardwareEvent::L1DMisses, 100.0),
+        ]);
+        let m = derive(&s, MegaHertz::new(2000));
+        assert_eq!(m.l1_mpki, None, "no instructions: MPKI undefined");
+    }
+
+    #[test]
+    fn speculation_waste_clamps_at_zero() {
+        // Multiplexing estimates can transiently report retired > decoded.
+        let s = sample(vec![
+            (HardwareEvent::InstructionsRetired, 11e6),
+            (HardwareEvent::InstructionsDecoded, 10e6),
+        ]);
+        let m = derive(&s, MegaHertz::new(2000));
+        assert_eq!(m.speculation_waste, Some(0.0));
+    }
+}

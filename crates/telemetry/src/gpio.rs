@@ -1,0 +1,105 @@
+//! GPIO synchronization markers.
+//!
+//! The paper raises a 3.3 V GPIO line at the start and end of each benchmark
+//! run so the external power-capture can be aligned with application
+//! execution. The simulated equivalent records labelled timestamps that
+//! experiments use to slice traces per benchmark.
+
+use aapm_platform::units::Seconds;
+
+/// Edge direction of a marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Benchmark (or region) start.
+    Rising,
+    /// Benchmark (or region) end.
+    Falling,
+}
+
+/// A labelled synchronization event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncMarker {
+    /// Time the line toggled.
+    pub time: Seconds,
+    /// Edge direction.
+    pub edge: Edge,
+    /// Label of the region (benchmark name).
+    pub label: String,
+}
+
+/// Recorder for synchronization markers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyncChannel {
+    markers: Vec<SyncMarker>,
+}
+
+impl SyncChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        SyncChannel::default()
+    }
+
+    /// Records a region start.
+    pub fn rise(&mut self, time: Seconds, label: impl Into<String>) {
+        self.markers.push(SyncMarker { time, edge: Edge::Rising, label: label.into() });
+    }
+
+    /// Records a region end.
+    pub fn fall(&mut self, time: Seconds, label: impl Into<String>) {
+        self.markers.push(SyncMarker { time, edge: Edge::Falling, label: label.into() });
+    }
+
+    /// All markers in record order.
+    pub fn markers(&self) -> &[SyncMarker] {
+        &self.markers
+    }
+
+    /// The `[start, end)` interval of the first region named `label`, if
+    /// both edges were recorded.
+    pub fn region(&self, label: &str) -> Option<(Seconds, Seconds)> {
+        let start = self
+            .markers
+            .iter()
+            .find(|m| m.edge == Edge::Rising && m.label == label)?
+            .time;
+        let end = self
+            .markers
+            .iter()
+            .find(|m| m.edge == Edge::Falling && m.label == label && m.time >= start)?
+            .time;
+        Some((start, end))
+    }
+
+    /// Duration of the first region named `label`.
+    pub fn region_duration(&self, label: &str) -> Option<Seconds> {
+        self.region(label).map(|(s, e)| e - s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_extraction() {
+        let mut ch = SyncChannel::new();
+        ch.rise(Seconds::new(1.0), "swim");
+        ch.fall(Seconds::new(5.5), "swim");
+        ch.rise(Seconds::new(6.0), "mcf");
+        let (s, e) = ch.region("swim").unwrap();
+        assert_eq!(s, Seconds::new(1.0));
+        assert_eq!(e, Seconds::new(5.5));
+        assert_eq!(ch.region_duration("swim"), Some(Seconds::new(4.5)));
+        assert_eq!(ch.region("mcf"), None, "no falling edge yet");
+        assert_eq!(ch.region("gzip"), None);
+    }
+
+    #[test]
+    fn falling_edge_before_rise_is_ignored() {
+        let mut ch = SyncChannel::new();
+        ch.fall(Seconds::new(0.5), "x");
+        ch.rise(Seconds::new(1.0), "x");
+        ch.fall(Seconds::new(2.0), "x");
+        assert_eq!(ch.region("x"), Some((Seconds::new(1.0), Seconds::new(2.0))));
+    }
+}

@@ -1,0 +1,33 @@
+//! # aapm-telemetry — the measurement infrastructure, simulated
+//!
+//! The paper's experimental rig consisted of (a) a sense-resistor power
+//! measurement chain sampled at 10 ms and (b) a low-overhead driver reading
+//! the Pentium M's two performance counters every 10 ms, synchronized by a
+//! GPIO line. Governors in `aapm` observe the platform *only* through this
+//! crate:
+//!
+//! * [`daq`] — the power meter: gain error, noise, quantization;
+//! * [`pmc`] — the counter driver: two programmable counters, event
+//!   multiplexing when oversubscribed;
+//! * [`sensor`] — the on-die thermal diode (quantized temperature);
+//! * [`gpio`] — run-boundary markers;
+//! * [`trace`] — power/p-state time series, moving-average violation
+//!   metrics, energy summation (the paper's energy metric);
+//! * [`window`] — moving windows (PM's 100 ms enforcement window);
+//! * [`stats`] — summaries, medians (the paper's three-run median).
+
+pub mod daq;
+pub mod derived;
+pub mod gpio;
+pub mod pmc;
+pub mod sensor;
+pub mod stats;
+pub mod trace;
+pub mod window;
+
+pub use daq::{DaqConfig, PowerDaq, PowerSample};
+pub use derived::{derive, DerivedMetrics};
+pub use pmc::{CounterSample, PmcDriver, PROGRAMMABLE_COUNTERS};
+pub use sensor::{ThermalSensor, ThermalSensorConfig};
+pub use trace::{RunTrace, TraceRecord};
+pub use window::MovingWindow;

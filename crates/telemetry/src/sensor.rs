@@ -1,0 +1,144 @@
+//! On-die thermal sensor.
+//!
+//! Real thermal diodes report coarsely (≈1 °C steps on parts of this era)
+//! with a calibration offset; governors that guard a thermal envelope see
+//! the quantized reading, never the model's exact temperature.
+
+use aapm_platform::machine::Machine;
+use aapm_platform::noise::NoiseSource;
+use aapm_platform::thermal::Celsius;
+
+/// Configuration of the thermal sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalSensorConfig {
+    /// Reading quantization step in °C.
+    pub quantization_c: f64,
+    /// Fixed calibration offset in °C (device-to-device variation).
+    pub offset_c: f64,
+    /// Per-reading noise standard deviation in °C.
+    pub noise_std_c: f64,
+}
+
+impl ThermalSensorConfig {
+    /// A thermal-diode class sensor: 1 °C steps, ±0.5 °C class offset,
+    /// mild reading noise.
+    pub fn thermal_diode() -> Self {
+        ThermalSensorConfig { quantization_c: 1.0, offset_c: 0.0, noise_std_c: 0.2 }
+    }
+
+    /// A perfect sensor (for tests).
+    pub fn ideal() -> Self {
+        ThermalSensorConfig { quantization_c: 0.0, offset_c: 0.0, noise_std_c: 0.0 }
+    }
+}
+
+impl Default for ThermalSensorConfig {
+    fn default() -> Self {
+        ThermalSensorConfig::thermal_diode()
+    }
+}
+
+/// The sampling thermal sensor.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_platform::{config::MachineConfig, machine::Machine};
+/// use aapm_platform::phase::PhaseDescriptor;
+/// use aapm_platform::program::PhaseProgram;
+/// use aapm_platform::units::Seconds;
+/// use aapm_telemetry::sensor::{ThermalSensor, ThermalSensorConfig};
+///
+/// let phase = PhaseDescriptor::builder("w").instructions(100_000_000).build()?;
+/// let mut machine = Machine::new(MachineConfig::default(), PhaseProgram::from_phase(phase));
+/// let mut sensor = ThermalSensor::new(ThermalSensorConfig::default(), 7);
+/// machine.tick(Seconds::from_millis(10.0));
+/// let reading = sensor.read(&machine);
+/// assert!(reading.degrees() >= 30.0);
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalSensor {
+    config: ThermalSensorConfig,
+    noise: NoiseSource,
+}
+
+impl ThermalSensor {
+    /// Creates a sensor with its own noise stream.
+    pub fn new(config: ThermalSensorConfig, seed: u64) -> Self {
+        ThermalSensor { config, noise: NoiseSource::seeded(seed ^ 0x7E_4F_0001) }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &ThermalSensorConfig {
+        &self.config
+    }
+
+    /// Reads the die temperature (quantized, offset, noisy).
+    pub fn read(&mut self, machine: &Machine) -> Celsius {
+        let mut value = machine.temperature().degrees()
+            + self.config.offset_c
+            + self.noise.gaussian(0.0, self.config.noise_std_c);
+        if self.config.quantization_c > 0.0 {
+            value = (value / self.config.quantization_c).round() * self.config.quantization_c;
+        }
+        Celsius::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::config::MachineConfig;
+    use aapm_platform::phase::PhaseDescriptor;
+    use aapm_platform::program::PhaseProgram;
+    use aapm_platform::units::Seconds;
+
+    fn machine() -> Machine {
+        let phase = PhaseDescriptor::builder("w")
+            .instructions(10_000_000_000)
+            .build()
+            .unwrap();
+        Machine::new(MachineConfig::pentium_m_755(1), PhaseProgram::from_phase(phase))
+    }
+
+    #[test]
+    fn ideal_sensor_reports_model_temperature() {
+        let mut m = machine();
+        let mut sensor = ThermalSensor::new(ThermalSensorConfig::ideal(), 1);
+        for _ in 0..100 {
+            m.tick(Seconds::from_millis(10.0));
+        }
+        assert_eq!(sensor.read(&m), m.temperature());
+    }
+
+    #[test]
+    fn diode_sensor_quantizes_to_whole_degrees() {
+        let mut m = machine();
+        let mut sensor = ThermalSensor::new(ThermalSensorConfig::thermal_diode(), 1);
+        m.tick(Seconds::from_millis(10.0));
+        let reading = sensor.read(&m).degrees();
+        assert!((reading - reading.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_biases_readings() {
+        let mut m = machine();
+        m.tick(Seconds::from_millis(10.0));
+        let mut biased = ThermalSensor::new(
+            ThermalSensorConfig { quantization_c: 0.0, offset_c: 2.5, noise_std_c: 0.0 },
+            1,
+        );
+        let expected = m.temperature().degrees() + 2.5;
+        assert!((biased.read(&m).degrees() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensors_are_deterministic_per_seed() {
+        let mut m = machine();
+        m.tick(Seconds::from_millis(10.0));
+        let mut a = ThermalSensor::new(ThermalSensorConfig::default(), 9);
+        let mut b = ThermalSensor::new(ThermalSensorConfig::default(), 9);
+        assert_eq!(a.read(&m), b.read(&m));
+    }
+}

@@ -1,0 +1,216 @@
+//! Time-series traces of power, p-state, and counter activity.
+//!
+//! Traces are what experiments plot (the paper's Figures 1, 5 and 8 are all
+//! traces) and what violation/energy statistics are computed from.
+
+use aapm_platform::pstate::PStateId;
+use aapm_platform::units::{Joules, Seconds, Watts};
+
+use crate::daq::PowerSample;
+
+/// One record of a run trace: a sampling interval with everything observed
+/// in it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// End of the sampling interval.
+    pub time: Seconds,
+    /// Measured average power over the interval.
+    pub power: Watts,
+    /// True average power over the interval.
+    pub true_power: Watts,
+    /// P-state in effect at the end of the interval.
+    pub pstate: PStateId,
+    /// Retired instructions per cycle over the interval (if monitored).
+    pub ipc: Option<f64>,
+    /// Decoded instructions per cycle over the interval (if monitored).
+    pub dpc: Option<f64>,
+}
+
+/// A full run trace: records at the sampling cadence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTrace {
+    records: Vec<TraceRecord>,
+    interval: Seconds,
+}
+
+impl RunTrace {
+    /// Creates an empty trace for samples of length `interval`.
+    pub fn new(interval: Seconds) -> Self {
+        RunTrace { records: Vec::new(), interval }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Seconds {
+        self.interval
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Convenience: appends a record built from a power sample.
+    pub fn push_sample(
+        &mut self,
+        sample: &PowerSample,
+        pstate: PStateId,
+        ipc: Option<f64>,
+        dpc: Option<f64>,
+    ) {
+        self.push(TraceRecord {
+            time: sample.end,
+            power: sample.power,
+            true_power: sample.true_power,
+            pstate,
+            ipc,
+            dpc,
+        });
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total measured energy: Σ (power × interval). This is the paper's
+    /// energy metric ("summing energy values computed from each 10 ms power
+    /// sample").
+    pub fn measured_energy(&self) -> Joules {
+        self.records.iter().map(|r| r.power * self.interval).sum()
+    }
+
+    /// Mean measured power over the whole trace, `None` when empty.
+    pub fn mean_power(&self) -> Option<Watts> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let total: f64 = self.records.iter().map(|r| r.power.watts()).sum();
+        Some(Watts::new(total / self.records.len() as f64))
+    }
+
+    /// Maximum single-sample measured power, `None` when empty.
+    pub fn max_power(&self) -> Option<Watts> {
+        self.records.iter().map(|r| r.power).fold(None, |acc, p| Some(acc.map_or(p, |a| a.max(p))))
+    }
+
+    /// Moving-average power over windows of `window` consecutive samples,
+    /// one value per trailing position (empty if fewer records than
+    /// `window`).
+    pub fn moving_average_power(&self, window: usize) -> Vec<f64> {
+        if window == 0 || self.records.len() < window {
+            return Vec::new();
+        }
+        let powers: Vec<f64> = self.records.iter().map(|r| r.power.watts()).collect();
+        powers.windows(window).map(|w| w.iter().sum::<f64>() / window as f64).collect()
+    }
+
+    /// Fraction of `window`-sample moving averages that exceed `limit`
+    /// (the paper's power-limit adherence metric over 100 ms windows).
+    pub fn violation_fraction(&self, limit: Watts, window: usize) -> f64 {
+        let averages = self.moving_average_power(window);
+        if averages.is_empty() {
+            return 0.0;
+        }
+        let violations = averages.iter().filter(|&&p| p > limit.watts()).count();
+        violations as f64 / averages.len() as f64
+    }
+
+    /// Fraction of run time spent in each p-state (by sample count).
+    pub fn pstate_residency(&self) -> Vec<(PStateId, f64)> {
+        let mut counts: Vec<(PStateId, usize)> = Vec::new();
+        for r in &self.records {
+            if let Some(slot) = counts.iter_mut().find(|(id, _)| *id == r.pstate) {
+                slot.1 += 1;
+            } else {
+                counts.push((r.pstate, 1));
+            }
+        }
+        let total = self.records.len().max(1) as f64;
+        counts.sort_by_key(|(id, _)| *id);
+        counts.into_iter().map(|(id, n)| (id, n as f64 / total)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t_ms: f64, power: f64, pstate: usize) -> TraceRecord {
+        TraceRecord {
+            time: Seconds::from_millis(t_ms),
+            power: Watts::new(power),
+            true_power: Watts::new(power),
+            pstate: PStateId::new(pstate),
+            ipc: None,
+            dpc: None,
+        }
+    }
+
+    fn trace(powers: &[f64]) -> RunTrace {
+        let mut t = RunTrace::new(Seconds::from_millis(10.0));
+        for (i, &p) in powers.iter().enumerate() {
+            t.push(record(10.0 * (i + 1) as f64, p, 7));
+        }
+        t
+    }
+
+    #[test]
+    fn measured_energy_sums_samples() {
+        let t = trace(&[10.0, 12.0, 14.0]);
+        // (10+12+14) W × 10 ms = 0.36 J
+        assert!((t.measured_energy().joules() - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_max_power() {
+        let t = trace(&[10.0, 12.0, 14.0]);
+        assert_eq!(t.mean_power(), Some(Watts::new(12.0)));
+        assert_eq!(t.max_power(), Some(Watts::new(14.0)));
+        assert_eq!(RunTrace::new(Seconds::from_millis(10.0)).mean_power(), None);
+    }
+
+    #[test]
+    fn moving_average_has_expected_length_and_values() {
+        let t = trace(&[10.0, 20.0, 30.0, 40.0]);
+        let ma = t.moving_average_power(2);
+        assert_eq!(ma, vec![15.0, 25.0, 35.0]);
+        assert!(t.moving_average_power(5).is_empty());
+        assert!(t.moving_average_power(0).is_empty());
+    }
+
+    #[test]
+    fn violation_fraction_counts_window_averages() {
+        // Windows of 2: averages 15, 25, 35 against limit 20 → 2/3 violate.
+        let t = trace(&[10.0, 20.0, 30.0, 40.0]);
+        let f = t.violation_fraction(Watts::new(20.0), 2);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        // A single 40 W sample does not violate the windowed limit per se:
+        let f10 = t.violation_fraction(Watts::new(26.0), 4);
+        assert_eq!(f10, 0.0, "4-sample average is 25 W");
+    }
+
+    #[test]
+    fn residency_fractions_sum_to_one() {
+        let mut t = RunTrace::new(Seconds::from_millis(10.0));
+        t.push(record(10.0, 10.0, 7));
+        t.push(record(20.0, 10.0, 6));
+        t.push(record(30.0, 10.0, 7));
+        t.push(record(40.0, 10.0, 7));
+        let res = t.pstate_residency();
+        let total: f64 = res.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(res.len(), 2);
+        let p7 = res.iter().find(|(id, _)| *id == PStateId::new(7)).unwrap().1;
+        assert!((p7 - 0.75).abs() < 1e-12);
+    }
+}

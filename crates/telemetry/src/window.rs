@@ -1,0 +1,162 @@
+//! Fixed-capacity moving windows over samples.
+//!
+//! PM enforces its power limit over a moving window of ten 10 ms samples
+//! (100 ms); this module provides the window arithmetic.
+
+use std::collections::VecDeque;
+
+/// A moving window over the most recent `capacity` values.
+///
+/// # Examples
+///
+/// ```
+/// use aapm_telemetry::window::MovingWindow;
+///
+/// let mut w = MovingWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// w.push(4.0); // evicts 1.0
+/// assert_eq!(w.mean(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingWindow {
+    values: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl MovingWindow {
+    /// Creates an empty window holding up to `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        MovingWindow { values: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Appends a value, evicting the oldest if full.
+    pub fn push(&mut self, value: f64) {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+    }
+
+    /// Number of values currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the window holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the held values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Largest held value, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().cloned().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Smallest held value, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().cloned().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Whether every held value satisfies `predicate`. `false` when the
+    /// window is not yet full (PM requires a *full* window of good samples
+    /// before raising frequency).
+    pub fn full_and_all(&self, mut predicate: impl FnMut(f64) -> bool) -> bool {
+        self.is_full() && self.values.iter().all(|&v| predicate(v))
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+
+    /// Iterates over held values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let mut w = MovingWindow::new(2);
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_window_has_no_statistics() {
+        let w = MovingWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.max(), None);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn statistics_over_partial_window() {
+        let mut w = MovingWindow::new(10);
+        w.push(2.0);
+        w.push(4.0);
+        assert_eq!(w.mean(), Some(3.0));
+        assert_eq!(w.max(), Some(4.0));
+        assert_eq!(w.min(), Some(2.0));
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn full_and_all_requires_full_window() {
+        let mut w = MovingWindow::new(3);
+        w.push(1.0);
+        w.push(1.0);
+        assert!(!w.full_and_all(|v| v < 2.0), "not full yet");
+        w.push(1.0);
+        assert!(w.full_and_all(|v| v < 2.0));
+        w.push(5.0);
+        assert!(!w.full_and_all(|v| v < 2.0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = MovingWindow::new(2);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = MovingWindow::new(0);
+    }
+}

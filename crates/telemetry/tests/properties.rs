@@ -1,0 +1,144 @@
+//! Property-based tests of the telemetry layer.
+
+use aapm_platform::pstate::PStateId;
+use aapm_platform::units::{Seconds, Watts};
+use aapm_telemetry::stats::{median, percentile, summarize};
+use aapm_telemetry::trace::{RunTrace, TraceRecord};
+use aapm_telemetry::window::MovingWindow;
+use proptest::prelude::*;
+
+fn trace_from(powers: &[f64]) -> RunTrace {
+    let mut trace = RunTrace::new(Seconds::from_millis(10.0));
+    for (i, &p) in powers.iter().enumerate() {
+        trace.push(TraceRecord {
+            time: Seconds::from_millis(10.0 * (i + 1) as f64),
+            power: Watts::new(p),
+            true_power: Watts::new(p),
+            pstate: PStateId::new(i % 8),
+            ipc: None,
+            dpc: None,
+        });
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A moving window's mean always lies between its min and max, and its
+    /// length never exceeds capacity.
+    #[test]
+    fn window_statistics_bounded(
+        capacity in 1usize..20,
+        values in prop::collection::vec(-100.0f64..100.0, 0..100),
+    ) {
+        let mut window = MovingWindow::new(capacity);
+        for &v in &values {
+            window.push(v);
+            prop_assert!(window.len() <= capacity);
+            let (mean, min, max) =
+                (window.mean().unwrap(), window.min().unwrap(), window.max().unwrap());
+            prop_assert!(min <= mean + 1e-12 && mean <= max + 1e-12);
+        }
+    }
+
+    /// The window retains exactly the most recent `capacity` values.
+    #[test]
+    fn window_retains_most_recent(
+        capacity in 1usize..10,
+        values in prop::collection::vec(-100.0f64..100.0, 1..60),
+    ) {
+        let mut window = MovingWindow::new(capacity);
+        for &v in &values {
+            window.push(v);
+        }
+        let expected: Vec<f64> =
+            values.iter().rev().take(capacity).rev().copied().collect();
+        prop_assert_eq!(window.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// Trace energy equals the sum of sample powers times the interval, and
+    /// the mean power lies within the sample range.
+    #[test]
+    fn trace_energy_additivity(powers in prop::collection::vec(0.0f64..25.0, 1..300)) {
+        let trace = trace_from(&powers);
+        let expected: f64 = powers.iter().map(|p| p * 0.01).sum();
+        prop_assert!((trace.measured_energy().joules() - expected).abs() < 1e-9);
+        let mean = trace.mean_power().unwrap().watts();
+        let max = trace.max_power().unwrap().watts();
+        prop_assert!(mean <= max + 1e-12);
+    }
+
+    /// Violation fraction is a probability, zero when the limit clears the
+    /// max sample, one when the limit is below the min window average.
+    #[test]
+    fn violation_fraction_bounds(
+        powers in prop::collection::vec(1.0f64..25.0, 10..200),
+        limit in 0.5f64..30.0,
+        window in 1usize..15,
+    ) {
+        let trace = trace_from(&powers);
+        let fraction = trace.violation_fraction(Watts::new(limit), window);
+        prop_assert!((0.0..=1.0).contains(&fraction));
+        let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        if limit >= max {
+            prop_assert_eq!(fraction, 0.0);
+        }
+        if limit < min && powers.len() >= window {
+            prop_assert_eq!(fraction, 1.0);
+        }
+    }
+
+    /// Moving averages are bounded by the sample extremes and there are
+    /// exactly `n − window + 1` of them.
+    #[test]
+    fn moving_average_count_and_bounds(
+        powers in prop::collection::vec(0.0f64..25.0, 1..200),
+        window in 1usize..20,
+    ) {
+        let trace = trace_from(&powers);
+        let averages = trace.moving_average_power(window);
+        if powers.len() >= window {
+            prop_assert_eq!(averages.len(), powers.len() - window + 1);
+            let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+            let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+            for a in averages {
+                prop_assert!(a >= min - 1e-12 && a <= max + 1e-12);
+            }
+        } else {
+            prop_assert!(averages.is_empty());
+        }
+    }
+
+    /// P-state residency fractions sum to one and each lies in (0, 1].
+    #[test]
+    fn residency_is_a_distribution(powers in prop::collection::vec(1.0f64..25.0, 1..100)) {
+        let trace = trace_from(&powers);
+        let residency = trace.pstate_residency();
+        let total: f64 = residency.iter().map(|(_, f)| f).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for (_, f) in residency {
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    /// Median and percentiles are order statistics: bounded by min/max and
+    /// monotone in p.
+    #[test]
+    fn percentiles_are_order_statistics(values in prop::collection::vec(-50.0f64..50.0, 1..100)) {
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let med = median(&values).unwrap();
+        prop_assert!(med >= min - 1e-12 && med <= max + 1e-12);
+        let mut last = min;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let value = percentile(&values, p).unwrap();
+            prop_assert!(value >= last - 1e-12);
+            last = value;
+        }
+        let summary = summarize(&values).unwrap();
+        prop_assert!(summary.mean >= min - 1e-12 && summary.mean <= max + 1e-12);
+        prop_assert!(summary.std_dev >= 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Data footprints used to exercise each memory-hierarchy level.
+//!
+//! The paper configures each MS-Loops microbenchmark with multiple data
+//! footprints "to intensively exercise each of the memory hierarchy levels
+//! (L1 and L2 on-chip caches, and off-chip DRAM main memory)". Three
+//! footprints per loop × four loops gives the 12-point training set.
+
+use std::fmt;
+
+/// A working-set size targeting one level of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Footprint {
+    /// 16 KB — comfortably inside the 32 KB L1 data cache.
+    L1,
+    /// 256 KB — beyond L1, comfortably inside the 2 MB L2.
+    L2,
+    /// 8 MB — beyond L2; every pass streams from DRAM.
+    Dram,
+}
+
+impl Footprint {
+    /// All three footprints, smallest first.
+    pub const ALL: [Footprint; 3] = [Footprint::L1, Footprint::L2, Footprint::Dram];
+
+    /// Total data size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Footprint::L1 => 16 * 1024,
+            Footprint::L2 => 256 * 1024,
+            Footprint::Dram => 8 * 1024 * 1024,
+        }
+    }
+
+    /// Human-readable size label used in tables ("16KB", "256KB", "8MB").
+    pub fn label(self) -> &'static str {
+        match self {
+            Footprint::L1 => "16KB",
+            Footprint::L2 => "256KB",
+            Footprint::Dram => "8MB",
+        }
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aapm_platform::cache::CacheGeometry;
+
+    #[test]
+    fn footprints_straddle_the_pentium_m_hierarchy() {
+        let l1 = CacheGeometry::pentium_m_l1d().capacity_bytes as u64;
+        let l2 = CacheGeometry::pentium_m_l2().capacity_bytes as u64;
+        assert!(Footprint::L1.bytes() < l1);
+        assert!(Footprint::L2.bytes() > l1 && Footprint::L2.bytes() < l2);
+        assert!(Footprint::Dram.bytes() > l2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = Footprint::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels, vec!["16KB", "256KB", "8MB"]);
+    }
+
+    #[test]
+    fn ordering_is_by_size() {
+        assert!(Footprint::L1 < Footprint::L2);
+        assert!(Footprint::L2 < Footprint::Dram);
+    }
+}

@@ -1,0 +1,37 @@
+//! # aapm-workloads — workloads for the AAPM reproduction
+//!
+//! Three workload families for driving the simulated Pentium M platform:
+//!
+//! * **MS-Loops microbenchmarks** ([`loops`], paper Table I): DAXPY, FMA,
+//!   MCOPY and MLOAD_RAND, each at L1/L2/DRAM footprints ([`footprint`]).
+//!   Their address streams are run through the platform's cache simulator to
+//!   derive executable phases ([`characterize`]) — the 12-point training set
+//!   for the counter-based models.
+//! * **A synthetic SPEC CPU2000 suite** ([`spec`]): 26 phase programs whose
+//!   characteristics encode the paper's per-benchmark observations
+//!   (memory-bound vs core-bound scaling, power ordering, galgel's bursts,
+//!   ammp's phase alternation, art/mcf's deceptive DCU profiles).
+//! * **Random workloads** ([`synth`]) for property-based testing, and a
+//!   text format for user-defined workloads ([`dsl`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use aapm_workloads::{characterize, footprint::Footprint, loops::MicroLoop};
+//!
+//! let fma = characterize::characterize(MicroLoop::Fma, Footprint::L2)?;
+//! assert_eq!(fma.name(), "FMA-256KB");
+//! # Ok::<(), aapm_platform::error::PlatformError>(())
+//! ```
+
+pub mod characterize;
+pub mod dsl;
+pub mod footprint;
+pub mod loops;
+pub mod spec;
+pub mod synth;
+
+pub use characterize::{characterize as characterize_loop, training_set, CharacterizedLoop};
+pub use footprint::Footprint;
+pub use loops::MicroLoop;
+pub use spec::{by_name, suite, SpecBenchmark, SpecCategory};

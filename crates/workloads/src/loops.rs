@@ -1,0 +1,291 @@
+//! The MS-Loops microbenchmarks (paper Table I).
+//!
+//! Four simple array-access loops used both to study platform
+//! characteristics and as the training set for the counter-based models:
+//!
+//! | Loop | Behaviour |
+//! |---|---|
+//! | `DAXPY` | Linpack's daxpy: `y[i] += a * x[i]` over two FP arrays |
+//! | `FMA` | dot-product of adjacent pairs of one array, accumulated in a register; exercises the hardware prefetcher hardest |
+//! | `MCOPY` | sequential array copy; bandwidth test |
+//! | `MLOAD_RAND` | random loads over an array; latency test |
+//!
+//! Each loop is described by its per-element instruction mix (known from its
+//! inner-loop code) plus a generated *address stream*. Miss rates are not
+//! assumed — they are measured by running the stream through the simulated
+//! cache hierarchy (see [`crate::characterize`]).
+
+use aapm_platform::noise::NoiseSource;
+
+use crate::footprint::Footprint;
+
+/// One of the four MS-Loops microbenchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MicroLoop {
+    /// Linpack daxpy: scale-and-add over two arrays.
+    Daxpy,
+    /// Floating-point multiply-add over adjacent pairs, register-accumulated.
+    Fma,
+    /// Sequential memory copy between two arrays.
+    Mcopy,
+    /// Random memory loads over one array.
+    MloadRand,
+}
+
+/// Per-element instruction mix of a loop's inner body, fixed by its code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopMix {
+    /// Retired instructions per loop element.
+    pub instructions_per_element: f64,
+    /// Memory accesses (loads + stores) per element.
+    pub mem_accesses_per_element: f64,
+    /// Floating-point operations per element.
+    pub fp_per_element: f64,
+    /// Branch instructions per element.
+    pub branches_per_element: f64,
+    /// Mispredictions per branch (loop-closing branches predict well).
+    pub mispredict_rate: f64,
+    /// Cycles per instruction with a perfect memory system.
+    pub core_cpi: f64,
+    /// Decoded-to-retired ratio.
+    pub decode_ratio: f64,
+    /// Fraction of memory latency the loop's access pattern lets the core
+    /// overlap (independent iterations ⇒ high; pointer-chase ⇒ none).
+    pub overlap: f64,
+    /// Switching-activity factor relative to nominal.
+    pub activity: f64,
+}
+
+impl MicroLoop {
+    /// All four loops in Table I order.
+    pub const ALL: [MicroLoop; 4] =
+        [MicroLoop::Daxpy, MicroLoop::Fma, MicroLoop::Mcopy, MicroLoop::MloadRand];
+
+    /// The loop's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroLoop::Daxpy => "DAXPY",
+            MicroLoop::Fma => "FMA",
+            MicroLoop::Mcopy => "MCOPY",
+            MicroLoop::MloadRand => "MLOAD_RAND",
+        }
+    }
+
+    /// One-line description (paper Table I).
+    pub fn description(self) -> &'static str {
+        match self {
+            MicroLoop::Daxpy => {
+                "Linpack daxpy: traverses two floating-point arrays, scaling each element \
+                 of the first by a constant and adding it to the second"
+            }
+            MicroLoop::Fma => {
+                "floating-point multiply-add: reads adjacent element pairs of one array, \
+                 accumulating their dot product in a register; exercises hardware \
+                 prefetching hardest"
+            }
+            MicroLoop::Mcopy => {
+                "sequentially copies all elements of one array to a second; tests the \
+                 bandwidth limits of the accessed hierarchy level"
+            }
+            MicroLoop::MloadRand => {
+                "random memory loads over an array; determines the latency of a memory \
+                 hierarchy level"
+            }
+        }
+    }
+
+    /// The loop's per-element instruction mix.
+    pub fn mix(self) -> LoopMix {
+        match self {
+            // ld x[i]; ld y[i]; mul; add; st y[i]; inc; cmp+branch ≈ 8 inst.
+            MicroLoop::Daxpy => LoopMix {
+                instructions_per_element: 8.0,
+                mem_accesses_per_element: 3.0,
+                fp_per_element: 2.0,
+                branches_per_element: 1.0,
+                mispredict_rate: 0.002,
+                core_cpi: 0.62,
+                decode_ratio: 1.02,
+                overlap: 0.55,
+                activity: 1.0,
+            },
+            // ld a[2i]; ld a[2i+1]; mul; add-accumulate; inc; cmp+branch ≈ 6.
+            // Activity calibrated so the L2-resident FMA lands at the
+            // paper's Table III worst case (≈17.8 W at 2 GHz).
+            MicroLoop::Fma => LoopMix {
+                instructions_per_element: 6.0,
+                mem_accesses_per_element: 2.0,
+                fp_per_element: 2.0,
+                branches_per_element: 1.0,
+                mispredict_rate: 0.002,
+                core_cpi: 0.48,
+                decode_ratio: 1.05,
+                overlap: 0.85,
+                activity: 0.89,
+            },
+            // ld a[i]; st b[i]; inc; cmp+branch ≈ 5 inst.
+            MicroLoop::Mcopy => LoopMix {
+                instructions_per_element: 5.0,
+                mem_accesses_per_element: 2.0,
+                fp_per_element: 0.0,
+                branches_per_element: 1.0,
+                mispredict_rate: 0.002,
+                core_cpi: 0.60,
+                decode_ratio: 1.02,
+                overlap: 0.70,
+                activity: 0.90,
+            },
+            // compute index; ld a[idx]; consume; cmp+branch ≈ 5 inst.
+            MicroLoop::MloadRand => LoopMix {
+                instructions_per_element: 5.0,
+                mem_accesses_per_element: 1.0,
+                fp_per_element: 0.0,
+                branches_per_element: 1.0,
+                mispredict_rate: 0.01,
+                core_cpi: 0.80,
+                decode_ratio: 1.05,
+                overlap: 0.02,
+                activity: 0.85,
+            },
+        }
+    }
+
+    /// Number of loop elements in one pass over `footprint` bytes of data.
+    ///
+    /// Element size is 8 bytes (doubles); loops that touch two arrays split
+    /// the footprint between them, and FMA consumes two elements per
+    /// iteration.
+    pub fn elements_per_pass(self, footprint: Footprint) -> u64 {
+        let bytes = footprint.bytes();
+        match self {
+            // Two arrays share the footprint; one element of each per iter.
+            MicroLoop::Daxpy | MicroLoop::Mcopy => bytes / 16,
+            // One array, two adjacent elements per iteration.
+            MicroLoop::Fma => bytes / 16,
+            // One array, one element per iteration.
+            MicroLoop::MloadRand => bytes / 8,
+        }
+    }
+
+    /// Generates the byte addresses of one pass over the data, in access
+    /// order. `seed` only affects `MLOAD_RAND`.
+    pub fn stream(self, footprint: Footprint, seed: u64) -> Vec<u64> {
+        let bytes = footprint.bytes();
+        let elements = self.elements_per_pass(footprint);
+        match self {
+            MicroLoop::Daxpy => {
+                // x array at 0, y array at bytes/2; per element: ld x, ld y,
+                // st y (same address as the load).
+                let half = bytes / 2;
+                let mut out = Vec::with_capacity((elements * 3) as usize);
+                for i in 0..elements {
+                    let x = i * 8;
+                    let y = half + i * 8;
+                    out.push(x);
+                    out.push(y);
+                    out.push(y);
+                }
+                out
+            }
+            MicroLoop::Fma => {
+                // Single array; adjacent pair per iteration.
+                let mut out = Vec::with_capacity((elements * 2) as usize);
+                for i in 0..elements {
+                    out.push(i * 16);
+                    out.push(i * 16 + 8);
+                }
+                out
+            }
+            MicroLoop::Mcopy => {
+                // Source at 0, destination at bytes/2.
+                let half = bytes / 2;
+                let mut out = Vec::with_capacity((elements * 2) as usize);
+                for i in 0..elements {
+                    out.push(i * 8);
+                    out.push(half + i * 8);
+                }
+                out
+            }
+            MicroLoop::MloadRand => {
+                let mut noise = NoiseSource::seeded(seed);
+                let slots = bytes / 8;
+                (0..elements).map(|_| noise.below(slots) * 8).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table_i() {
+        let names: Vec<_> = MicroLoop::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["DAXPY", "FMA", "MCOPY", "MLOAD_RAND"]);
+    }
+
+    #[test]
+    fn mixes_are_internally_consistent() {
+        for l in MicroLoop::ALL {
+            let m = l.mix();
+            assert!(m.mem_accesses_per_element <= m.instructions_per_element);
+            assert!(m.fp_per_element <= m.instructions_per_element);
+            assert!(m.branches_per_element <= m.instructions_per_element);
+            assert!(m.core_cpi > 0.0);
+            assert!(m.decode_ratio >= 1.0);
+            assert!((0.0..1.0).contains(&m.overlap));
+        }
+    }
+
+    #[test]
+    fn fma_has_highest_overlap_mload_lowest() {
+        let overlaps: Vec<_> = MicroLoop::ALL.iter().map(|l| l.mix().overlap).collect();
+        let fma = MicroLoop::Fma.mix().overlap;
+        let mload = MicroLoop::MloadRand.mix().overlap;
+        assert!(overlaps.iter().all(|&o| o <= fma));
+        assert!(overlaps.iter().all(|&o| o >= mload));
+    }
+
+    #[test]
+    fn streams_stay_within_footprint() {
+        for l in MicroLoop::ALL {
+            for fp in Footprint::ALL {
+                let stream = l.stream(fp, 1);
+                assert!(!stream.is_empty());
+                let max = stream.iter().max().unwrap();
+                assert!(*max < fp.bytes(), "{l:?} {fp} touched {max} >= {}", fp.bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn stream_lengths_match_mix() {
+        for l in MicroLoop::ALL {
+            let fp = Footprint::L1;
+            let stream = l.stream(fp, 1);
+            let per_element = l.mix().mem_accesses_per_element;
+            let expected = l.elements_per_pass(fp) as f64 * per_element;
+            assert_eq!(stream.len() as f64, expected, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_loops_are_deterministic_random_loop_is_seeded() {
+        for l in [MicroLoop::Daxpy, MicroLoop::Fma, MicroLoop::Mcopy] {
+            assert_eq!(l.stream(Footprint::L1, 1), l.stream(Footprint::L1, 2));
+        }
+        let a = MicroLoop::MloadRand.stream(Footprint::L1, 1);
+        let b = MicroLoop::MloadRand.stream(Footprint::L1, 1);
+        let c = MicroLoop::MloadRand.stream(Footprint::L1, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for l in MicroLoop::ALL {
+            assert!(!l.description().is_empty());
+        }
+    }
+}

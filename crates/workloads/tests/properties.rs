@@ -1,0 +1,85 @@
+//! Property-based tests of workload construction and characterization.
+
+use aapm_platform::pipeline::{evaluate, MemoryTimings};
+use aapm_platform::pstate::PStateTable;
+use aapm_workloads::characterize::characterize_with_budget;
+use aapm_workloads::footprint::Footprint;
+use aapm_workloads::loops::MicroLoop;
+use aapm_workloads::spec;
+use aapm_workloads::synth::random_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random programs always build, carry positive budgets, and scale
+    /// consistently.
+    #[test]
+    fn random_programs_scale_consistently(seed in 0u64..10_000, factor in 0.1f64..3.0) {
+        let program = random_program(seed, 5);
+        let scaled = program.scaled(factor);
+        prop_assert_eq!(program.len(), scaled.len());
+        let expected: u64 = program
+            .phases()
+            .iter()
+            .map(|p| ((p.instructions() as f64 * factor).round().max(1.0)) as u64)
+            .sum();
+        prop_assert_eq!(scaled.total_instructions(), expected);
+    }
+
+    /// Every random program executes at a positive, finite rate at every
+    /// p-state.
+    #[test]
+    fn random_programs_have_finite_rates(seed in 0u64..10_000) {
+        let program = random_program(seed, 5);
+        let table = PStateTable::pentium_m_755();
+        let timings = MemoryTimings::pentium_m_755();
+        for phase in program.phases() {
+            for (_, state) in table.iter() {
+                let rates = evaluate(phase, state, &timings);
+                prop_assert!(rates.instructions_per_second.is_finite());
+                prop_assert!(rates.instructions_per_second > 0.0);
+                prop_assert!(rates.ipc > 0.0 && rates.ipc < 4.0);
+                prop_assert!(rates.dpc >= rates.ipc);
+            }
+        }
+    }
+
+    /// Characterization budgets flow through to programs for any loop and
+    /// footprint.
+    #[test]
+    fn characterization_budget_is_respected(
+        loop_index in 0usize..4,
+        footprint_index in 0usize..3,
+        budget in 1_000u64..10_000_000,
+    ) {
+        let microloop = MicroLoop::ALL[loop_index];
+        let footprint = Footprint::ALL[footprint_index];
+        let c = characterize_with_budget(microloop, footprint, budget).unwrap();
+        prop_assert_eq!(c.phase.instructions(), budget);
+        // Derived miss rates respect the nesting invariants by construction.
+        prop_assert!(c.phase.l2_mpi() <= c.phase.l1_mpi() + c.phase.prefetch_per_inst() + 1e-12);
+        prop_assert!(c.phase.l1_mpi() <= c.phase.mem_fraction() + 1e-12);
+    }
+}
+
+#[test]
+fn every_spec_benchmark_is_well_formed_at_every_pstate() {
+    let table = PStateTable::pentium_m_755();
+    let timings = MemoryTimings::pentium_m_755();
+    for bench in spec::suite() {
+        for phase in bench.program().phases() {
+            for (_, state) in table.iter() {
+                let rates = evaluate(phase, state, &timings);
+                assert!(
+                    rates.ipc > 0.05 && rates.ipc < 3.0,
+                    "{}/{}: IPC {} out of plausible range",
+                    bench.name(),
+                    phase.name(),
+                    rates.ipc
+                );
+                assert!(rates.dcu_outstanding_per_cycle >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Governor bake-off: PM, PS, DBS, static, and unconstrained on one
+//! workload mix.
+//!
+//! ```text
+//! cargo run --release --example governor_comparison
+//! ```
+//!
+//! Runs a small representative mix (memory-bound, phased, hot) under five
+//! governors and prints the time/energy/peak-power trade each one makes.
+
+use aapm::baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
+use aapm::governor::Governor;
+use aapm::limits::{PerformanceFloor, PowerLimit};
+use aapm::pm::PerformanceMaximizer;
+use aapm::ps::PowerSave;
+use aapm::runtime::{run, SimulationConfig};
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_workloads::spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = PStateTable::pentium_m_755();
+    eprintln!("training the power model…");
+    let training = collect_training_data(&TrainingConfig::default(), &table)?;
+    let power_model = train_power_model(&training)?;
+    let perf_model = PerfModel::new(PerfModelParams::paper());
+
+    let mix = ["swim", "ammp", "crafty"];
+    println!("{:<16} {:>10} {:>10} {:>12} {:>12}", "governor", "time_s", "energy_j", "mean_w", "max100ms_w");
+    println!("{}", "-".repeat(64));
+
+    type Factory = Box<dyn FnMut() -> Box<dyn Governor>>;
+    let mut governors: Vec<(&str, Factory)> = vec![
+        ("unconstrained", Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>)),
+        ("static-1400", Box::new(|| Box::new(StaticClock::new(PStateId::new(4))) as Box<dyn Governor>)),
+        ("dbs", Box::new(|| Box::new(DemandBasedSwitching::new()) as Box<dyn Governor>)),
+        ("pm-12.5W", {
+            let model = power_model.clone();
+            Box::new(move || {
+                Box::new(PerformanceMaximizer::new(
+                    model.clone(),
+                    PowerLimit::new(12.5).expect("valid limit"),
+                )) as Box<dyn Governor>
+            })
+        }),
+        ("ps-80%", {
+            Box::new(move || {
+                Box::new(PowerSave::new(
+                    perf_model,
+                    PerformanceFloor::new(0.8).expect("valid floor"),
+                )) as Box<dyn Governor>
+            })
+        }),
+    ];
+
+    for (name, factory) in &mut governors {
+        let mut time = 0.0;
+        let mut energy = 0.0;
+        let mut max_window = 0.0f64;
+        let mut power_time = 0.0;
+        for bench_name in mix {
+            let bench = spec::by_name(bench_name).expect("mix is in the suite");
+            let mut governor = factory();
+            let report = run(
+                governor.as_mut(),
+                MachineConfig::pentium_m_755(11),
+                bench.program().clone(),
+                SimulationConfig::default(),
+                &[],
+            )?;
+            time += report.execution_time.seconds();
+            energy += report.measured_energy.joules();
+            power_time += report.trace.len() as f64 * 0.01;
+            max_window = max_window
+                .max(report.trace.moving_average_power(10).into_iter().fold(0.0f64, f64::max));
+        }
+        println!(
+            "{name:<16} {time:>10.2} {energy:>10.1} {:>12.2} {max_window:>12.2}",
+            energy / power_time,
+        );
+    }
+    println!();
+    println!("DBS matches unconstrained at full load; PM caps the 100 ms peak;");
+    println!("PS converts bounded slowdown into energy savings; static-1400 is");
+    println!("the worst of both worlds unless the budget truly demands it.");
+    Ok(())
+}

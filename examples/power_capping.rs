@@ -1,0 +1,89 @@
+//! Power capping under a shrinking power budget — the paper's motivating
+//! scenario (iii): "continuing operation with maximal (but safe)
+//! performance in the event of partial supply/cooling failures".
+//!
+//! ```text
+//! cargo run --release --example power_capping
+//! ```
+//!
+//! A long `crafty` run starts under a comfortable 17.5 W budget. At t = 2 s
+//! a fan fails and the budget drops to 12.5 W; at t = 4 s a second failure
+//! forces 9.5 W. PM receives each new limit instantly (the paper delivers
+//! these as Unix signals) and resettles on the best safe p-state within one
+//! control interval.
+
+use aapm::governor::GovernorCommand;
+use aapm::limits::PowerLimit;
+use aapm::pm::PerformanceMaximizer;
+use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::pstate::PStateTable;
+use aapm_platform::units::Seconds;
+use aapm_workloads::spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = PStateTable::pentium_m_755();
+    println!("training the power model…");
+    let training = collect_training_data(&TrainingConfig::default(), &table)?;
+    let power_model = train_power_model(&training)?;
+
+    let crafty = spec::by_name("crafty").expect("crafty is in the suite");
+    // Stretch the run so every budget era lasts a while.
+    let program = crafty.program().scaled(1.6);
+
+    let mut pm = PerformanceMaximizer::new(power_model, PowerLimit::new(17.5)?);
+    let commands = [
+        ScheduledCommand {
+            at: Seconds::new(2.0),
+            command: GovernorCommand::SetPowerLimit(PowerLimit::new(12.5)?),
+        },
+        ScheduledCommand {
+            at: Seconds::new(4.0),
+            command: GovernorCommand::SetPowerLimit(PowerLimit::new(9.5)?),
+        },
+    ];
+    let report = run(
+        &mut pm,
+        MachineConfig::pentium_m_755(7),
+        program,
+        SimulationConfig::default(),
+        &commands,
+    )?;
+
+    println!("crafty under a failing power supply:");
+    println!("  completed: {} in {:.2} s", report.completed, report.execution_time.seconds());
+    println!("  p-state transitions: {}", report.transitions);
+
+    // Summarize each budget era from the trace.
+    let eras = [(0.0, 2.0, 17.5), (2.0, 4.0, 12.5), (4.0, f64::INFINITY, 9.5)];
+    for (start, end, budget) in eras {
+        let records: Vec<_> = report
+            .trace
+            .records()
+            .iter()
+            .filter(|r| r.time.seconds() > start && r.time.seconds() <= end)
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        let mean_power =
+            records.iter().map(|r| r.power.watts()).sum::<f64>() / records.len() as f64;
+        let mean_freq = records
+            .iter()
+            .map(|r| {
+                f64::from(
+                    aapm_platform::pstate::PStateTable::pentium_m_755()
+                        .get(r.pstate)
+                        .map(|s| s.frequency().mhz())
+                        .unwrap_or(0),
+                )
+            })
+            .sum::<f64>()
+            / records.len() as f64;
+        println!(
+            "  budget {budget:>5.1} W: mean power {mean_power:>5.2} W, mean frequency {mean_freq:>6.0} MHz"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run both of the paper's governors on one workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Trains the counter-based models on the MS-Loops microbenchmarks, then
+//! runs `ammp` three ways: unconstrained, under PerformanceMaximizer with a
+//! 14.5 W power limit, and under PowerSave with an 80 % performance floor.
+
+use aapm::baselines::Unconstrained;
+use aapm::limits::{PerformanceFloor, PowerLimit};
+use aapm::pm::PerformanceMaximizer;
+use aapm::ps::PowerSave;
+use aapm::runtime::{run, SimulationConfig};
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::pstate::PStateTable;
+use aapm_workloads::spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the power model exactly as the paper does: run the four
+    //    MS-Loops at three footprints across all eight p-states and fit
+    //    Power = α·DPC + β per p-state.
+    println!("training the DPC power model on the MS-Loops microbenchmarks…");
+    let table = PStateTable::pentium_m_755();
+    let training = collect_training_data(&TrainingConfig::default(), &table)?;
+    let power_model = train_power_model(&training)?;
+    println!("{power_model}");
+
+    // 2. Pick a workload with visible phase behaviour.
+    let ammp = spec::by_name("ammp").expect("ammp is in the synthetic suite");
+    let machine = MachineConfig::pentium_m_755(42);
+    let sim = SimulationConfig::default();
+
+    // 3. Reference: unconstrained 2 GHz.
+    let reference = run(&mut Unconstrained::new(), machine.clone(), ammp.program().clone(), sim, &[])?;
+    println!(
+        "unconstrained: {:.2} s, {:.1} J, mean {:.2} W",
+        reference.execution_time.seconds(),
+        reference.measured_energy.joules(),
+        reference.mean_power().map_or(0.0, |w| w.watts()),
+    );
+
+    // 4. PerformanceMaximizer under a 14.5 W limit.
+    let mut pm = PerformanceMaximizer::new(power_model, PowerLimit::new(14.5)?);
+    let pm_run = run(&mut pm, machine.clone(), ammp.program().clone(), sim, &[])?;
+    println!(
+        "pm @14.5 W:    {:.2} s ({:.1}% of peak perf), max 100 ms window {:.2} W",
+        pm_run.execution_time.seconds(),
+        100.0 * (reference.execution_time / pm_run.execution_time),
+        pm_run.trace.moving_average_power(10).into_iter().fold(0.0f64, f64::max),
+    );
+
+    // 5. PowerSave with an 80 % performance floor.
+    let mut ps = PowerSave::new(
+        PerfModel::new(PerfModelParams::paper()),
+        PerformanceFloor::new(0.8)?,
+    );
+    let ps_run = run(&mut ps, machine, ammp.program().clone(), sim, &[])?;
+    println!(
+        "ps @80% floor: {:.2} s ({:.1}% of peak perf), energy saved {:.1}%",
+        ps_run.execution_time.seconds(),
+        100.0 * (reference.execution_time / ps_run.execution_time),
+        100.0 * ps_run.energy_savings_vs(&reference),
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+# Renders the paper's figures from the CSVs that `aapm-experiments all
+# --csv results/` writes. Requires gnuplot 5+.
+#
+#   gnuplot -e "dir='results'" scripts/plot_figures.gnuplot
+#
+# Outputs PNGs next to the CSVs.
+
+if (!exists("dir")) dir = "results"
+set datafile separator ","
+set key outside
+set grid
+
+# Figure 1 — power traces across the suite at 2 GHz.
+set terminal pngcairo size 1400,500
+set output dir."/fig1_power_variation.png"
+set title "Power variation, SPEC CPU2000 at 2 GHz (paper Fig. 1)"
+set xlabel "sample time (ms, per benchmark)"
+set ylabel "power (W)"
+plot dir."/fig1_trace.csv" using 2:3 every ::1 with dots notitle
+
+# Figure 2 — relative performance across three p-states.
+set terminal pngcairo size 700,500
+set output dir."/fig2_pstate_impact.png"
+set title "Performance impact of p-states (paper Fig. 2)"
+set style data histogram
+set style histogram clustered
+set style fill solid 0.8
+set ylabel "performance relative to 2000 MHz"
+set yrange [0.7:1.05]
+plot dir."/fig2_relative_performance.csv" using 2:xtic(1) every ::1 title "1600 MHz", \
+     '' using 3 every ::1 title "1800 MHz", \
+     '' using 4 every ::1 title "2000 MHz"
+
+# Figure 5 — PM on ammp: power and frequency over time.
+set terminal pngcairo size 1200,600
+set output dir."/fig5_pm_trace.png"
+set title "PM controlling ammp (paper Fig. 5)"
+set xlabel "time (ms)"
+set ylabel "power (W)"
+set y2label "frequency (MHz)"
+set y2tics
+plot dir."/fig5_trace.csv" using 2:($1 eq "unconstrained" ? $3 : 1/0) every ::1 with lines title "unconstrained (W)", \
+     '' using 2:(strcol(1) eq "pm-14.5W" ? $3 : 1/0) every ::1 with lines title "PM 14.5 W (W)", \
+     '' using 2:(strcol(1) eq "pm-10.5W" ? $3 : 1/0) every ::1 with lines title "PM 10.5 W (W)", \
+     '' using 2:(strcol(1) eq "pm-10.5W" ? $4 : 1/0) every ::1 axes x1y2 with steps title "PM 10.5 W (MHz)"
+
+# Figure 6 — suite performance vs power limit.
+set terminal pngcairo size 800,500
+set output dir."/fig6_perf_vs_limit.png"
+set title "Performance vs power limit (paper Fig. 6)"
+set xlabel "power limit (W)"
+set ylabel "normalized performance"
+set xrange [18:10] reverse
+set yrange [0.7:1.02]
+set y2tics
+unset y2label
+plot dir."/fig6_performance_vs_limit.csv" using 1:2 every ::1 with linespoints title "PM (dynamic)", \
+     '' using 1:4 every ::1 with points pt 7 title "static"
+
+# Figure 7 — per-benchmark speedups at 17.5 W.
+set terminal pngcairo size 1400,500
+set output dir."/fig7_pm_speedup.png"
+set title "PM and unconstrained speedup over static 1800 MHz at 17.5 W (paper Fig. 7)"
+set style data histogram
+set style histogram clustered
+set style fill solid 0.8
+set xtics rotate by -45
+set ylabel "speedup"
+set yrange [0.95:1.15]
+set xrange [*:*] noreverse
+plot dir."/fig7_speedups.csv" using 2:xtic(1) every ::1 title "PM @17.5 W", \
+     '' using 3 every ::1 title "unconstrained (2 GHz)"
+
+# Figure 8 — PS on ammp: frequency trace.
+set terminal pngcairo size 1200,500
+set output dir."/fig8_ps_trace.png"
+set title "PS on ammp, 80% floor (paper Fig. 8)"
+set xlabel "time (ms)"
+set ylabel "power (W)"
+set y2label "frequency (MHz)"
+set y2tics
+set yrange [*:*]
+plot dir."/fig8_trace.csv" using 1:2 every ::1 with lines title "power (W)", \
+     '' using 1:3 every ::1 axes x1y2 with steps title "frequency (MHz)"
+
+# Figure 9 — suite reduction & savings vs floor (first four rows).
+set terminal pngcairo size 700,500
+set output dir."/fig9_ps_suite.png"
+set title "PS suite trade-off vs floor (paper Fig. 9)"
+set style data histogram
+set style histogram clustered
+set style fill solid 0.8
+set ylabel "percent"
+set yrange [0:70]
+# (fig9's CSV stores percent strings like "19.1%"; strip the sign)
+pctval(s) = real(s[1:strlen(s)-1])
+plot dir."/fig9_suite.csv" using (pctval(strcol(3))):xtic(1) every ::1::4 title "perf reduction", \
+     '' using (pctval(strcol(4))) every ::1::4 title "energy savings"

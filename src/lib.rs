@@ -1,0 +1,25 @@
+//! # aapm-suite — the Application-Aware Power Management reproduction
+//!
+//! Umbrella crate of the reproduction of *Application-Aware Power
+//! Management* (Rajamani, Hanson, Rubio, Ghiasi, Rawson — IISWC 2006).
+//! It re-exports the workspace crates and hosts the runnable examples and
+//! cross-crate integration tests.
+//!
+//! * [`platform`] — the simulated Pentium M 755 (p-states, pipeline/memory
+//!   model, caches, DVFS, ground-truth power, event counters);
+//! * [`workloads`] — MS-Loops microbenchmarks and the synthetic SPEC
+//!   CPU2000 suite;
+//! * [`telemetry`] — the simulated measurement rig (power DAQ, PMC driver);
+//! * [`models`] — counter-based power/performance estimation and training;
+//! * [`aapm`] — the three-phase governors: PerformanceMaximizer, PowerSave,
+//!   baselines, and the simulation runtime;
+//! * [`experiments`] — regeneration of every table and figure.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use aapm;
+pub use aapm_experiments as experiments;
+pub use aapm_models as models;
+pub use aapm_platform as platform;
+pub use aapm_telemetry as telemetry;
+pub use aapm_workloads as workloads;

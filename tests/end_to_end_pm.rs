@@ -1,0 +1,153 @@
+//! End-to-end integration tests for PerformanceMaximizer across crates:
+//! platform ← workloads ← telemetry ← models ← governors.
+
+use aapm::baselines::{StaticClock, Unconstrained};
+use aapm::governor::GovernorCommand;
+use aapm::limits::PowerLimit;
+use aapm::pm::PerformanceMaximizer;
+use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm_models::power_model::PowerModel;
+use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::Seconds;
+use aapm_workloads::spec;
+
+fn trained_model() -> PowerModel {
+    let table = PStateTable::pentium_m_755();
+    let config = TrainingConfig { samples_per_point: 15, ..TrainingConfig::default() };
+    let data = collect_training_data(&config, &table).expect("training data");
+    train_power_model(&data).expect("power model")
+}
+
+#[test]
+fn pm_meets_limits_across_representative_workloads() {
+    let model = trained_model();
+    // galgel excluded: it is the paper's (and our) known violator.
+    for name in ["swim", "crafty", "ammp", "gzip", "sixtrack"] {
+        let bench = spec::by_name(name).expect("known benchmark");
+        for watts in [16.5, 13.5, 11.5] {
+            let limit = PowerLimit::new(watts).unwrap();
+            let mut pm = PerformanceMaximizer::new(model.clone(), limit);
+            let report = run(
+                &mut pm,
+                MachineConfig::pentium_m_755(5),
+                bench.program().scaled(0.5),
+                SimulationConfig::default(),
+                &[],
+            )
+            .expect("run succeeds");
+            assert!(report.completed, "{name} at {watts} W did not finish");
+            let violations = report.violation_fraction(limit.watts(), 10);
+            assert!(
+                violations < 0.01,
+                "{name} at {watts} W violates {violations} of windows"
+            );
+        }
+    }
+}
+
+#[test]
+fn pm_is_never_slower_than_worst_case_static_clocking() {
+    let model = trained_model();
+    // At 13.5 W the worst-case static frequency is 1600 MHz (Table IV).
+    let static_id = PStateId::new(5);
+    for name in ["swim", "mesa", "gap"] {
+        let bench = spec::by_name(name).expect("known benchmark");
+        let program = bench.program().scaled(0.5);
+        let mut pm =
+            PerformanceMaximizer::new(model.clone(), PowerLimit::new(13.5).unwrap());
+        let pm_run = run(
+            &mut pm,
+            MachineConfig::pentium_m_755(5),
+            program.clone(),
+            SimulationConfig::default(),
+            &[],
+        )
+        .unwrap();
+        let static_run = run(
+            &mut StaticClock::new(static_id),
+            MachineConfig::pentium_m_755(5),
+            program,
+            SimulationConfig::default(),
+            &[],
+        )
+        .unwrap();
+        assert!(
+            pm_run.execution_time.seconds() <= static_run.execution_time.seconds() * 1.02,
+            "{name}: PM {} vs static {}",
+            pm_run.execution_time,
+            static_run.execution_time
+        );
+    }
+}
+
+#[test]
+fn pm_adapts_to_runtime_limit_changes_within_a_sample() {
+    let model = trained_model();
+    let bench = spec::by_name("crafty").expect("crafty exists");
+    let mut pm = PerformanceMaximizer::new(model, PowerLimit::new(17.5).unwrap());
+    let commands = [ScheduledCommand {
+        at: Seconds::new(1.0),
+        command: GovernorCommand::SetPowerLimit(PowerLimit::new(8.5).unwrap()),
+    }];
+    let report = run(
+        &mut pm,
+        MachineConfig::pentium_m_755(5),
+        bench.program().clone(),
+        SimulationConfig::default(),
+        &commands,
+    )
+    .unwrap();
+    // Within two samples of the change the p-state must have dropped.
+    let after: Vec<_> = report
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.time.seconds() > 1.03 && r.time.seconds() < 1.5)
+        .collect();
+    assert!(!after.is_empty());
+    assert!(
+        after.iter().all(|r| r.pstate < PStateId::new(6)),
+        "crafty at 8.5 W must drop well below 1800 MHz right after the signal"
+    );
+    // And the limit holds for the rest of the run.
+    let late_violation: usize = report
+        .trace
+        .moving_average_power(10)
+        .iter()
+        .skip(110) // windows fully after the change
+        .filter(|&&p| p > 8.5)
+        .count();
+    assert_eq!(late_violation, 0, "late windows must respect the new 8.5 W limit");
+}
+
+#[test]
+fn pm_exploits_power_slack_of_cool_workloads() {
+    // A cool memory-bound workload under a mid limit should still run at
+    // high frequency most of the time — the paper's "power slack" benefit.
+    let model = trained_model();
+    let bench = spec::by_name("swim").expect("swim exists");
+    let mut pm = PerformanceMaximizer::new(model, PowerLimit::new(12.5).unwrap());
+    let pm_run = run(
+        &mut pm,
+        MachineConfig::pentium_m_755(5),
+        bench.program().scaled(0.5),
+        SimulationConfig::default(),
+        &[],
+    )
+    .unwrap();
+    let unconstrained = run(
+        &mut Unconstrained::new(),
+        MachineConfig::pentium_m_755(5),
+        bench.program().scaled(0.5),
+        SimulationConfig::default(),
+        &[],
+    )
+    .unwrap();
+    let slowdown = pm_run.execution_time / unconstrained.execution_time;
+    assert!(
+        slowdown < 1.05,
+        "swim draws ~7 W: a 12.5 W limit should cost almost nothing, got {slowdown}"
+    );
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration tests for PowerSave.
+
+use aapm::baselines::Unconstrained;
+use aapm::governor::GovernorCommand;
+use aapm::limits::PerformanceFloor;
+use aapm::ps::PowerSave;
+use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::units::Seconds;
+use aapm_workloads::spec;
+
+fn reference(name: &str, scale: f64) -> aapm::report::RunReport {
+    let bench = spec::by_name(name).expect("known benchmark");
+    run(
+        &mut Unconstrained::new(),
+        MachineConfig::pentium_m_755(5),
+        bench.program().scaled(scale),
+        SimulationConfig::default(),
+        &[],
+    )
+    .expect("reference run")
+}
+
+fn ps_run(name: &str, scale: f64, floor: f64, params: PerfModelParams) -> aapm::report::RunReport {
+    let bench = spec::by_name(name).expect("known benchmark");
+    let mut ps = PowerSave::new(PerfModel::new(params), PerformanceFloor::new(floor).unwrap());
+    run(
+        &mut ps,
+        MachineConfig::pentium_m_755(5),
+        bench.program().scaled(scale),
+        SimulationConfig::default(),
+        &[],
+    )
+    .expect("ps run")
+}
+
+#[test]
+fn ps_meets_floors_on_well_modelled_workloads() {
+    for name in ["swim", "sixtrack", "ammp", "gzip", "mesa"] {
+        for floor in [0.8, 0.6] {
+            let reference = reference(name, 0.5);
+            let report = ps_run(name, 0.5, floor, PerfModelParams::paper());
+            let realized = reference.execution_time / report.execution_time;
+            assert!(
+                realized >= floor - 0.02,
+                "{name} at floor {floor}: realized only {realized}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ps_saves_energy_proportionally_to_memory_boundedness() {
+    let swim_ref = reference("swim", 0.5);
+    let swim = ps_run("swim", 0.5, 0.8, PerfModelParams::paper());
+    let sixtrack_ref = reference("sixtrack", 0.5);
+    let sixtrack = ps_run("sixtrack", 0.5, 0.8, PerfModelParams::paper());
+    let swim_savings = swim.energy_savings_vs(&swim_ref);
+    let sixtrack_savings = sixtrack.energy_savings_vs(&sixtrack_ref);
+    assert!(swim_savings > 0.3, "swim should save big: {swim_savings}");
+    assert!(
+        swim_savings > sixtrack_savings + 0.15,
+        "memory-bound saves much more: swim {swim_savings} vs sixtrack {sixtrack_savings}"
+    );
+}
+
+#[test]
+fn deceptive_workloads_violate_with_081_and_recover_with_059() {
+    let art_ref = reference("art", 0.5);
+    let art_081 = ps_run("art", 0.5, 0.8, PerfModelParams::paper());
+    let art_059 = ps_run("art", 0.5, 0.8, PerfModelParams::paper_alternate());
+    let reduction_081 = 1.0 - art_ref.execution_time / art_081.execution_time;
+    let reduction_059 = 1.0 - art_ref.execution_time / art_059.execution_time;
+    assert!(reduction_081 > 0.3, "art must violate its 20% allowance: {reduction_081}");
+    assert!(
+        reduction_059 < reduction_081 - 0.1,
+        "0.59 must recover much of the loss: {reduction_059} vs {reduction_081}"
+    );
+}
+
+#[test]
+fn ps_adapts_to_floor_changes_at_runtime() {
+    let bench = spec::by_name("swim").expect("swim exists");
+    let mut ps = PowerSave::new(
+        PerfModel::new(PerfModelParams::paper()),
+        PerformanceFloor::new(0.95).unwrap(),
+    );
+    let commands = [ScheduledCommand {
+        at: Seconds::new(1.0),
+        command: GovernorCommand::SetPerformanceFloor(PerformanceFloor::new(0.4).unwrap()),
+    }];
+    let report = run(
+        &mut ps,
+        MachineConfig::pentium_m_755(5),
+        bench.program().clone(),
+        SimulationConfig::default(),
+        &commands,
+    )
+    .unwrap();
+    let early: Vec<_> =
+        report.trace.records().iter().filter(|r| r.time.seconds() < 0.9).collect();
+    let late: Vec<_> =
+        report.trace.records().iter().filter(|r| r.time.seconds() > 1.1).collect();
+    let mean_pstate = |records: &[&aapm_telemetry::trace::TraceRecord]| {
+        records.iter().map(|r| r.pstate.index() as f64).sum::<f64>() / records.len() as f64
+    };
+    assert!(
+        mean_pstate(&late) < mean_pstate(&early) - 1.0,
+        "relaxing the floor must drop the frequency substantially"
+    );
+}
+
+#[test]
+fn tighter_floors_never_save_less_energy_on_swim() {
+    let swim_ref = reference("swim", 0.4);
+    let mut last_savings = -1.0;
+    for floor in [0.9, 0.8, 0.6, 0.4] {
+        let report = ps_run("swim", 0.4, floor, PerfModelParams::paper());
+        let savings = report.energy_savings_vs(&swim_ref);
+        assert!(
+            savings >= last_savings - 0.02,
+            "floor {floor}: savings {savings} below previous {last_savings}"
+        );
+        last_savings = savings;
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based cross-crate tests: governor and platform invariants over
+//! randomly generated workloads.
+
+use aapm::baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
+use aapm::governor::Governor;
+use aapm::limits::{PerformanceFloor, PowerLimit};
+use aapm::pm::PerformanceMaximizer;
+use aapm::ps::PowerSave;
+use aapm::runtime::{run, SimulationConfig};
+use aapm_models::perf_model::{PerfModel, PerfModelParams};
+use aapm_models::power_model::PowerModel;
+use aapm_platform::config::MachineConfig;
+use aapm_platform::program::PhaseProgram;
+use aapm_platform::units::Seconds;
+use aapm_workloads::synth::random_program;
+use proptest::prelude::*;
+
+/// Shortens a random program so each property case stays fast.
+fn short_program(seed: u64) -> PhaseProgram {
+    let program = random_program(seed, 4);
+    // Budget the program to roughly 0.3–1 s of simulated time.
+    let target: u64 = 400_000_000;
+    let factor = target as f64 / program.total_instructions() as f64;
+    program.scaled(factor.min(1.0))
+}
+
+fn quick_sim() -> SimulationConfig {
+    SimulationConfig { max_samples: 30_000, ..SimulationConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random workload under any governor completes, and the trace's
+    /// p-states are always valid table entries.
+    #[test]
+    fn governed_runs_complete_with_valid_pstates(seed in 0u64..500) {
+        let program = short_program(seed);
+        let model = PowerModel::paper_table_ii();
+        let mut governors: Vec<Box<dyn Governor>> = vec![
+            Box::new(Unconstrained::new()),
+            Box::new(StaticClock::new(aapm_platform::pstate::PStateId::new(2))),
+            Box::new(DemandBasedSwitching::new()),
+            Box::new(PerformanceMaximizer::new(model, PowerLimit::new(12.5).unwrap())),
+            Box::new(PowerSave::new(
+                PerfModel::new(PerfModelParams::paper()),
+                PerformanceFloor::new(0.6).unwrap(),
+            )),
+        ];
+        let table = aapm_platform::pstate::PStateTable::pentium_m_755();
+        for governor in &mut governors {
+            let report = run(
+                governor.as_mut(),
+                MachineConfig::pentium_m_755(seed),
+                program.clone(),
+                quick_sim(),
+                &[],
+            ).expect("run succeeds");
+            prop_assert!(report.completed, "{} did not complete", report.governor);
+            for record in report.trace.records() {
+                prop_assert!(table.contains(record.pstate));
+            }
+        }
+    }
+
+    /// PM with a tighter limit never consumes more average power.
+    #[test]
+    fn pm_power_monotone_in_limit(seed in 0u64..200) {
+        let program = short_program(seed);
+        let model = PowerModel::paper_table_ii();
+        let mut previous_power = f64::INFINITY;
+        for watts in [17.5, 13.5, 9.5] {
+            let mut pm = PerformanceMaximizer::new(model.clone(), PowerLimit::new(watts).unwrap());
+            let report = run(
+                &mut pm,
+                MachineConfig::pentium_m_755(seed),
+                program.clone(),
+                quick_sim(),
+                &[],
+            ).expect("run succeeds");
+            let mean = report.mean_power().map_or(0.0, |w| w.watts());
+            prop_assert!(
+                mean <= previous_power + 0.3,
+                "limit {watts}: mean power {mean} above looser limit's {previous_power}"
+            );
+            previous_power = mean;
+        }
+    }
+
+    /// PS with a lower floor never runs faster (time monotone in floor).
+    #[test]
+    fn ps_time_monotone_in_floor(seed in 0u64..200) {
+        let program = short_program(seed);
+        let mut previous_time = 0.0;
+        for floor in [0.9, 0.6, 0.3] {
+            let mut ps = PowerSave::new(
+                PerfModel::new(PerfModelParams::paper()),
+                PerformanceFloor::new(floor).unwrap(),
+            );
+            let report = run(
+                &mut ps,
+                MachineConfig::pentium_m_755(seed),
+                program.clone(),
+                quick_sim(),
+                &[],
+            ).expect("run succeeds");
+            let time = report.execution_time.seconds();
+            prop_assert!(
+                time >= previous_time * 0.999,
+                "floor {floor}: time {time} faster than higher floor's {previous_time}"
+            );
+            previous_time = time;
+        }
+    }
+
+    /// Runs are exactly reproducible for identical seeds, and energy is
+    /// strictly positive and additive across the trace.
+    #[test]
+    fn runs_reproducible_and_energy_positive(seed in 0u64..200) {
+        let program = short_program(seed);
+        let make = || {
+            run(
+                &mut Unconstrained::new(),
+                MachineConfig::pentium_m_755(seed),
+                program.clone(),
+                quick_sim(),
+                &[],
+            ).expect("run succeeds")
+        };
+        let a = make();
+        let b = make();
+        prop_assert_eq!(a.execution_time, b.execution_time);
+        prop_assert_eq!(a.measured_energy, b.measured_energy);
+        prop_assert!(a.measured_energy.joules() > 0.0);
+        let summed: f64 = a
+            .trace
+            .records()
+            .iter()
+            .map(|r| r.power.watts() * a.trace.interval().seconds())
+            .sum();
+        prop_assert!((summed - a.measured_energy.joules()).abs() < 1e-6);
+    }
+
+    /// The machine's wall-clock time at the lowest p-state is never shorter
+    /// than at the highest (frequency helps or is neutral, never hurts).
+    #[test]
+    fn lower_frequency_never_runs_faster(seed in 0u64..200) {
+        let program = short_program(seed);
+        let table = aapm_platform::pstate::PStateTable::pentium_m_755();
+        let mut t = Vec::new();
+        for id in [table.lowest(), table.highest()] {
+            let mut machine = aapm_platform::machine::Machine::new(
+                {
+                    let mut b = MachineConfig::builder();
+                    b.execution_variation(0.0).initial_pstate(id).seed(seed);
+                    b.build().unwrap()
+                },
+                program.clone(),
+            );
+            t.push(machine.run_to_completion(Seconds::from_millis(10.0)));
+        }
+        prop_assert!(t[0] >= t[1], "600 MHz ({}) beat 2 GHz ({})", t[0], t[1]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-crate consistency: what the telemetry layer reports must agree
+//! with what the platform actually did.
+
+use aapm::baselines::Unconstrained;
+use aapm::runtime::{run, SimulationConfig};
+use aapm_platform::config::MachineConfig;
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::machine::Machine;
+use aapm_platform::pipeline::{evaluate, MemoryTimings};
+use aapm_platform::units::Seconds;
+use aapm_telemetry::daq::{DaqConfig, PowerDaq};
+use aapm_telemetry::pmc::PmcDriver;
+use aapm_workloads::spec;
+
+#[test]
+fn measured_energy_tracks_true_energy_within_noise() {
+    let bench = spec::by_name("gzip").expect("gzip exists");
+    let report = run(
+        &mut Unconstrained::new(),
+        MachineConfig::pentium_m_755(9),
+        bench.program().clone(),
+        SimulationConfig::default(),
+        &[],
+    )
+    .unwrap();
+    let ratio = report.measured_energy.joules() / report.true_energy.joules();
+    assert!((ratio - 1.0).abs() < 0.03, "measured/true energy ratio {ratio}");
+}
+
+#[test]
+fn pmc_rates_match_the_analytic_pipeline_model() {
+    // Run a single-phase workload and compare the PMC-reported IPC/DPC/DCU
+    // against the pipeline model's prediction for that phase.
+    let bench = spec::by_name("swim").expect("swim exists");
+    let phase = bench.program().phases()[0].clone();
+    let mut builder = MachineConfig::builder();
+    builder.execution_variation(0.0);
+    let config = builder.build().unwrap();
+    let table = config.pstates().clone();
+    let top = *table.get(table.highest()).unwrap();
+    let expected = evaluate(&phase, &top, &MemoryTimings::pentium_m_755());
+
+    let mut machine =
+        Machine::new(config, aapm_platform::program::PhaseProgram::from_phase(phase));
+    let mut pmc = PmcDriver::new(vec![
+        HardwareEvent::InstructionsRetired,
+        HardwareEvent::DcuMissOutstanding,
+    ]);
+    machine.tick(Seconds::from_millis(10.0));
+    let sample = pmc.sample(&machine);
+    assert!((sample.ipc().unwrap() - expected.ipc).abs() < 1e-9);
+    assert!(
+        (sample.dcu().unwrap() - expected.dcu_outstanding_per_cycle).abs() < 1e-9,
+        "DCU: {} vs {}",
+        sample.dcu().unwrap(),
+        expected.dcu_outstanding_per_cycle
+    );
+}
+
+#[test]
+fn ideal_daq_reproduces_instantaneous_phase_power() {
+    let bench = spec::by_name("sixtrack").expect("sixtrack exists");
+    let mut builder = MachineConfig::builder();
+    builder.execution_variation(0.0);
+    let config = builder.build().unwrap();
+    let mut machine = Machine::new(config, bench.program().clone());
+    let mut daq = PowerDaq::new(DaqConfig::ideal(), 1);
+    machine.tick(Seconds::from_millis(10.0));
+    let sample = daq.sample(&machine);
+    // Mid-phase, average power equals instantaneous power.
+    let instant = machine.instantaneous_power();
+    assert!(
+        (sample.power.watts() - instant.watts()).abs() < 1e-6,
+        "DAQ {} vs machine {}",
+        sample.power,
+        instant
+    );
+}
+
+#[test]
+fn trace_residency_is_consistent_with_transition_count() {
+    let bench = spec::by_name("ammp").expect("ammp exists");
+    let mut pm = aapm::pm::PerformanceMaximizer::new(
+        aapm_models::power_model::PowerModel::paper_table_ii(),
+        aapm::limits::PowerLimit::new(11.5).unwrap(),
+    );
+    let report = run(
+        &mut pm,
+        MachineConfig::pentium_m_755(9),
+        bench.program().clone(),
+        SimulationConfig::default(),
+        &[],
+    )
+    .unwrap();
+    let residency = report.trace.pstate_residency();
+    let total: f64 = residency.iter().map(|(_, f)| f).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // More than one state visited implies at least one transition, and the
+    // transition count bounds the number of distinct states.
+    if residency.len() > 1 {
+        assert!(report.transitions as usize >= residency.len() - 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration test of the full training pipeline: address streams →
+//! cache simulation → machine runs → fitted models → governor behaviour.
+
+use aapm::governor::{Governor, SampleContext};
+use aapm::limits::PowerLimit;
+use aapm::pm::PerformanceMaximizer;
+use aapm_models::training::{
+    collect_training_data, train_perf_model, train_power_model, TrainingConfig,
+};
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::units::Seconds;
+use aapm_telemetry::pmc::CounterSample;
+
+#[test]
+fn trained_models_drive_sensible_governor_decisions() {
+    let table = PStateTable::pentium_m_755();
+    let config = TrainingConfig { samples_per_point: 15, ..TrainingConfig::default() };
+    let data = collect_training_data(&config, &table).expect("training data");
+    let power_model = train_power_model(&data).expect("power model");
+    let perf_fit = train_perf_model(&data);
+
+    // The fits are sane.
+    assert!(perf_fit.mean_relative_error < 0.1);
+    assert!(perf_fit.params.exponent > 0.3 && perf_fit.params.exponent <= 1.0);
+
+    // A trained PM must pick high frequency for a cool sample and low
+    // frequency for a hot one.
+    let mut pm = PerformanceMaximizer::new(power_model, PowerLimit::new(12.5).unwrap());
+    let sample = |dpc: f64| {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsDecoded, dpc * cycles, true)],
+        }
+    };
+    let cool = sample(0.1);
+    let cool_ctx = SampleContext {
+        counters: &cool,
+        power: None, temperature: None,
+        current: PStateId::new(7),
+        table: &table,
+    };
+    let cool_choice = pm.decide(&cool_ctx);
+    let hot = sample(2.4);
+    let hot_ctx = SampleContext {
+        counters: &hot,
+        power: None, temperature: None,
+        current: PStateId::new(7),
+        table: &table,
+    };
+    let hot_choice = pm.decide(&hot_ctx);
+    assert_eq!(cool_choice, PStateId::new(7), "a cool sample keeps 2 GHz at 12.5 W");
+    assert!(hot_choice < PStateId::new(7), "a hot sample must throttle");
+}
+
+#[test]
+fn training_is_stable_across_sample_counts() {
+    // Doubling the per-point sample count must not change the fitted
+    // coefficients much — the training loops are stationary by design.
+    let table = PStateTable::pentium_m_755();
+    let small = collect_training_data(
+        &TrainingConfig { samples_per_point: 10, ..TrainingConfig::default() },
+        &table,
+    )
+    .unwrap();
+    let large = collect_training_data(
+        &TrainingConfig { samples_per_point: 40, ..TrainingConfig::default() },
+        &table,
+    )
+    .unwrap();
+    let model_small = train_power_model(&small).unwrap();
+    let model_large = train_power_model(&large).unwrap();
+    for (id, _) in table.iter() {
+        let a = model_small.coefficients(id).unwrap();
+        let b = model_large.coefficients(id).unwrap();
+        assert!(
+            (a.alpha - b.alpha).abs() < 0.25,
+            "{id}: alpha {} vs {}",
+            a.alpha,
+            b.alpha
+        );
+        assert!((a.beta - b.beta).abs() < 0.25, "{id}: beta {} vs {}", a.beta, b.beta);
+    }
+}
