@@ -28,6 +28,10 @@ pub struct FeedbackPm {
     smoothing: f64,
     /// Consecutive raise-agreeing samples (PM's asymmetric policy).
     raise_streak: usize,
+    /// Most recent DPC taken from a fresh counter sample.
+    last_dpc: Option<f64>,
+    /// Consecutive stale counter samples seen.
+    stale_streak: usize,
 }
 
 impl FeedbackPm {
@@ -39,6 +43,8 @@ impl FeedbackPm {
             correction: 1.0,
             smoothing: 0.2,
             raise_streak: 0,
+            last_dpc: None,
+            stale_streak: 0,
         }
     }
 
@@ -49,6 +55,12 @@ impl FeedbackPm {
 
     fn update_correction(&mut self, ctx: &SampleContext<'_>) {
         let Some(measured) = ctx.power else { return };
+        // A stale counter sample pairs an extrapolated DPC with a real
+        // measurement; feeding that ratio into the EWMA would corrupt the
+        // correction, so hold it until fresh counters return.
+        if !ctx.counters.is_fresh() {
+            return;
+        }
         let dpc = ctx.counters.dpc().unwrap_or(0.0);
         let Ok(estimate) = self.inner.model().estimate(ctx.current, dpc) else { return };
         if estimate.watts() <= 0.1 || measured.power.watts() <= 0.1 {
@@ -82,7 +94,30 @@ impl Governor for FeedbackPm {
 
     fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
         self.update_correction(ctx);
-        let dpc = ctx.counters.dpc().unwrap_or(0.0);
+        // Same stale-counter degradation as plain PM: hold the last fresh
+        // DPC for a bounded window (lower-only), then fail safe downward.
+        let dpc = if ctx.counters.is_fresh() {
+            self.stale_streak = 0;
+            let dpc = ctx.counters.dpc().unwrap_or(0.0);
+            self.last_dpc = Some(dpc);
+            dpc
+        } else {
+            self.stale_streak += 1;
+            match self.last_dpc {
+                Some(dpc) if self.stale_streak <= self.inner.config().hold_samples => {
+                    let candidate = self.stale_candidate(ctx, dpc);
+                    if candidate < ctx.current {
+                        self.raise_streak = 0;
+                        return candidate;
+                    }
+                    return ctx.current;
+                }
+                _ => {
+                    self.raise_streak = 0;
+                    return ctx.table.next_lower(ctx.current).unwrap_or(ctx.table.lowest());
+                }
+            }
+        };
         let limit = self.inner.limit().watts();
         // Same asymmetric control as PM, but on corrected estimates: find
         // the highest state fitting under the limit.
@@ -107,6 +142,20 @@ impl Governor for FeedbackPm {
 }
 
 impl FeedbackPm {
+    /// Highest state fitting under the limit for a held DPC (used only on
+    /// stale samples, where raising is forbidden anyway).
+    fn stale_candidate(&self, ctx: &SampleContext<'_>, dpc: f64) -> PStateId {
+        let limit = self.inner.limit().watts();
+        for (id, _) in ctx.table.iter_descending() {
+            if let Some(estimate) = self.corrected_estimate(ctx, dpc, id) {
+                if estimate <= limit {
+                    return id;
+                }
+            }
+        }
+        ctx.table.lowest()
+    }
+
     /// PM's lower-immediately / raise-after-streak policy.
     fn apply_asymmetric_policy(&mut self, current: PStateId, candidate: PStateId) -> PStateId {
         // Track the streak locally (the inner PM's streak is private to its

@@ -57,6 +57,7 @@ pub mod runtime;
 pub mod session;
 pub mod thermal_guard;
 pub mod throttle_save;
+pub mod watchdog;
 
 pub use baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
 pub use combined_pm::CombinedPm;
@@ -67,7 +68,8 @@ pub use phase_pm::PhasePm;
 pub use pm::{PerformanceMaximizer, PmConfig};
 pub use ps::PowerSave;
 pub use report::RunReport;
-pub use runtime::{run, ScheduledCommand, SimulationConfig};
+pub use runtime::{run, run_with_faults, ScheduledCommand, SimulationConfig};
 pub use session::{run_session, SessionReport};
 pub use thermal_guard::{ThermalGuard, ThermalGuardConfig};
 pub use throttle_save::ThrottleSave;
+pub use watchdog::{Watchdog, WatchdogConfig};

@@ -34,11 +34,15 @@ pub struct PmConfig {
     /// Consecutive agreeing samples required before raising frequency
     /// (paper: ten 10 ms samples = 100 ms).
     pub raise_samples: usize,
+    /// How many consecutive stale counter samples (missed PMC reads) PM
+    /// tolerates by holding its last measured DPC before it starts
+    /// stepping the frequency down as a fail-safe.
+    pub hold_samples: usize,
 }
 
 impl Default for PmConfig {
     fn default() -> Self {
-        PmConfig { guardband: Watts::new(0.5), raise_samples: 10 }
+        PmConfig { guardband: Watts::new(0.5), raise_samples: 10, hold_samples: 25 }
     }
 }
 
@@ -64,6 +68,10 @@ pub struct PerformanceMaximizer {
     limit: PowerLimit,
     config: PmConfig,
     raise_streak: usize,
+    /// Most recent DPC taken from a fresh counter sample.
+    last_dpc: Option<f64>,
+    /// Consecutive stale counter samples seen.
+    stale_streak: usize,
 }
 
 impl PerformanceMaximizer {
@@ -74,12 +82,24 @@ impl PerformanceMaximizer {
 
     /// Creates PM with explicit control-loop tunables.
     pub fn with_config(model: PowerModel, limit: PowerLimit, config: PmConfig) -> Self {
-        PerformanceMaximizer { model, limit, config, raise_streak: 0 }
+        PerformanceMaximizer {
+            model,
+            limit,
+            config,
+            raise_streak: 0,
+            last_dpc: None,
+            stale_streak: 0,
+        }
     }
 
     /// The active power limit.
     pub fn limit(&self) -> PowerLimit {
         self.limit
+    }
+
+    /// The control-loop tunables in use.
+    pub fn config(&self) -> &PmConfig {
+        &self.config
     }
 
     /// The power model in use.
@@ -126,7 +146,33 @@ impl Governor for PerformanceMaximizer {
     }
 
     fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
-        let dpc = ctx.counters.dpc().unwrap_or(0.0);
+        // Graceful degradation under missed PMC reads: hold the last
+        // measured DPC for a bounded window (never raising on stale data),
+        // then fail safe by stepping the frequency down one state per
+        // sample until fresh telemetry returns.
+        let dpc = if ctx.counters.is_fresh() {
+            self.stale_streak = 0;
+            let dpc = ctx.counters.dpc().unwrap_or(0.0);
+            self.last_dpc = Some(dpc);
+            dpc
+        } else {
+            self.stale_streak += 1;
+            match self.last_dpc {
+                Some(dpc) if self.stale_streak <= self.config.hold_samples => {
+                    // Only safety-driven lowering is allowed on held data.
+                    let candidate = self.best_pstate(ctx, dpc);
+                    if candidate < ctx.current {
+                        self.raise_streak = 0;
+                        return candidate;
+                    }
+                    return ctx.current;
+                }
+                _ => {
+                    self.raise_streak = 0;
+                    return ctx.table.next_lower(ctx.current).unwrap_or(ctx.table.lowest());
+                }
+            }
+        };
         let candidate = self.best_pstate(ctx, dpc);
         if candidate < ctx.current {
             // A single over-limit sample lowers frequency immediately.
@@ -258,8 +304,8 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         // Pick a limit that P7 satisfies without guardband but not with a
         // huge one: est(P7, 1.0) = 15.04.
-        let no_guard = PmConfig { guardband: Watts::new(0.0), raise_samples: 10 };
-        let big_guard = PmConfig { guardband: Watts::new(3.0), raise_samples: 10 };
+        let no_guard = PmConfig { guardband: Watts::new(0.0), ..PmConfig::default() };
+        let big_guard = PmConfig { guardband: Watts::new(3.0), ..PmConfig::default() };
         let mut lenient = PerformanceMaximizer::with_config(
             PowerModel::paper_table_ii(),
             PowerLimit::new(15.5).unwrap(),
@@ -272,6 +318,58 @@ mod tests {
         );
         assert_eq!(decide_at(&mut lenient, &table, 7, 1.0), PStateId::new(7));
         assert!(decide_at(&mut strict, &table, 7, 1.0) < PStateId::new(7));
+    }
+
+    fn stale_sample(dpc: f64) -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsDecoded, dpc * cycles, false)],
+        }
+    }
+
+    fn decide_stale(pm: &mut PerformanceMaximizer, table: &PStateTable, current: usize) -> PStateId {
+        let s = stale_sample(0.0);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        pm.decide(&ctx)
+    }
+
+    #[test]
+    fn stale_counters_hold_then_step_down() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        // Establish history at the top state.
+        assert_eq!(decide_at(&mut pm, &table, 7, 1.0), PStateId::new(7));
+        // Within the hold window the last DPC is held and the state kept.
+        for i in 0..pm.config().hold_samples {
+            assert_eq!(decide_stale(&mut pm, &table, 7), PStateId::new(7), "stale sample {i}");
+        }
+        // Past the window PM fails safe, one state at a time.
+        assert_eq!(decide_stale(&mut pm, &table, 7), PStateId::new(6));
+        assert_eq!(decide_stale(&mut pm, &table, 6), PStateId::new(5));
+        // A fresh sample recovers normal operation (raise still gated).
+        assert_eq!(decide_at(&mut pm, &table, 5, 1.0), PStateId::new(5));
+    }
+
+    #[test]
+    fn stale_counters_never_raise() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        decide_at(&mut pm, &table, 2, 0.2);
+        // Even a long run of benign stale samples must not raise frequency.
+        for _ in 0..pm.config().raise_samples + 5 {
+            let chosen = decide_stale(&mut pm, &table, 2);
+            assert!(chosen <= PStateId::new(2));
+        }
+    }
+
+    #[test]
+    fn stale_with_no_history_fails_safe_immediately() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        assert_eq!(decide_stale(&mut pm, &table, 7), PStateId::new(6));
     }
 
     #[test]

@@ -41,12 +41,21 @@ use crate::limits::PerformanceFloor;
 pub struct PowerSave {
     model: PerfModel,
     floor: PerformanceFloor,
+    /// Choice made on the last fresh counter sample, held during outages.
+    last_choice: Option<PStateId>,
+    /// Consecutive stale counter samples seen.
+    stale_streak: usize,
 }
 
 impl PowerSave {
+    /// Consecutive stale counter samples PS tolerates by holding its last
+    /// projection before failing safe toward the peak state (protecting the
+    /// performance floor when the workload may have shifted unseen).
+    pub const STALE_HOLD_SAMPLES: usize = 50;
+
     /// Creates PS with the given projection model and floor.
     pub fn new(model: PerfModel, floor: PerformanceFloor) -> Self {
-        PowerSave { model, floor }
+        PowerSave { model, floor, last_choice: None, stale_streak: 0 }
     }
 
     /// The active performance floor.
@@ -90,6 +99,21 @@ impl Governor for PowerSave {
     }
 
     fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        // Graceful degradation under missed PMC reads: hold the last fresh
+        // projection for a bounded window, then step back up toward the
+        // peak — PS's contract is a performance floor, and running too fast
+        // is the safe failure direction.
+        if !ctx.counters.is_fresh() {
+            self.stale_streak += 1;
+            return match self.last_choice {
+                Some(choice) if self.stale_streak <= PowerSave::STALE_HOLD_SAMPLES => choice,
+                _ => ctx
+                    .table
+                    .next_higher(ctx.current)
+                    .unwrap_or_else(|| ctx.table.highest()),
+            };
+        }
+        self.stale_streak = 0;
         let ipc = ctx.counters.ipc().unwrap_or(0.0);
         let dcu = ctx.counters.dcu().unwrap_or(0.0);
         // Scan from the lowest frequency up; take the first state whose
@@ -98,10 +122,12 @@ impl Governor for PowerSave {
         for (id, _) in ctx.table.iter() {
             if let Some(relative) = self.predicted_relative_performance(ctx, ipc, dcu, id) {
                 if relative >= self.floor.fraction() {
+                    self.last_choice = Some(id);
                     return id;
                 }
             }
         }
+        self.last_choice = Some(ctx.table.highest());
         ctx.table.highest()
     }
 
@@ -216,6 +242,48 @@ mod tests {
         ps.command(GovernorCommand::SetPerformanceFloor(PerformanceFloor::new(0.4).unwrap()));
         let after = decide_at(&mut ps, &table, 7, 1.5, 0.1);
         assert!(after < before);
+    }
+
+    fn stale_sample() -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![
+                (HardwareEvent::InstructionsRetired, 0.0, false),
+                (HardwareEvent::DcuMissOutstanding, 0.0, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn stale_counters_hold_then_step_toward_peak() {
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        // Establish a choice from fresh memory-bound telemetry (800 MHz).
+        let held = decide_at(&mut ps, &table, 7, 0.3, 1.8);
+        assert_eq!(table.get(held).unwrap().frequency().mhz(), 800);
+        let s = stale_sample();
+        // Within the hold window the previous choice is repeated.
+        for i in 0..PowerSave::STALE_HOLD_SAMPLES {
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            assert_eq!(ps.decide(&ctx), held, "stale sample {i}");
+        }
+        // Past the window PS fails toward the performance floor's safe
+        // side: higher frequency, one state per sample.
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+        let stepped = ps.decide(&ctx);
+        assert_eq!(stepped, table.next_higher(held).unwrap());
+    }
+
+    #[test]
+    fn stale_counters_with_no_history_fail_toward_peak() {
+        let table = PStateTable::pentium_m_755();
+        let mut ps = ps_with_floor(0.8);
+        let s = stale_sample();
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table };
+        assert_eq!(ps.decide(&ctx), PStateId::new(3), "no history: step up immediately");
     }
 
     #[test]

@@ -6,11 +6,15 @@
 //! the paper — far faster than needed for 10 ms averages).
 
 use aapm_platform::config::MachineConfig;
-use aapm_platform::error::Result;
+use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
 use aapm_platform::program::PhaseProgram;
+use aapm_platform::pstate::PStateId;
 use aapm_platform::units::Seconds;
-use aapm_telemetry::daq::{DaqConfig, PowerDaq};
+use aapm_telemetry::daq::{DaqConfig, PowerDaq, PowerSample};
+use aapm_telemetry::faults::{
+    ActuationFault, FaultConfig, FaultPlan, FaultStats, FaultWindow, PowerFault,
+};
 use aapm_telemetry::pmc::PmcDriver;
 use aapm_telemetry::sensor::{ThermalSensor, ThermalSensorConfig};
 use aapm_telemetry::trace::RunTrace;
@@ -31,6 +35,10 @@ pub struct SimulationConfig {
     pub seed: u64,
     /// Safety cap on control intervals (runaway protection).
     pub max_samples: usize,
+    /// Stochastic fault injection (default: all-zero rates, provably
+    /// inert — a run with the default config is bit-identical to one
+    /// without fault plumbing).
+    pub faults: FaultConfig,
 }
 
 impl Default for SimulationConfig {
@@ -41,6 +49,7 @@ impl Default for SimulationConfig {
             thermal_sensor: ThermalSensorConfig::default(),
             seed: 0,
             max_samples: 500_000, // 5 000 simulated seconds
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -90,17 +99,161 @@ pub fn run(
     config: SimulationConfig,
     commands: &[ScheduledCommand],
 ) -> Result<RunReport> {
+    run_with_faults(governor, machine_config, program, config, commands, &[])
+        .map(|(report, _)| report)
+}
+
+/// The p-state actuator with injected write faults layered on top.
+///
+/// Models an MSR-write path that can silently drop a write (retried
+/// in-interval with capped backoff) or stall one for a bounded number of
+/// intervals before it lands. An intact write supersedes any in-flight
+/// stalled write, exactly as a later MSR write overrides an earlier one.
+#[derive(Debug)]
+struct FaultyActuator {
+    retry_limit: usize,
+    stall_intervals: usize,
+    /// A stalled write still in flight: `(target, intervals until it lands)`.
+    pending: Option<(PStateId, usize)>,
+}
+
+impl FaultyActuator {
+    fn new(config: &FaultConfig) -> Self {
+        FaultyActuator {
+            retry_limit: config.retry_limit,
+            stall_intervals: config.stall_intervals.max(1),
+            pending: None,
+        }
+    }
+
+    /// Lands any stalled write that has reached its due interval.
+    fn step(&mut self, machine: &mut Machine) -> Result<()> {
+        if let Some((target, remaining)) = self.pending {
+            if remaining <= 1 {
+                self.pending = None;
+                machine.set_pstate(target)?;
+            } else {
+                self.pending = Some((target, remaining - 1));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the governor's write under the interval's actuation fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ActuationFailed`] (no source) when an
+    /// ignored write exhausts its retries; real platform errors (e.g. an
+    /// out-of-range p-state) propagate unchanged.
+    fn write(
+        &mut self,
+        machine: &mut Machine,
+        target: PStateId,
+        fault: ActuationFault,
+        plan: &mut FaultPlan,
+        now: Seconds,
+        stats: &mut FaultStats,
+    ) -> Result<()> {
+        match fault {
+            ActuationFault::Intact => {
+                self.pending = None;
+                machine.set_pstate(target)
+            }
+            ActuationFault::Stalled => {
+                stats.actuations_stalled += 1;
+                self.pending = Some((target, self.stall_intervals));
+                Ok(())
+            }
+            ActuationFault::Ignored => {
+                stats.actuations_ignored += 1;
+                for _ in 0..self.retry_limit {
+                    if !plan.retry_fails(now) {
+                        self.pending = None;
+                        return machine.set_pstate(target);
+                    }
+                    stats.actuations_ignored += 1;
+                }
+                Err(PlatformError::ActuationFailed {
+                    pstate: target.index(),
+                    attempts: self.retry_limit + 1,
+                    source: None,
+                })
+            }
+        }
+    }
+}
+
+/// Runs `program` under `governor` with fault injection, returning the run
+/// report plus counters of every fault injected or absorbed.
+///
+/// Stochastic fault rates come from `config.faults`; `fault_windows` adds
+/// deterministic outages on top (see [`FaultWindow`]). With the default
+/// (all-zero) fault config and no windows this is bit-identical to [`run`].
+///
+/// Degradation semantics, per interval:
+///
+/// * dropped power sample → the governor sees `power: None`;
+/// * stuck power sample → the governor sees the last delivered value;
+/// * dropped thermal read → the governor sees `temperature: None`;
+/// * missed PMC read → the governor sees a rate-extrapolated stale sample
+///   ([`CounterSample::is_fresh`] is false) and the driver integrates the
+///   gap on its next successful read;
+/// * ignored p-state write → retried in-interval up to the configured
+///   limit; on exhaustion the error is absorbed (counted in
+///   [`FaultStats::actuation_failures`]) and the machine keeps its p-state —
+///   the governor simply tries again next interval;
+/// * stalled p-state write → lands `stall_intervals` intervals later unless
+///   a subsequent intact write supersedes it.
+///
+/// The trace always records the DAQ's raw sample (the experimenter's
+/// logging path), not the governor's possibly-corrupted view.
+///
+/// [`CounterSample::is_fresh`]: aapm_telemetry::pmc::CounterSample::is_fresh
+///
+/// # Errors
+///
+/// Returns [`PlatformError::InvalidConfig`] for non-finite scheduled
+/// command times or invalid fault rates/windows, and propagates real
+/// platform errors (invalid p-states from a misbehaving governor).
+pub fn run_with_faults(
+    governor: &mut dyn Governor,
+    machine_config: MachineConfig,
+    program: PhaseProgram,
+    config: SimulationConfig,
+    commands: &[ScheduledCommand],
+    fault_windows: &[FaultWindow],
+) -> Result<(RunReport, FaultStats)> {
+    for command in commands {
+        if !command.at.seconds().is_finite() {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "commands",
+                reason: format!(
+                    "scheduled command time {} must be finite",
+                    command.at.seconds()
+                ),
+            });
+        }
+    }
+    let mut plan = FaultPlan::with_windows(config.faults, fault_windows)?;
+    let mut stats = FaultStats::default();
+
     let workload = program.name().to_owned();
     let table = machine_config.pstates().clone();
     let mut machine = Machine::new(machine_config, program);
     let mut daq = PowerDaq::new(config.daq, config.seed);
     let mut pmc = PmcDriver::new(governor.events());
     let mut thermal = ThermalSensor::new(config.thermal_sensor, config.seed);
+    let mut actuator = FaultyActuator::new(&config.faults);
     let mut trace = RunTrace::new(config.sample_interval);
 
     let mut pending: Vec<ScheduledCommand> = commands.to_vec();
-    pending.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("command times are finite"));
+    pending.sort_by(|a, b| a.at.seconds().total_cmp(&b.at.seconds()));
     let mut next_command = 0usize;
+
+    // The most recent power sample actually delivered to the governor;
+    // a stuck reading repeats this value.
+    let mut last_delivered: Option<PowerSample> = None;
 
     let mut samples = 0usize;
     while !machine.finished() && samples < config.max_samples {
@@ -112,20 +265,77 @@ pub fn run(
 
         let interval_pstate = machine.pstate();
         machine.tick(config.sample_interval);
+        let now = machine.elapsed();
+        let faults = plan.next_interval(now);
+
+        // The DAQ and thermal sensor are sampled unconditionally so their
+        // noise streams stay aligned with a fault-free run; faults corrupt
+        // only what the governor is shown.
         let power = daq.sample(&machine);
-        let counters = pmc.sample(&machine);
         let temperature = thermal.read(&machine);
+        let counters = if faults.pmc_missed {
+            stats.pmc_missed += 1;
+            pmc.sample_missed(&machine, config.sample_interval)
+        } else {
+            pmc.sample(&machine)
+        };
+
+        let shown_power: Option<PowerSample> = match faults.power {
+            PowerFault::Intact => {
+                last_delivered = Some(power);
+                Some(power)
+            }
+            PowerFault::Dropped => {
+                stats.power_dropouts += 1;
+                None
+            }
+            PowerFault::Stuck => match last_delivered {
+                // Stuck at the last delivered value, stamped with the
+                // current interval.
+                Some(prev) => {
+                    stats.power_stuck += 1;
+                    Some(PowerSample {
+                        start: power.start,
+                        end: power.end,
+                        power: prev.power,
+                        true_power: power.true_power,
+                    })
+                }
+                // Nothing to be stuck at yet: indistinguishable from a
+                // normal delivery.
+                None => {
+                    last_delivered = Some(power);
+                    Some(power)
+                }
+            },
+        };
+        let shown_temperature = if faults.thermal_dropped {
+            stats.thermal_dropouts += 1;
+            None
+        } else {
+            Some(temperature)
+        };
 
         let ctx = SampleContext {
             counters: &counters,
-            power: Some(&power),
-            temperature: Some(temperature),
+            power: shown_power.as_ref(),
+            temperature: shown_temperature,
             current: interval_pstate,
             table: &table,
         };
         let target = governor.decide(&ctx);
         let throttle = governor.throttle_decision(&ctx);
-        machine.set_pstate(target)?;
+
+        actuator.step(&mut machine)?;
+        match actuator.write(&mut machine, target, faults.actuation, &mut plan, now, &mut stats) {
+            Ok(()) => {}
+            Err(PlatformError::ActuationFailed { .. }) => {
+                // Injected loss: the machine keeps its p-state and the
+                // governor retries from fresh telemetry next interval.
+                stats.actuation_failures += 1;
+            }
+            Err(other) => return Err(other),
+        }
         machine.set_throttle(throttle);
 
         trace.push_sample(&power, interval_pstate, counters.ipc(), counters.dpc());
@@ -134,7 +344,7 @@ pub fn run(
 
     let completed = machine.finished();
     let execution_time = machine.completion_time().unwrap_or_else(|| machine.elapsed());
-    Ok(RunReport {
+    let report = RunReport {
         workload,
         governor: governor.name().to_owned(),
         execution_time,
@@ -143,7 +353,8 @@ pub fn run(
         transitions: machine.transitions_performed(),
         completed,
         trace,
-    })
+    };
+    Ok((report, stats))
 }
 
 #[cfg(test)]

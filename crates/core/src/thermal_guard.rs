@@ -26,11 +26,21 @@ pub struct ThermalGuardConfig {
     pub hysteresis_c: f64,
     /// Samples below `cap − hysteresis` before relaxing one state.
     pub relax_samples: usize,
+    /// Consecutive missing sensor reads tolerated before the guard fails
+    /// safe: with no temperature data it can no longer prove the envelope
+    /// holds, so it starts ratcheting the ceiling down as if the die were
+    /// hot.
+    pub missing_fail_samples: usize,
 }
 
 impl Default for ThermalGuardConfig {
     fn default() -> Self {
-        ThermalGuardConfig { cap: Celsius::new(77.0), hysteresis_c: 3.0, relax_samples: 50 }
+        ThermalGuardConfig {
+            cap: Celsius::new(77.0),
+            hysteresis_c: 3.0,
+            relax_samples: 50,
+            missing_fail_samples: 25,
+        }
     }
 }
 
@@ -41,6 +51,8 @@ pub struct ThermalGuard<G> {
     config: ThermalGuardConfig,
     ceiling: Option<PStateId>,
     relax_streak: usize,
+    /// Consecutive sensor reads that returned no temperature.
+    miss_streak: usize,
     name: String,
 }
 
@@ -53,7 +65,7 @@ impl<G: Governor> ThermalGuard<G> {
     /// Wraps `inner` with an explicit envelope configuration.
     pub fn with_config(inner: G, config: ThermalGuardConfig) -> Self {
         let name = format!("thermal<{}>", inner.name());
-        ThermalGuard { inner, config, ceiling: None, relax_streak: 0, name }
+        ThermalGuard { inner, config, ceiling: None, relax_streak: 0, miss_streak: 0, name }
     }
 
     /// The wrapped governor.
@@ -72,7 +84,24 @@ impl<G: Governor> ThermalGuard<G> {
     }
 
     fn update_ceiling(&mut self, ctx: &SampleContext<'_>) {
-        let Some(temperature) = ctx.temperature else { return };
+        let Some(temperature) = ctx.temperature else {
+            // Sensor dropout. Brief gaps are harmless (temperature moves on
+            // package time constants), but a sustained outage means the
+            // envelope can no longer be verified: fail safe by ratcheting
+            // down one state per sample, exactly as if the die read hot.
+            self.miss_streak += 1;
+            if self.miss_streak >= self.config.missing_fail_samples {
+                self.relax_streak = 0;
+                let current_ceiling = self.ceiling.unwrap_or_else(|| ctx.table.highest());
+                let lowered = ctx
+                    .table
+                    .next_lower(current_ceiling.min(ctx.current))
+                    .unwrap_or(ctx.table.lowest());
+                self.ceiling = Some(lowered);
+            }
+            return;
+        };
+        self.miss_streak = 0;
         if temperature > self.config.cap {
             // Too hot: ratchet down one state per sample.
             self.relax_streak = 0;
@@ -178,8 +207,7 @@ mod tests {
     #[test]
     fn ceiling_relaxes_after_sustained_cooling() {
         let table = PStateTable::pentium_m_755();
-        let config =
-            ThermalGuardConfig { cap: Celsius::new(77.0), hysteresis_c: 3.0, relax_samples: 5 };
+        let config = ThermalGuardConfig { relax_samples: 5, ..ThermalGuardConfig::default() };
         let mut guard = ThermalGuard::with_config(Unconstrained::new(), config);
         decide(&mut guard, &table, 7, 80.0);
         let engaged = guard.ceiling().unwrap();
@@ -196,7 +224,7 @@ mod tests {
     }
 
     #[test]
-    fn missing_sensor_disables_the_guard() {
+    fn brief_sensor_dropout_is_tolerated() {
         let table = PStateTable::pentium_m_755();
         let mut guard = ThermalGuard::new(Unconstrained::new());
         let s = sample();
@@ -208,6 +236,52 @@ mod tests {
             table: &table,
         };
         assert_eq!(guard.decide(&ctx), table.highest());
+        assert_eq!(guard.ceiling(), None, "one missing read must not engage the guard");
+    }
+
+    #[test]
+    fn sustained_sensor_outage_fails_safe() {
+        let table = PStateTable::pentium_m_755();
+        let config =
+            ThermalGuardConfig { missing_fail_samples: 10, ..ThermalGuardConfig::default() };
+        let mut guard = ThermalGuard::with_config(Unconstrained::new(), config);
+        let s = sample();
+        let mut current = PStateId::new(7);
+        // First 9 missing reads: tolerated.
+        for _ in 0..9 {
+            let ctx = SampleContext {
+                counters: &s,
+                power: None,
+                temperature: None,
+                current,
+                table: &table,
+            };
+            assert_eq!(guard.decide(&ctx), table.highest());
+        }
+        // From the 10th on the guard ratchets down one state per sample.
+        for expected in (0..7).rev() {
+            let ctx = SampleContext {
+                counters: &s,
+                power: None,
+                temperature: None,
+                current,
+                table: &table,
+            };
+            current = guard.decide(&ctx);
+            assert_eq!(current, PStateId::new(expected));
+        }
+        // A returning sensor (cool die) lets the ceiling relax again.
+        for _ in 0..guard.config().relax_samples {
+            let ctx = SampleContext {
+                counters: &s,
+                power: None,
+                temperature: Some(Celsius::new(60.0)),
+                current,
+                table: &table,
+            };
+            guard.decide(&ctx);
+        }
+        assert_eq!(guard.ceiling(), Some(PStateId::new(1)), "recovery relaxes one state");
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Telemetry watchdog: a last-resort safety decorator for any governor.
+//!
+//! Per-governor degradation (PM holding its last DPC, ThermalGuard failing
+//! safe without a sensor) assumes *some* telemetry channel still works. The
+//! watchdog covers the remaining case — a joint blackout where both the
+//! power meter and the counter driver go silent — by forcing a configured
+//! safe p-state after `loss_threshold` consecutive blind intervals and
+//! handing control back only after `recovery_samples` consecutive healthy
+//! ones. While engaged it still calls the inner governor every sample so
+//! its internal state (streaks, corrections, ceilings) tracks the run and
+//! is consistent when control returns.
+
+use aapm_platform::error::PlatformError;
+use aapm_platform::events::HardwareEvent;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::throttle::ThrottleLevel;
+
+use crate::governor::{Governor, GovernorCommand, SampleContext};
+
+/// Tunables of the telemetry watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive blind intervals (no power sample *and* no fresh counter
+    /// sample) before the watchdog engages.
+    pub loss_threshold: usize,
+    /// P-state forced while engaged. The lowest state draws the least
+    /// power, so it is safe under any power limit the run may carry.
+    pub safe_pstate: PStateId,
+    /// Consecutive healthy intervals before control returns to the inner
+    /// governor.
+    pub recovery_samples: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            loss_threshold: 10,
+            safe_pstate: PStateId::new(0),
+            recovery_samples: 10,
+        }
+    }
+}
+
+/// A governor decorator forcing a safe p-state through telemetry blackouts.
+///
+/// # Examples
+///
+/// ```
+/// use aapm::limits::PowerLimit;
+/// use aapm::pm::PerformanceMaximizer;
+/// use aapm::watchdog::Watchdog;
+/// use aapm_models::power_model::PowerModel;
+///
+/// let pm = PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(12.5)?);
+/// let dog = Watchdog::new(pm);
+/// assert_eq!(aapm::governor::Governor::name(&dog), "watchdog<pm>");
+/// assert!(!dog.engaged());
+/// # Ok::<(), aapm_platform::error::PlatformError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog<G> {
+    inner: G,
+    config: WatchdogConfig,
+    loss_streak: usize,
+    healthy_streak: usize,
+    engaged: bool,
+    name: String,
+}
+
+impl<G: Governor> Watchdog<G> {
+    /// Wraps `inner` with the default thresholds (engage after 10 blind
+    /// intervals, release after 10 healthy ones, safe state P0).
+    pub fn new(inner: G) -> Self {
+        Watchdog::with_config(inner, WatchdogConfig::default())
+    }
+
+    /// Wraps `inner` with explicit thresholds.
+    pub fn with_config(inner: G, config: WatchdogConfig) -> Self {
+        let name = format!("watchdog<{}>", inner.name());
+        Watchdog { inner, config, loss_streak: 0, healthy_streak: 0, engaged: false, name }
+    }
+
+    /// The wrapped governor.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// The watchdog thresholds.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Whether the watchdog currently overrides the inner governor.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// The ongoing outage as a [`PlatformError::TelemetryLost`], if the
+    /// watchdog is engaged (for surfacing in logs and experiment notes).
+    pub fn outage(&self) -> Option<PlatformError> {
+        self.engaged.then_some(PlatformError::TelemetryLost {
+            channel: "power+pmc",
+            intervals: self.loss_streak,
+        })
+    }
+
+    /// A blind interval: no power sample delivered and no exactly-measured
+    /// counter in the sample.
+    fn is_blind(ctx: &SampleContext<'_>) -> bool {
+        ctx.power.is_none() && !ctx.counters.is_fresh()
+    }
+}
+
+impl<G: Governor> Governor for Watchdog<G> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        self.inner.events()
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        if Watchdog::<G>::is_blind(ctx) {
+            self.loss_streak += 1;
+            self.healthy_streak = 0;
+            if self.loss_streak >= self.config.loss_threshold {
+                self.engaged = true;
+            }
+        } else {
+            self.loss_streak = 0;
+            if self.engaged {
+                self.healthy_streak += 1;
+                if self.healthy_streak >= self.config.recovery_samples {
+                    self.engaged = false;
+                    self.healthy_streak = 0;
+                }
+            }
+        }
+        // Always consult the inner governor so its state tracks the run.
+        let wanted = self.inner.decide(ctx);
+        if self.engaged {
+            if ctx.table.contains(self.config.safe_pstate) {
+                self.config.safe_pstate
+            } else {
+                ctx.table.lowest()
+            }
+        } else {
+            wanted
+        }
+    }
+
+    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
+        self.inner.throttle_decision(ctx)
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        self.inner.command(command);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::PowerLimit;
+    use crate::pm::PerformanceMaximizer;
+    use aapm_models::power_model::PowerModel;
+    use aapm_platform::pstate::PStateTable;
+    use aapm_platform::units::{Seconds, Watts};
+    use aapm_telemetry::daq::PowerSample;
+    use aapm_telemetry::pmc::CounterSample;
+
+    fn fresh_sample(dpc: f64) -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsDecoded, dpc * cycles, true)],
+        }
+    }
+
+    fn stale_sample() -> CounterSample {
+        let cycles = 20e6;
+        CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles,
+            counts: vec![(HardwareEvent::InstructionsDecoded, 0.0, false)],
+        }
+    }
+
+    fn power(watts: f64) -> PowerSample {
+        PowerSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            power: Watts::new(watts),
+            true_power: Watts::new(watts),
+        }
+    }
+
+    fn watchdog() -> Watchdog<PerformanceMaximizer> {
+        Watchdog::new(PerformanceMaximizer::new(
+            PowerModel::paper_table_ii(),
+            PowerLimit::new(30.0).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn healthy_telemetry_passes_inner_decision_through() {
+        let table = PStateTable::pentium_m_755();
+        let mut dog = watchdog();
+        let s = fresh_sample(1.0);
+        let p = power(14.0);
+        let ctx = SampleContext {
+            counters: &s,
+            power: Some(&p),
+            temperature: None,
+            current: PStateId::new(7),
+            table: &table,
+        };
+        assert_eq!(dog.decide(&ctx), PStateId::new(7));
+        assert!(!dog.engaged());
+        assert!(dog.outage().is_none());
+    }
+
+    #[test]
+    fn blackout_engages_after_threshold_and_recovers() {
+        let table = PStateTable::pentium_m_755();
+        let mut dog = watchdog();
+        let stale = stale_sample();
+        let threshold = dog.config().loss_threshold;
+        // Blind intervals below the threshold: inner governor still rules
+        // (PM's own stale-hold keeps the current state).
+        for i in 0..threshold - 1 {
+            let ctx = SampleContext {
+                counters: &stale,
+                power: None,
+                temperature: None,
+                current: PStateId::new(7),
+                table: &table,
+            };
+            // Seed PM with one fresh decision first so it has DPC history.
+            if i == 0 {
+                let s = fresh_sample(1.0);
+                let p = power(14.0);
+                let warm = SampleContext {
+                    counters: &s,
+                    power: Some(&p),
+                    temperature: None,
+                    current: PStateId::new(7),
+                    table: &table,
+                };
+                dog.decide(&warm);
+            }
+            dog.decide(&ctx);
+            assert!(!dog.engaged(), "interval {i} must not engage yet");
+        }
+        // Crossing the threshold forces the safe state.
+        let ctx = SampleContext {
+            counters: &stale,
+            power: None,
+            temperature: None,
+            current: PStateId::new(7),
+            table: &table,
+        };
+        assert_eq!(dog.decide(&ctx), PStateId::new(0));
+        assert!(dog.engaged());
+        match dog.outage() {
+            Some(PlatformError::TelemetryLost { channel, intervals }) => {
+                assert_eq!(channel, "power+pmc");
+                assert!(intervals >= threshold);
+            }
+            other => panic!("expected TelemetryLost, got {other:?}"),
+        }
+        // Telemetry returns: stays engaged until a full healthy window.
+        let s = fresh_sample(1.0);
+        let p = power(8.0);
+        for i in 0..dog.config().recovery_samples - 1 {
+            let healthy = SampleContext {
+                counters: &s,
+                power: Some(&p),
+                temperature: None,
+                current: PStateId::new(0),
+                table: &table,
+            };
+            assert_eq!(dog.decide(&healthy), PStateId::new(0), "recovery interval {i}");
+            assert!(dog.engaged());
+        }
+        let healthy = SampleContext {
+            counters: &s,
+            power: Some(&p),
+            temperature: None,
+            current: PStateId::new(0),
+            table: &table,
+        };
+        dog.decide(&healthy);
+        assert!(!dog.engaged(), "full healthy window releases the watchdog");
+    }
+
+    #[test]
+    fn partial_telemetry_does_not_engage() {
+        let table = PStateTable::pentium_m_755();
+        let mut dog = watchdog();
+        // Power lost but counters fresh: governors handle this themselves.
+        let s = fresh_sample(1.0);
+        for _ in 0..dog.config().loss_threshold * 3 {
+            let ctx = SampleContext {
+                counters: &s,
+                power: None,
+                temperature: None,
+                current: PStateId::new(7),
+                table: &table,
+            };
+            dog.decide(&ctx);
+        }
+        assert!(!dog.engaged());
+        // Counters stale but power present: also not a blackout.
+        let stale = stale_sample();
+        let p = power(14.0);
+        for _ in 0..dog.config().loss_threshold * 3 {
+            let ctx = SampleContext {
+                counters: &stale,
+                power: Some(&p),
+                temperature: None,
+                current: PStateId::new(7),
+                table: &table,
+            };
+            dog.decide(&ctx);
+        }
+        assert!(!dog.engaged());
+    }
+}

@@ -102,7 +102,7 @@ pub fn thermal_envelope(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 
     let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
     let free = median_run(&mut un_factory, &program, ctx.table(), &[])?;
-    let config = ThermalGuardConfig { cap, hysteresis_c: 3.0, relax_samples: 50 };
+    let config = ThermalGuardConfig { cap, ..ThermalGuardConfig::default() };
     let mut guard_factory = || {
         Box::new(ThermalGuard::with_config(Unconstrained::new(), config)) as Box<dyn Governor>
     };

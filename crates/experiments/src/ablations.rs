@@ -42,7 +42,7 @@ pub fn guardband(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     let mut last_violation = f64::INFINITY;
     for guardband in [0.0, 0.25, 0.5, 1.0, 2.0] {
         let model = ctx.power_model().clone();
-        let config = PmConfig { guardband: Watts::new(guardband), raise_samples: 10 };
+        let config = PmConfig { guardband: Watts::new(guardband), ..PmConfig::default() };
         let mut factory = || {
             Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
                 as Box<dyn Governor>
@@ -73,7 +73,7 @@ pub fn raise_window(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         TextTable::new(vec!["raise_samples", "violations", "time_s", "transitions"]);
     for raise_samples in [1usize, 3, 10, 30] {
         let model = ctx.power_model().clone();
-        let config = PmConfig { guardband: Watts::new(0.5), raise_samples };
+        let config = PmConfig { raise_samples, ..PmConfig::default() };
         let mut factory = || {
             Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
                 as Box<dyn Governor>

@@ -21,6 +21,8 @@ use crate::table::{f3, pct, TextTable};
 /// The two PM limits of the paper's figure.
 pub const LIMITS_W: [f64; 2] = [14.5, 10.5];
 
+type GovernorFactory = Box<dyn FnMut() -> Box<dyn Governor>>;
+
 /// Runs the experiment.
 ///
 /// # Errors
@@ -43,7 +45,7 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     ]);
     let mut trace = TextTable::new(vec!["configuration", "t_ms", "power_w", "freq_mhz"]);
 
-    let mut configs: Vec<(String, Box<dyn FnMut() -> Box<dyn Governor>>)> = vec![(
+    let mut configs: Vec<(String, GovernorFactory)> = vec![(
         "unconstrained".to_owned(),
         Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>),
     )];

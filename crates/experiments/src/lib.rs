@@ -24,11 +24,13 @@
 //! | headline | paper-vs-reproduction claims | [`headline`] |
 //! | ablation-* | guardband/window/feedback/DBS | [`ablations`] |
 //! | ablation-throttle/-thermal | actuator studies | [`ablation_actuators`] |
+//! | fault-matrix | robustness under injected faults | [`fault_matrix`] |
 
 pub mod ablation_actuators;
 pub mod ablations;
 pub mod context;
 pub mod efficiency;
+pub mod fault_matrix;
 pub mod fig01_power_variation;
 pub mod fig02_pstate_impact;
 pub mod fig05_pm_trace;
@@ -59,10 +61,11 @@ pub use output::ExperimentOutput;
 use aapm_platform::error::Result;
 
 /// Ids of all experiments, in presentation order.
-pub const ALL_IDS: [&str; 27] = [
+pub const ALL_IDS: [&str; 28] = [
     "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "pm-adherence", "headline", "ablation-guardband", "ablation-window",
-    "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "signatures", "model-error", "efficiency", "all",
+    "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "signatures", "model-error", "efficiency", "fault-matrix",
+    "all",
 ];
 
 /// Runs one experiment by id (`"all"` is handled by callers).
@@ -99,6 +102,7 @@ pub fn run_by_id(ctx: &ExperimentContext, id: &str) -> Result<Vec<ExperimentOutp
         "signatures" => single(signatures::run(ctx)?),
         "model-error" => single(model_error::run(ctx)?),
         "efficiency" => single(efficiency::run(ctx)?),
+        "fault-matrix" => single(fault_matrix::run(ctx)?),
         "all" => {
             // Share the expensive PS sweep across figures 9–11 + headline.
             let mut outputs = Vec::new();
@@ -125,6 +129,7 @@ pub fn run_by_id(ctx: &ExperimentContext, id: &str) -> Result<Vec<ExperimentOutp
                 "signatures",
                 "model-error",
                 "efficiency",
+                "fault-matrix",
             ] {
                 outputs.extend(run_by_id(ctx, id)?);
             }

@@ -51,7 +51,7 @@ impl CacheGeometry {
         if self.capacity_bytes == 0 {
             return fail("capacity must be positive".into());
         }
-        if self.capacity_bytes % (self.line_bytes * self.ways) != 0 {
+        if !self.capacity_bytes.is_multiple_of(self.line_bytes * self.ways) {
             return fail(format!(
                 "capacity {} is not a multiple of line size {} × ways {}",
                 self.capacity_bytes, self.line_bytes, self.ways

@@ -46,6 +46,23 @@ pub enum PlatformError {
         /// Human-readable description of the violated invariant.
         reason: String,
     },
+    /// A p-state write was not applied by the platform, even after retries.
+    ActuationFailed {
+        /// Index of the p-state the governor asked for.
+        pstate: usize,
+        /// Number of write attempts made before giving up.
+        attempts: usize,
+        /// The underlying platform error, when the write failed for a
+        /// reason other than injected actuator loss.
+        source: Option<Box<PlatformError>>,
+    },
+    /// A telemetry channel delivered no usable data for too long.
+    TelemetryLost {
+        /// Which channel went silent (`"power"`, `"thermal"`, `"pmc"`, …).
+        channel: &'static str,
+        /// Consecutive control intervals without data.
+        intervals: usize,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -69,11 +86,26 @@ impl fmt::Display for PlatformError {
             PlatformError::InvalidCacheGeometry { reason } => {
                 write!(f, "invalid cache geometry: {reason}")
             }
+            PlatformError::ActuationFailed { pstate, attempts, .. } => {
+                write!(f, "p-state {pstate} actuation failed after {attempts} attempts")
+            }
+            PlatformError::TelemetryLost { channel, intervals } => {
+                write!(f, "telemetry channel `{channel}` lost for {intervals} consecutive intervals")
+            }
         }
     }
 }
 
-impl StdError for PlatformError {}
+impl StdError for PlatformError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            PlatformError::ActuationFailed { source: Some(inner), .. } => {
+                Some(inner.as_ref() as &(dyn StdError + 'static))
+            }
+            _ => None,
+        }
+    }
+}
 
 /// Convenient result alias for platform operations.
 pub type Result<T> = std::result::Result<T, PlatformError>;
@@ -91,12 +123,29 @@ mod tests {
             PlatformError::InvalidPhase { phase: "x".into(), reason: "bad".into() },
             PlatformError::InvalidConfig { parameter: "p", reason: "bad".into() },
             PlatformError::InvalidCacheGeometry { reason: "bad".into() },
+            PlatformError::ActuationFailed { pstate: 2, attempts: 4, source: None },
+            PlatformError::TelemetryLost { channel: "power", intervals: 10 },
         ];
         for e in errors {
             let msg = e.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("p-state"));
         }
+    }
+
+    #[test]
+    fn actuation_failed_exposes_its_source() {
+        let inner = PlatformError::UnknownPState { index: 9, table_len: 8 };
+        let outer = PlatformError::ActuationFailed {
+            pstate: 9,
+            attempts: 1,
+            source: Some(Box::new(inner.clone())),
+        };
+        let chained = outer.source().expect("wrapped cause must surface via source()");
+        assert_eq!(chained.to_string(), inner.to_string());
+        let bare = PlatformError::ActuationFailed { pstate: 1, attempts: 3, source: None };
+        assert!(bare.source().is_none());
+        assert!(PlatformError::TelemetryLost { channel: "pmc", intervals: 5 }.source().is_none());
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //! * [`trace`] — power/p-state time series, moving-average violation
 //!   metrics, energy summation (the paper's energy metric);
 //! * [`window`] — moving windows (PM's 100 ms enforcement window);
-//! * [`stats`] — summaries, medians (the paper's three-run median).
+//! * [`stats`] — summaries, medians (the paper's three-run median);
+//! * [`faults`] — seeded fault injection for the whole chain (sample
+//!   dropouts, stuck readings, missed counter reads, ignored/stalled
+//!   actuator writes).
 
 pub mod daq;
 pub mod derived;
+pub mod faults;
 pub mod gpio;
 pub mod pmc;
 pub mod sensor;
@@ -27,6 +31,10 @@ pub mod window;
 
 pub use daq::{DaqConfig, PowerDaq, PowerSample};
 pub use derived::{derive, DerivedMetrics};
+pub use faults::{
+    ActuationFault, FaultConfig, FaultKind, FaultPlan, FaultStats, FaultWindow, IntervalFaults,
+    PowerFault,
+};
 pub use pmc::{CounterSample, PmcDriver, PROGRAMMABLE_COUNTERS};
 pub use sensor::{ThermalSensor, ThermalSensorConfig};
 pub use trace::{RunTrace, TraceRecord};

@@ -17,6 +17,26 @@ use aapm_platform::units::Seconds;
 /// Number of programmable counters on the simulated PMU.
 pub const PROGRAMMABLE_COUNTERS: usize = 2;
 
+/// Pentium M performance counters are 40 bits wide; totals wrap modulo this.
+const COUNTER_WRAP: f64 = (1u64 << 40) as f64;
+
+/// Count accumulated between two reads of a 40-bit register.
+///
+/// Totals are reduced modulo the register width before differencing and a
+/// negative difference means exactly one wrap occurred between reads (the
+/// 10 ms cadence makes multiple wraps impossible: even at 2 GHz a register
+/// gains < 2^28 counts per interval). When both totals sit in the same wrap
+/// epoch this is bit-identical to plain subtraction, because `f64 % 2^40`
+/// is exact for values below 2^53.
+fn wrapped_delta(now_total: f64, last_total: f64) -> f64 {
+    let delta = now_total % COUNTER_WRAP - last_total % COUNTER_WRAP;
+    if delta < 0.0 {
+        delta + COUNTER_WRAP
+    } else {
+        delta
+    }
+}
+
 /// One counter sample: estimated event counts over an interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterSample {
@@ -74,6 +94,17 @@ impl CounterSample {
     pub fn dcu(&self) -> Option<f64> {
         self.rate(HardwareEvent::DcuMissOutstanding)
     }
+
+    /// Whether this sample carries at least one exactly-measured count.
+    ///
+    /// A normal read is always fresh (even under multiplexing the two
+    /// scheduled slots are exact); a sample reconstructed after a missed
+    /// driver read ([`PmcDriver::sample_missed`]) is entirely estimated and
+    /// therefore stale. A sample with no programmable events requested is
+    /// vacuously fresh.
+    pub fn is_fresh(&self) -> bool {
+        self.counts.is_empty() || self.counts.iter().any(|(_, _, exact)| *exact)
+    }
 }
 
 /// The sampling driver.
@@ -103,6 +134,7 @@ pub struct PmcDriver {
     last_snapshot: CounterSnapshot,
     last_time: Seconds,
     last_rates: Vec<(HardwareEvent, f64)>,
+    last_cycle_rate: f64,
 }
 
 impl PmcDriver {
@@ -124,6 +156,7 @@ impl PmcDriver {
             last_snapshot: CounterSnapshot::zero(),
             last_time: Seconds::ZERO,
             last_rates: Vec::new(),
+            last_cycle_rate: 0.0,
         }
     }
 
@@ -147,8 +180,13 @@ impl PmcDriver {
         let snapshot = machine.counter_snapshot();
         let dt = now - self.last_time;
         assert!(dt.is_positive(), "machine must advance between PMC samples");
-        let delta = snapshot - self.last_snapshot;
-        let cycles = delta.get(HardwareEvent::Cycles);
+        // The hardware registers are 40 bits wide, so every delta is taken
+        // modulo the register width (handles wraps between reads — including
+        // the longer gap after missed reads).
+        let cycles = wrapped_delta(
+            snapshot.get(HardwareEvent::Cycles),
+            self.last_snapshot.get(HardwareEvent::Cycles),
+        );
 
         // Which requested events occupy the two slots this interval?
         let scheduled: Vec<HardwareEvent> = if self.is_multiplexing() {
@@ -163,7 +201,7 @@ impl PmcDriver {
         let requested = self.requested.clone();
         for event in requested {
             if scheduled.contains(&event) {
-                let count = delta.get(event);
+                let count = wrapped_delta(snapshot.get(event), self.last_snapshot.get(event));
                 let rate = if cycles > 0.0 { count / cycles } else { 0.0 };
                 self.record_rate(event, rate);
                 counts.push((event, count, true));
@@ -180,7 +218,27 @@ impl PmcDriver {
         }
         self.last_snapshot = snapshot;
         self.last_time = now;
+        self.last_cycle_rate = cycles / dt.seconds();
         CounterSample { start: now - dt, end: now, cycles, counts }
+    }
+
+    /// Reconstructs a sample for an interval whose driver read was missed.
+    ///
+    /// The driver's state does not advance: the next successful [`sample`]
+    /// call integrates across the gap. The returned sample estimates every
+    /// count from the most recent measured rates (all marked inexact, so
+    /// [`CounterSample::is_fresh`] is `false` for non-empty requests).
+    ///
+    /// [`sample`]: PmcDriver::sample
+    pub fn sample_missed(&self, machine: &Machine, nominal_interval: Seconds) -> CounterSample {
+        let now = machine.elapsed();
+        let cycles = self.last_cycle_rate * nominal_interval.seconds();
+        let counts = self
+            .requested
+            .iter()
+            .map(|&event| (event, self.rate_of(event).unwrap_or(0.0) * cycles, false))
+            .collect();
+        CounterSample { start: now - nominal_interval, end: now, cycles, counts }
     }
 
     fn record_rate(&mut self, event: HardwareEvent, rate: f64) {
@@ -324,5 +382,83 @@ mod tests {
         let s = pmc.sample(&m);
         assert_eq!(s.count(HardwareEvent::FpOperations), None);
         assert_eq!(s.dpc(), None);
+    }
+
+    #[test]
+    fn wrapped_delta_reconstructs_counts_across_a_40_bit_wrap() {
+        // Same epoch: identical to plain subtraction, bit for bit.
+        assert_eq!(wrapped_delta(20e6, 0.0), 20e6);
+        assert_eq!(wrapped_delta(123_456.75, 456.25), 123_000.5);
+        let near_top = COUNTER_WRAP - 5e6;
+        assert_eq!(wrapped_delta(near_top + 1e6, near_top), 1e6);
+        // One wrap between reads: the register rolled over.
+        assert_eq!(wrapped_delta(3e6, near_top), 8e6);
+        // A register that wrapped exactly back to a smaller total.
+        assert_eq!(wrapped_delta(COUNTER_WRAP + 7.0, COUNTER_WRAP - 3.0), 10.0);
+    }
+
+    #[test]
+    fn sampling_across_a_wrap_matches_the_true_rate() {
+        // Drive ~560 s of 2 GHz execution in big ticks so the cycle total
+        // passes 2^40 ≈ 1.1e12, then check IPC is still the model's value.
+        // The default test program would retire out after ~69 s, so give
+        // this one enough instructions to stay busy past the wrap.
+        let phase = PhaseDescriptor::builder("w")
+            .instructions(10_000_000_000_000)
+            .core_cpi(1.0)
+            .mispredict_rate(0.0)
+            .mem_fraction(0.4)
+            .l1_mpi(0.02)
+            .l2_mpi(0.001)
+            .build()
+            .unwrap();
+        let mut builder = MachineConfig::builder();
+        builder.execution_variation(0.0);
+        let mut m = Machine::new(builder.build().unwrap(), PhaseProgram::from_phase(phase));
+        let mut pmc = PmcDriver::new(vec![HardwareEvent::InstructionsRetired]);
+        for _ in 0..56 {
+            m.tick(Seconds::new(10.0));
+            pmc.sample(&m);
+        }
+        assert!(m.counter_snapshot().get(HardwareEvent::Cycles) > COUNTER_WRAP);
+        m.tick(Seconds::from_millis(10.0));
+        let s = pmc.sample(&m);
+        let expected_ipc = 1.0 / (1.0 + 0.16 + 0.22);
+        assert!((s.ipc().unwrap() - expected_ipc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_read_is_stale_and_next_read_integrates_the_gap() {
+        let interval = Seconds::from_millis(10.0);
+        let mut m = machine();
+        let mut pmc = PmcDriver::new(vec![HardwareEvent::InstructionsRetired]);
+        m.tick(interval);
+        let first = pmc.sample(&m);
+        assert!(first.is_fresh());
+
+        // The driver misses the next read: its state must not advance, and
+        // the reconstructed sample extrapolates the last measured rates.
+        m.tick(interval);
+        let missed = pmc.sample_missed(&m, interval);
+        assert!(!missed.is_fresh());
+        assert!((missed.cycles - first.cycles).abs() < 1.0);
+        assert!((missed.ipc().unwrap() - first.ipc().unwrap()).abs() < 1e-9);
+
+        // The next successful read covers both intervals.
+        m.tick(interval);
+        let recovered = pmc.sample(&m);
+        assert!(recovered.is_fresh());
+        assert!((recovered.cycles - 2.0 * first.cycles).abs() < 1.0);
+        assert!((recovered.duration().seconds() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_request_is_vacuously_fresh() {
+        let mut m = machine();
+        let mut pmc = PmcDriver::new(vec![]);
+        m.tick(Seconds::from_millis(10.0));
+        assert!(pmc.sample(&m).is_fresh());
+        m.tick(Seconds::from_millis(10.0));
+        assert!(pmc.sample_missed(&m, Seconds::from_millis(10.0)).is_fresh());
     }
 }

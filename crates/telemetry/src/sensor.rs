@@ -66,7 +66,7 @@ pub struct ThermalSensor {
 impl ThermalSensor {
     /// Creates a sensor with its own noise stream.
     pub fn new(config: ThermalSensorConfig, seed: u64) -> Self {
-        ThermalSensor { config, noise: NoiseSource::seeded(seed ^ 0x7E_4F_0001) }
+        ThermalSensor { config, noise: NoiseSource::seeded(seed ^ 0x7E4F_0001) }
     }
 
     /// The sensor configuration.

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local gate: release build, the whole test suite, and clippy with
+# warnings promoted to errors. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "check.sh: all gates passed"

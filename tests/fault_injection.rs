@@ -1,0 +1,254 @@
+//! Cross-crate fault-injection tests: provable inertness of the all-zero
+//! fault config, seeded reproducibility of fault plans, graceful governor
+//! degradation under sensor dropout, watchdog engagement through a
+//! scheduled telemetry blackout, and scheduled-command validation.
+
+use aapm::limits::PowerLimit;
+use aapm::pm::PerformanceMaximizer;
+use aapm::runtime::{run, run_with_faults, ScheduledCommand, SimulationConfig};
+use aapm::watchdog::{Watchdog, WatchdogConfig};
+use aapm::GovernorCommand;
+use aapm_models::power_model::PowerModel;
+use aapm_platform::config::MachineConfig;
+use aapm_platform::error::PlatformError;
+use aapm_platform::program::PhaseProgram;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::units::Seconds;
+use aapm_telemetry::faults::{FaultConfig, FaultKind, FaultWindow};
+use aapm_workloads::synth::random_program;
+use proptest::prelude::*;
+
+fn short_program(seed: u64) -> PhaseProgram {
+    let program = random_program(seed, 4);
+    let target: u64 = 400_000_000;
+    let factor = target as f64 / program.total_instructions() as f64;
+    program.scaled(factor.min(1.0))
+}
+
+fn quick_sim() -> SimulationConfig {
+    SimulationConfig { max_samples: 30_000, ..SimulationConfig::default() }
+}
+
+fn pm(limit: f64) -> PerformanceMaximizer {
+    PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(limit).unwrap())
+}
+
+fn dropout_faults(seed: u64, rate: f64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        power_dropout_rate: rate,
+        thermal_dropout_rate: rate,
+        pmc_missed_rate: rate,
+        actuation_ignored_rate: rate / 2.0,
+        ..FaultConfig::default()
+    }
+}
+
+/// The all-zero fault config must be provably inert: a `run_with_faults`
+/// call produces a bit-identical report to plain `run` and zero stats.
+#[test]
+fn zero_fault_config_is_bit_identical_to_plain_run() {
+    let program = short_program(3);
+    let baseline = run(
+        &mut pm(12.5),
+        MachineConfig::pentium_m_755(3),
+        program.clone(),
+        quick_sim(),
+        &[],
+    )
+    .unwrap();
+    let (faulted, stats) = run_with_faults(
+        &mut pm(12.5),
+        MachineConfig::pentium_m_755(3),
+        program,
+        quick_sim(),
+        &[],
+        &[],
+    )
+    .unwrap();
+    assert!(stats.is_clean(), "inert config must inject nothing: {stats:?}");
+    assert_eq!(baseline.execution_time, faulted.execution_time);
+    assert_eq!(baseline.measured_energy, faulted.measured_energy);
+    assert_eq!(baseline.true_energy, faulted.true_energy);
+    assert_eq!(baseline.trace, faulted.trace, "traces must match bit for bit");
+}
+
+/// Scheduled commands with non-finite times are rejected up front instead
+/// of panicking inside the sort (the old `partial_cmp(...).expect(...)`).
+#[test]
+fn non_finite_command_times_are_rejected() {
+    let nan = Seconds::new(f64::INFINITY) - Seconds::new(f64::INFINITY);
+    assert!(nan.seconds().is_nan(), "NaN must be constructible via subtraction");
+    for bad in [nan, Seconds::new(f64::INFINITY)] {
+        let commands = [
+            ScheduledCommand {
+                at: Seconds::new(0.1),
+                command: GovernorCommand::SetPowerLimit(PowerLimit::new(10.0).unwrap()),
+            },
+            ScheduledCommand {
+                at: bad,
+                command: GovernorCommand::SetPowerLimit(PowerLimit::new(8.0).unwrap()),
+            },
+        ];
+        let result = run(
+            &mut pm(12.5),
+            MachineConfig::pentium_m_755(1),
+            short_program(1),
+            quick_sim(),
+            &commands,
+        );
+        assert!(
+            matches!(result, Err(PlatformError::InvalidConfig { parameter: "commands", .. })),
+            "time {bad} must be rejected, got {result:?}"
+        );
+    }
+}
+
+/// A scheduled blackout (power + PMC + thermal all lost) must drive the
+/// watchdog to its safe p-state, and control must return after recovery.
+#[test]
+fn watchdog_forces_safe_pstate_through_blackout_and_recovers() {
+    let window = FaultWindow {
+        start: Seconds::new(1.0),
+        end: Seconds::new(2.0),
+        kind: FaultKind::Blackout,
+    };
+    let config = WatchdogConfig::default();
+    let mut dog = Watchdog::with_config(pm(30.0), config);
+    // A long program so the run spans well past the window.
+    let program = short_program(7).scaled(10.0);
+    let (report, stats) = run_with_faults(
+        &mut dog,
+        MachineConfig::pentium_m_755(7),
+        program,
+        quick_sim(),
+        &[],
+        &[window],
+    )
+    .unwrap();
+    assert!(stats.power_dropouts >= 90, "the window covers ~100 samples");
+    let records = report.trace.records();
+    let interval = report.trace.interval().seconds();
+    let at = |t: f64| ((t / interval) as usize).min(records.len() - 1);
+    // Well inside the window (threshold 10 intervals + margin for the
+    // engage decision and p-state transition to propagate): safe state.
+    for record in &records[at(1.3)..at(1.9)] {
+        assert_eq!(
+            record.pstate,
+            config.safe_pstate,
+            "watchdog must hold the safe state at t={}",
+            record.time
+        );
+    }
+    // Before the window: PM's generous 30 W limit keeps a high state.
+    assert!(records[at(0.5)].pstate > PStateId::new(4), "healthy run starts fast");
+    // Well after the window (recovery window + PM raise streak): control
+    // returned and frequency came back up.
+    assert!(
+        records[at(2.5)..].iter().any(|r| r.pstate > PStateId::new(4)),
+        "inner governor must regain control after the blackout"
+    );
+}
+
+/// Sensor dropout must not break PM's power-limit contract: violations
+/// under ≤10 % dropout stay within a small margin of the fault-free run.
+#[test]
+fn pm_adherence_degrades_gracefully_under_dropout() {
+    let limit = 12.5;
+    let program = short_program(11);
+    let (clean, _) = run_with_faults(
+        &mut pm(limit),
+        MachineConfig::pentium_m_755(11),
+        program.clone(),
+        quick_sim(),
+        &[],
+        &[],
+    )
+    .unwrap();
+    let clean_violation =
+        clean.violation_fraction(PowerLimit::new(limit).unwrap().watts(), 10);
+    for rate in [0.02, 0.05, 0.10] {
+        let sim = SimulationConfig {
+            faults: dropout_faults(0xD0_11 ^ (rate * 1000.0) as u64, rate),
+            ..quick_sim()
+        };
+        let (faulted, stats) = run_with_faults(
+            &mut pm(limit),
+            MachineConfig::pentium_m_755(11),
+            program.clone(),
+            sim,
+            &[],
+            &[],
+        )
+        .unwrap();
+        assert!(stats.telemetry_losses() > 0, "rate {rate} must inject faults");
+        let violation =
+            faulted.violation_fraction(PowerLimit::new(limit).unwrap().watts(), 10);
+        assert!(
+            violation <= clean_violation + 0.02,
+            "rate {rate}: violations {violation} vs clean {clean_violation}"
+        );
+        assert!(faulted.completed, "rate {rate}: run must still complete");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Faulted runs are bit-reproducible: the same seeds (machine, DAQ, and
+    /// fault plan) give identical reports and fault stats.
+    #[test]
+    fn faulted_runs_reproducible_with_same_seeds(seed in 0u64..100) {
+        let program = short_program(seed);
+        let sim = SimulationConfig {
+            faults: dropout_faults(seed ^ 0xFA17, 0.08),
+            ..quick_sim()
+        };
+        let make = || {
+            run_with_faults(
+                &mut pm(12.5),
+                MachineConfig::pentium_m_755(seed),
+                program.clone(),
+                sim,
+                &[],
+                &[],
+            ).expect("run succeeds")
+        };
+        let (a, stats_a) = make();
+        let (b, stats_b) = make();
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert!(stats_a.telemetry_losses() > 0, "8% rates must fire");
+        prop_assert_eq!(a.execution_time, b.execution_time);
+        prop_assert_eq!(a.measured_energy, b.measured_energy);
+        prop_assert_eq!(a.trace, b.trace);
+    }
+
+    /// No governor panics and every run completes under heavy mixed faults
+    /// (including stuck power readings and stalled/ignored actuations).
+    #[test]
+    fn heavy_faults_never_panic_and_runs_complete(seed in 0u64..50) {
+        let program = short_program(seed);
+        let faults = FaultConfig {
+            seed: seed ^ 0xBAD,
+            power_dropout_rate: 0.15,
+            power_stuck_rate: 0.1,
+            thermal_dropout_rate: 0.15,
+            pmc_missed_rate: 0.15,
+            actuation_ignored_rate: 0.1,
+            actuation_stall_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let sim = SimulationConfig { faults, ..quick_sim() };
+        let (report, stats) = run_with_faults(
+            &mut Watchdog::new(pm(12.5)),
+            MachineConfig::pentium_m_755(seed),
+            program,
+            sim,
+            &[],
+            &[],
+        ).expect("run succeeds");
+        prop_assert!(report.completed, "run must complete despite faults");
+        prop_assert!(stats.telemetry_losses() > 0);
+        prop_assert!(stats.actuation_faults() > 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements the slice of proptest the workspace's property tests use:
+//! the `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `ProptestConfig::with_cases`, the `Strategy` trait with `prop_map`,
+//! numeric-range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, and the `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways: inputs are drawn
+//! from a deterministic per-test generator (seeded from the test's module
+//! path and name) so test runs are exactly reproducible, and failing cases
+//! are not shrunk — the failing input is reported as-is.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable API surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Namespaced strategy constructors (`prop::collection::vec`, …).
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each function argument is drawn from its
+/// strategy `cases` times; the body runs once per drawn tuple.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    (@fns ($config:expr); ) => {};
+    (@fns ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..config.cases {
+                $(let $arg = {
+                    let strategy = $strategy;
+                    $crate::strategy::Strategy::generate(&strategy, &mut rng)
+                };)+
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Rejects the current case when the assumption does not hold. Upstream
+/// draws a replacement input; this subset simply skips the case (the
+/// per-test generator still advances, so remaining cases differ).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in -1.5f64..2.5, n in 1usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b),
+            items in prop::collection::vec(0u8..5, 2..6),
+        ) {
+            prop_assert!(pair < 20);
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn select_draws_from_options(v in prop::sample::select(vec![2u32, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&v));
+        }
+    }
+
+    #[test]
+    fn same_test_name_redraws_identically() {
+        let mut a = crate::test_runner::TestRng::for_test("x::y");
+        let mut b = crate::test_runner::TestRng::for_test("x::y");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        }
+    }
+}

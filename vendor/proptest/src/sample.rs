@@ -1,0 +1,25 @@
+//! Sampling strategies (subset: `select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy drawing uniformly from a fixed list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "cannot select from an empty list");
+    Select { options }
+}
+
+/// The result of [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.next_below(self.options.len() as u64) as usize;
+        self.options[index].clone()
+    }
+}
