@@ -7,7 +7,7 @@
 
 use std::path::Path;
 
-use aapm_experiments::{run_by_id, ExperimentContext};
+use aapm_experiments::{run_by_id, ExperimentContext, Pool};
 
 fn main() {
     // Under `cargo bench`, harness-less targets receive `--bench`; ignore
@@ -19,8 +19,9 @@ fn main() {
 
     eprintln!("[figures] training models…");
     let ctx = ExperimentContext::train().expect("training succeeds");
-    eprintln!("[figures] regenerating `{id}`…");
-    let outputs = run_by_id(&ctx, &id).expect("experiments succeed");
+    let pool = Pool::default_parallel();
+    eprintln!("[figures] regenerating `{id}` with {} job(s)…", pool.jobs());
+    let outputs = run_by_id(&ctx, &pool, &id).expect("experiments succeed");
     let out_dir = Path::new("target").join("figures");
     for output in &outputs {
         println!("{output}");

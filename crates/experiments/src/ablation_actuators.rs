@@ -21,6 +21,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, pct, TextTable};
 
@@ -29,7 +30,7 @@ use crate::table::{f3, pct, TextTable};
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn throttle_vs_dvfs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn throttle_vs_dvfs(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-throttle",
         "Energy at matched floors: DVFS PowerSave vs clock-throttling ThrottleSave",
@@ -43,35 +44,57 @@ pub fn throttle_vs_dvfs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         "throttle_realized",
     ]);
     let mut dvfs_always_wins = true;
-    for name in ["sixtrack", "gzip", "swim"] {
-        let bench = spec::by_name(name).expect("known benchmark");
-        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let reference = median_run(&mut un_factory, bench.program(), ctx.table(), &[])?;
-        for floor in [0.75, 0.5] {
-            let perf_model = ctx.perf_model_paper();
-            let mut ps_factory = || {
-                Box::new(PowerSave::new(
-                    perf_model,
-                    PerformanceFloor::new(floor).expect("valid floor"),
-                )) as Box<dyn Governor>
-            };
-            let ps = median_run(&mut ps_factory, bench.program(), ctx.table(), &[])?;
-            let mut th_factory = || {
-                Box::new(ThrottleSave::new(
-                    PerformanceFloor::new(floor).expect("valid floor"),
-                )) as Box<dyn Governor>
-            };
-            let throttled = median_run(&mut th_factory, bench.program(), ctx.table(), &[])?;
-            let dvfs_savings = ps.energy_savings_vs(&reference);
-            let throttle_savings = throttled.energy_savings_vs(&reference);
+    // One cell per benchmark; each covers its two floors against a shared
+    // unconstrained reference.
+    type FloorRow = (f64, f64, f64, f64, f64);
+    let names = ["sixtrack", "gzip", "swim"];
+    let cells: Vec<_> = names
+        .into_iter()
+        .map(|name| {
+            move || -> Result<Vec<FloorRow>> {
+                let bench = spec::by_name(name).expect("known benchmark");
+                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+                let reference =
+                    median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
+                let mut rows = Vec::new();
+                for floor in [0.75, 0.5] {
+                    let ps_factory = || {
+                        Box::new(PowerSave::new(
+                            ctx.perf_model_paper(),
+                            PerformanceFloor::new(floor).expect("valid floor"),
+                        )) as Box<dyn Governor>
+                    };
+                    let ps = median_run(pool, &ps_factory, bench.program(), ctx.table(), &[])?;
+                    let th_factory = || {
+                        Box::new(ThrottleSave::new(
+                            PerformanceFloor::new(floor).expect("valid floor"),
+                        )) as Box<dyn Governor>
+                    };
+                    let throttled =
+                        median_run(pool, &th_factory, bench.program(), ctx.table(), &[])?;
+                    rows.push((
+                        floor,
+                        ps.energy_savings_vs(&reference),
+                        throttled.energy_savings_vs(&reference),
+                        reference.execution_time / ps.execution_time,
+                        reference.execution_time / throttled.execution_time,
+                    ));
+                }
+                Ok(rows)
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (name, rows) in names.into_iter().zip(results) {
+        for (floor, dvfs_savings, throttle_savings, dvfs_realized, throttle_realized) in rows {
             dvfs_always_wins &= dvfs_savings >= throttle_savings - 1e-6;
             table.row(vec![
                 name.into(),
                 pct(floor),
                 pct(dvfs_savings),
                 pct(throttle_savings),
-                pct(reference.execution_time / ps.execution_time),
-                pct(reference.execution_time / throttled.execution_time),
+                pct(dvfs_realized),
+                pct(throttle_realized),
             ]);
         }
     }
@@ -90,7 +113,7 @@ pub fn throttle_vs_dvfs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn thermal_envelope(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn thermal_envelope(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-thermal",
         "Die-temperature envelope (ThermalGuard) on the hottest workload",
@@ -100,13 +123,24 @@ pub fn thermal_envelope(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     let program = crafty.program().scaled(4.0);
     let cap = Celsius::new(72.0);
 
-    let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let free = median_run(&mut un_factory, &program, ctx.table(), &[])?;
-    let config = ThermalGuardConfig { cap, ..ThermalGuardConfig::default() };
-    let mut guard_factory = || {
-        Box::new(ThermalGuard::with_config(Unconstrained::new(), config)) as Box<dyn Governor>
+    let program_ref = &program;
+    let free_cell = move || {
+        let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        median_run(pool, &un_factory, program_ref, ctx.table(), &[])
     };
-    let guarded = median_run(&mut guard_factory, &program, ctx.table(), &[])?;
+    let guarded_cell = move || {
+        let config = ThermalGuardConfig { cap, ..ThermalGuardConfig::default() };
+        let guard_factory = || {
+            Box::new(ThermalGuard::with_config(Unconstrained::new(), config))
+                as Box<dyn Governor>
+        };
+        median_run(pool, &guard_factory, program_ref, ctx.table(), &[])
+    };
+    let cells: Vec<Box<dyn FnOnce() -> Result<_> + Send>> =
+        vec![Box::new(free_cell), Box::new(guarded_cell)];
+    let mut reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    let guarded = reports.pop().expect("two cells were submitted");
+    let free = reports.pop().expect("two cells were submitted");
 
     // Reconstruct the temperature trajectories from the power traces using
     // the platform's RC model (the runtime reports power, not temperature,
@@ -154,7 +188,7 @@ pub fn thermal_envelope(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn deep_caps(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn deep_caps(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     use aapm::combined_pm::CombinedPm;
     use aapm::limits::PowerLimit;
     use aapm::pm::PerformanceMaximizer;
@@ -172,17 +206,33 @@ pub fn deep_caps(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         "combined_mean_w",
         "combined_slowdown",
     ]);
-    let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let reference = median_run(&mut un_factory, gzip.program(), ctx.table(), &[])?;
-    for watts in [5.5, 4.5, 3.5, 2.5] {
+    let gzip_ref = &gzip;
+    let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+    let reference = median_run(pool, &un_factory, gzip.program(), ctx.table(), &[])?;
+    let limits_w = [5.5, 4.5, 3.5, 2.5];
+    let cells: Vec<_> = limits_w
+        .into_iter()
+        .map(|watts| {
+            move || -> Result<(aapm::report::RunReport, aapm::report::RunReport)> {
+                let limit = PowerLimit::new(watts).expect("valid limit");
+                let pm_factory = || {
+                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let pm = median_run(pool, &pm_factory, gzip_ref.program(), ctx.table(), &[])?;
+                let combined_factory = || {
+                    Box::new(CombinedPm::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let combined =
+                    median_run(pool, &combined_factory, gzip_ref.program(), ctx.table(), &[])?;
+                Ok((pm, combined))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (watts, (pm, combined)) in limits_w.into_iter().zip(results) {
         let limit = PowerLimit::new(watts).expect("valid limit");
-        let model = ctx.power_model().clone();
-        let mut pm_factory =
-            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-        let pm = median_run(&mut pm_factory, gzip.program(), ctx.table(), &[])?;
-        let mut combined_factory =
-            || Box::new(CombinedPm::new(model.clone(), limit)) as Box<dyn Governor>;
-        let combined = median_run(&mut combined_factory, gzip.program(), ctx.table(), &[])?;
         table.row(vec![
             format!("{watts:.1}"),
             pct(pm.violation_fraction(limit.watts(), 10)),
@@ -206,7 +256,7 @@ pub fn deep_caps(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn phase_pm(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn phase_pm(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     use aapm::limits::PowerLimit;
     use aapm::phase_pm::PhasePm;
     use aapm::pm::PerformanceMaximizer;
@@ -225,16 +275,31 @@ pub fn phase_pm(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     ]);
     // ammp's phase alternation is where the detector helps; galgel's bursts
     // are where eager raising risks violations.
-    for (name, watts) in [("ammp", 10.5), ("ammp", 12.5), ("galgel", 13.5), ("galgel", 15.5)] {
-        let bench = spec::by_name(name).expect("known benchmark");
+    let cases = [("ammp", 10.5), ("ammp", 12.5), ("galgel", 13.5), ("galgel", 15.5)];
+    let cells: Vec<_> = cases
+        .into_iter()
+        .map(|(name, watts)| {
+            move || -> Result<(aapm::report::RunReport, aapm::report::RunReport)> {
+                let bench = spec::by_name(name).expect("known benchmark");
+                let limit = PowerLimit::new(watts).expect("valid limit");
+                let pm_factory = || {
+                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let pm = median_run(pool, &pm_factory, bench.program(), ctx.table(), &[])?;
+                let phase_factory = || {
+                    Box::new(PhasePm::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let phased =
+                    median_run(pool, &phase_factory, bench.program(), ctx.table(), &[])?;
+                Ok((pm, phased))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for ((name, watts), (pm, phased)) in cases.into_iter().zip(results) {
         let limit = PowerLimit::new(watts).expect("valid limit");
-        let model = ctx.power_model().clone();
-        let mut pm_factory =
-            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-        let pm = median_run(&mut pm_factory, bench.program(), ctx.table(), &[])?;
-        let mut phase_factory =
-            || Box::new(PhasePm::new(model.clone(), limit)) as Box<dyn Governor>;
-        let phased = median_run(&mut phase_factory, bench.program(), ctx.table(), &[])?;
         table.row(vec![
             name.into(),
             format!("{watts:.1}"),
@@ -257,11 +322,11 @@ pub fn phase_pm(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::test_ctx;
+    use crate::test_support::{test_ctx, test_pool};
 
     #[test]
     fn phase_pm_is_no_slower_on_ammp() {
-        let out = phase_pm(test_ctx()).unwrap();
+        let out = phase_pm(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()
@@ -282,7 +347,7 @@ mod tests {
 
     #[test]
     fn combined_pm_holds_caps_plain_pm_cannot() {
-        let out = deep_caps(test_ctx()).unwrap();
+        let out = deep_caps(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()
@@ -308,7 +373,7 @@ mod tests {
 
     #[test]
     fn dvfs_beats_throttling_on_energy_everywhere() {
-        let out = throttle_vs_dvfs(test_ctx()).unwrap();
+        let out = throttle_vs_dvfs(test_ctx(), test_pool()).unwrap();
         for line in out.tables[0].1.to_csv().lines().skip(1) {
             let cells: Vec<&str> = line.split(',').collect();
             let dvfs: f64 = cells[2].trim_end_matches('%').parse().unwrap();
@@ -331,7 +396,7 @@ mod tests {
 
     #[test]
     fn thermal_guard_holds_the_cap() {
-        let out = thermal_envelope(test_ctx()).unwrap();
+        let out = thermal_envelope(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -20,6 +20,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, pct, TextTable};
 
@@ -31,7 +32,7 @@ pub const GALGEL_LIMIT_W: f64 = 13.5;
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn guardband(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn guardband(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-guardband",
         "PM guardband sweep on galgel at 13.5 W (paper uses 0.5 W)",
@@ -39,18 +40,33 @@ pub fn guardband(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     let galgel = spec::by_name("galgel").expect("galgel in suite");
     let limit = PowerLimit::new(GALGEL_LIMIT_W).expect("valid limit");
     let mut table = TextTable::new(vec!["guardband_w", "violations", "time_s"]);
-    let mut last_violation = f64::INFINITY;
-    for guardband in [0.0, 0.25, 0.5, 1.0, 2.0] {
-        let model = ctx.power_model().clone();
-        let config = PmConfig { guardband: Watts::new(guardband), ..PmConfig::default() };
-        let mut factory = || {
-            Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
-                as Box<dyn Governor>
-        };
-        let report = median_run(&mut factory, galgel.program(), ctx.table(), &[])?;
-        let violations = report.violation_fraction(limit.watts(), 10);
-        table.row(vec![f3(guardband), pct(violations), f3(report.execution_time.seconds())]);
-        last_violation = last_violation.min(violations);
+    let guardbands = [0.0, 0.25, 0.5, 1.0, 2.0];
+    let galgel_ref = &galgel;
+    let cells: Vec<_> = guardbands
+        .into_iter()
+        .map(|guardband| {
+            move || -> Result<(f64, f64)> {
+                let config =
+                    PmConfig { guardband: Watts::new(guardband), ..PmConfig::default() };
+                let factory = || {
+                    Box::new(PerformanceMaximizer::with_config(
+                        ctx.power_model().clone(),
+                        limit,
+                        config,
+                    )) as Box<dyn Governor>
+                };
+                let report =
+                    median_run(pool, &factory, galgel_ref.program(), ctx.table(), &[])?;
+                Ok((
+                    report.violation_fraction(limit.watts(), 10),
+                    report.execution_time.seconds(),
+                ))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (guardband, (violations, time_s)) in guardbands.into_iter().zip(results) {
+        table.row(vec![f3(guardband), pct(violations), f3(time_s)]);
     }
     out.table("sweep", table);
     out.note("larger guardbands trade performance for fewer limit excursions");
@@ -62,7 +78,7 @@ pub fn guardband(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn raise_window(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn raise_window(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-window",
         "PM raise-window sweep on galgel at 13.5 W (paper waits 10 samples)",
@@ -71,19 +87,37 @@ pub fn raise_window(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     let limit = PowerLimit::new(GALGEL_LIMIT_W).expect("valid limit");
     let mut table =
         TextTable::new(vec!["raise_samples", "violations", "time_s", "transitions"]);
-    for raise_samples in [1usize, 3, 10, 30] {
-        let model = ctx.power_model().clone();
-        let config = PmConfig { raise_samples, ..PmConfig::default() };
-        let mut factory = || {
-            Box::new(PerformanceMaximizer::with_config(model.clone(), limit, config))
-                as Box<dyn Governor>
-        };
-        let report = median_run(&mut factory, galgel.program(), ctx.table(), &[])?;
+    let windows = [1usize, 3, 10, 30];
+    let galgel_ref = &galgel;
+    let cells: Vec<_> = windows
+        .into_iter()
+        .map(|raise_samples| {
+            move || -> Result<(f64, f64, u64)> {
+                let config = PmConfig { raise_samples, ..PmConfig::default() };
+                let factory = || {
+                    Box::new(PerformanceMaximizer::with_config(
+                        ctx.power_model().clone(),
+                        limit,
+                        config,
+                    )) as Box<dyn Governor>
+                };
+                let report =
+                    median_run(pool, &factory, galgel_ref.program(), ctx.table(), &[])?;
+                Ok((
+                    report.violation_fraction(limit.watts(), 10),
+                    report.execution_time.seconds(),
+                    report.transitions,
+                ))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (raise_samples, (violations, time_s, transitions)) in windows.into_iter().zip(results) {
         table.row(vec![
             raise_samples.to_string(),
-            pct(report.violation_fraction(limit.watts(), 10)),
-            f3(report.execution_time.seconds()),
-            report.transitions.to_string(),
+            pct(violations),
+            f3(time_s),
+            transitions.to_string(),
         ]);
     }
     out.table("sweep", table);
@@ -99,7 +133,7 @@ pub fn raise_window(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn feedback(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn feedback(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-feedback",
         "Plain PM vs measured-power-feedback PM on galgel (paper's future-work sketch)",
@@ -109,17 +143,36 @@ pub fn feedback(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         TextTable::new(vec!["limit_w", "pm_violations", "feedback_violations", "pm_time_s", "feedback_time_s"]);
     let mut improved = 0usize;
     let mut compared = 0usize;
-    for watts in [17.5, 15.5, 13.5, 11.5] {
-        let limit = PowerLimit::new(watts).expect("valid limit");
-        let model = ctx.power_model().clone();
-        let mut pm_factory =
-            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-        let pm = median_run(&mut pm_factory, galgel.program(), ctx.table(), &[])?;
-        let mut fb_factory =
-            || Box::new(FeedbackPm::new(model.clone(), limit)) as Box<dyn Governor>;
-        let fb = median_run(&mut fb_factory, galgel.program(), ctx.table(), &[])?;
-        let pm_violations = pm.violation_fraction(limit.watts(), 10);
-        let fb_violations = fb.violation_fraction(limit.watts(), 10);
+    let limits_w = [17.5, 15.5, 13.5, 11.5];
+    let galgel_ref = &galgel;
+    let cells: Vec<_> = limits_w
+        .into_iter()
+        .map(|watts| {
+            move || -> Result<(f64, f64, f64, f64)> {
+                let limit = PowerLimit::new(watts).expect("valid limit");
+                let pm_factory = || {
+                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let pm = median_run(pool, &pm_factory, galgel_ref.program(), ctx.table(), &[])?;
+                let fb_factory = || {
+                    Box::new(FeedbackPm::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let fb = median_run(pool, &fb_factory, galgel_ref.program(), ctx.table(), &[])?;
+                Ok((
+                    pm.violation_fraction(limit.watts(), 10),
+                    fb.violation_fraction(limit.watts(), 10),
+                    pm.execution_time.seconds(),
+                    fb.execution_time.seconds(),
+                ))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (watts, (pm_violations, fb_violations, pm_time, fb_time)) in
+        limits_w.into_iter().zip(results)
+    {
         if pm_violations > 0.001 {
             compared += 1;
             if fb_violations <= pm_violations {
@@ -130,8 +183,8 @@ pub fn feedback(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
             format!("{watts:.1}"),
             pct(pm_violations),
             pct(fb_violations),
-            f3(pm.execution_time.seconds()),
-            f3(fb.execution_time.seconds()),
+            f3(pm_time),
+            f3(fb_time),
         ]);
     }
     out.table("comparison", table);
@@ -147,25 +200,36 @@ pub fn feedback(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn dbs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn dbs(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "ablation-dbs",
         "Demand-based switching saves nothing at full load (paper §IV.B motivation)",
     );
     let mut table = TextTable::new(vec!["benchmark", "dbs_energy_savings", "dbs_slowdown"]);
     let mut worst_saving = 0.0f64;
-    for bench in spec::suite().into_iter().take(8) {
-        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let reference = median_run(&mut un_factory, bench.program(), ctx.table(), &[])?;
-        let mut dbs_factory = || Box::new(DemandBasedSwitching::new()) as Box<dyn Governor>;
-        let dbs_run = median_run(&mut dbs_factory, bench.program(), ctx.table(), &[])?;
-        let savings = dbs_run.energy_savings_vs(&reference);
+    let benches: Vec<_> = spec::suite().into_iter().take(8).collect();
+    let cells: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            move || -> Result<(f64, f64)> {
+                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+                let reference =
+                    median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
+                let dbs_factory =
+                    || Box::new(DemandBasedSwitching::new()) as Box<dyn Governor>;
+                let dbs_run =
+                    median_run(pool, &dbs_factory, bench.program(), ctx.table(), &[])?;
+                Ok((
+                    dbs_run.energy_savings_vs(&reference),
+                    dbs_run.execution_time / reference.execution_time,
+                ))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (bench, (savings, slowdown)) in benches.iter().zip(results) {
         worst_saving = worst_saving.max(savings.abs());
-        table.row(vec![
-            bench.name().into(),
-            pct(savings),
-            f3(dbs_run.execution_time / reference.execution_time),
-        ]);
+        table.row(vec![bench.name().into(), pct(savings), f3(slowdown)]);
     }
     out.table("comparison", table);
     out.note(format!(
@@ -180,11 +244,11 @@ pub fn dbs(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::test_ctx;
+    use crate::test_support::{test_ctx, test_pool};
 
     #[test]
     fn guardband_reduces_violations_monotonically_enough() {
-        let out = guardband(test_ctx()).unwrap();
+        let out = guardband(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()
@@ -205,7 +269,7 @@ mod tests {
 
     #[test]
     fn dbs_saves_nothing_at_full_load() {
-        let out = dbs(test_ctx()).unwrap();
+        let out = dbs(test_ctx(), test_pool()).unwrap();
         for line in out.tables[0].1.to_csv().lines().skip(1) {
             let savings: f64 = line
                 .split(',')

@@ -1,19 +1,59 @@
 //! Experiment driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! aapm-experiments <id> [--csv <dir>]
-//! aapm-experiments all --csv results/
+//! aapm-experiments <id> [--csv <dir>] [--jobs <n>]
+//! aapm-experiments all --csv results/ --jobs 4
 //! aapm-experiments --list
 //! ```
+//!
+//! `--jobs 1` forces the serial path (the determinism reference); the
+//! default fans experiment cells over every available core. Each run also
+//! writes `results/BENCH_suite.json` with wall-clock and pool statistics.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use aapm_experiments::{run_by_id, ExperimentContext, ALL_IDS};
+use aapm_experiments::pool::PoolStats;
+use aapm_experiments::{run_by_id, ExperimentContext, Pool, ALL_IDS};
 
 fn usage() {
-    eprintln!("usage: aapm-experiments <id>|all [--csv <dir>]");
+    eprintln!("usage: aapm-experiments <id>|all [--csv <dir>] [--jobs <n>]");
     eprintln!("       aapm-experiments --list");
+}
+
+/// Writes `results/BENCH_suite.json` (hand-rolled JSON: flat numbers only).
+fn write_bench_report(
+    path: &Path,
+    id: &str,
+    stats: &PoolStats,
+    train_wall: Duration,
+    suite_wall: Duration,
+    experiments: usize,
+) -> std::io::Result<()> {
+    let wall_s = suite_wall.as_secs_f64();
+    let busy_s = stats.top_busy.as_secs_f64();
+    let cells_per_sec = if wall_s > 0.0 { stats.cells_run as f64 / wall_s } else { 0.0 };
+    // Serial wall-clock ≈ the sum of top-level cell times, so busy/wall
+    // estimates the speedup without paying for a reference serial run.
+    let speedup = if wall_s > 0.0 { busy_s / wall_s } else { 1.0 };
+    let json = format!(
+        "{{\n  \"experiment\": \"{id}\",\n  \"jobs\": {},\n  \"suite_wall_s\": {wall_s:.3},\n  \
+         \"train_wall_s\": {:.3},\n  \"experiments\": {experiments},\n  \
+         \"cells_run\": {},\n  \"cells_failed\": {},\n  \"top_level_cells\": {},\n  \
+         \"cells_per_sec\": {cells_per_sec:.2},\n  \"top_cell_busy_s\": {busy_s:.3},\n  \
+         \"longest_top_cell_s\": {:.3},\n  \"estimated_speedup_vs_serial\": {speedup:.2}\n}}\n",
+        stats.jobs,
+        train_wall.as_secs_f64(),
+        stats.cells_run,
+        stats.cells_failed,
+        stats.top_cells,
+        stats.longest_top_cell.as_secs_f64(),
+    );
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, json)
 }
 
 fn main() -> ExitCode {
@@ -30,11 +70,22 @@ fn main() -> ExitCode {
     }
     let id = args[0].clone();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--csv" if i + 1 < args.len() => {
                 csv_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--jobs" if i + 1 < args.len() => {
+                match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs wants a positive integer, got `{}`", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
                 i += 2;
             }
             other => {
@@ -44,8 +95,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    let pool = jobs.map_or_else(Pool::default_parallel, Pool::new);
 
     eprintln!("training models on the simulated platform…");
+    let train_start = Instant::now();
     let ctx = match ExperimentContext::train() {
         Ok(ctx) => ctx,
         Err(e) => {
@@ -53,14 +106,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let train_wall = train_start.elapsed();
     let trained = ctx.perf_fit();
     eprintln!(
-        "trained: eq-3 threshold {:.2}, exponent {:.2}; running `{id}`…",
-        trained.params.dcu_threshold, trained.params.exponent
+        "trained in {:.2}s: eq-3 threshold {:.2}, exponent {:.2}; running `{id}` with {} job(s)…",
+        train_wall.as_secs_f64(),
+        trained.params.dcu_threshold,
+        trained.params.exponent,
+        pool.jobs(),
     );
 
-    match run_by_id(&ctx, &id) {
+    let suite_start = Instant::now();
+    match run_by_id(&ctx, &pool, &id) {
         Ok(outputs) => {
+            let suite_wall = suite_start.elapsed();
             for output in &outputs {
                 println!("{output}");
                 if let Some(dir) = &csv_dir {
@@ -73,6 +132,29 @@ fn main() -> ExitCode {
             if let Some(dir) = &csv_dir {
                 eprintln!("CSVs written under {}", dir.display());
             }
+            let stats = pool.stats();
+            eprintln!(
+                "`{id}`: {} experiment(s) in {:.2}s wall / {:.2}s cell-busy \
+                 ({} cells, {} jobs, est. {:.2}x vs serial)",
+                outputs.len(),
+                suite_wall.as_secs_f64(),
+                stats.top_busy.as_secs_f64(),
+                stats.cells_run,
+                stats.jobs,
+                if suite_wall.as_secs_f64() > 0.0 {
+                    stats.top_busy.as_secs_f64() / suite_wall.as_secs_f64()
+                } else {
+                    1.0
+                },
+            );
+            let report = Path::new("results").join("BENCH_suite.json");
+            if let Err(e) =
+                write_bench_report(&report, &id, &stats, train_wall, suite_wall, outputs.len())
+            {
+                eprintln!("failed to write {}: {e}", report.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("pool/timing report written to {}", report.display());
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -18,6 +18,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, TextTable};
 
@@ -29,7 +30,7 @@ pub const MIX: [&str; 3] = ["swim", "ammp", "crafty"];
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "efficiency",
         "Energy / EDP / ED²P per governor on a representative mix",
@@ -42,10 +43,10 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         "ed2p_js2",
     ]);
 
-    type Factory<'a> = Box<dyn FnMut() -> Box<dyn Governor> + 'a>;
+    type Factory<'a> = Box<dyn Fn() -> Box<dyn Governor> + Send + Sync + 'a>;
     let power_model = ctx.power_model().clone();
     let perf_model = ctx.perf_model_paper();
-    let mut governors: Vec<(&str, Factory<'_>)> = vec![
+    let governors: Vec<(&str, Factory<'_>)> = vec![
         ("unconstrained", Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>)),
         (
             "static-1400",
@@ -80,19 +81,31 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         ),
     ];
 
+    // One cell per governor, covering its three-benchmark mix.
+    let cells: Vec<_> = governors
+        .iter()
+        .map(|(_, factory)| {
+            move || -> Result<(f64, f64)> {
+                let mut time = 0.0;
+                let mut energy = 0.0;
+                for name in MIX {
+                    let bench = spec::by_name(name).expect("mix is in the suite");
+                    let report =
+                        median_run(pool, factory.as_ref(), bench.program(), ctx.table(), &[])?;
+                    time += report.execution_time.seconds();
+                    energy += report.measured_energy.joules();
+                }
+                Ok((time, energy))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+
     let mut rows = Vec::new();
-    for (label, factory) in &mut governors {
-        let mut time = 0.0;
-        let mut energy = 0.0;
-        for name in MIX {
-            let bench = spec::by_name(name).expect("mix is in the suite");
-            let report = median_run(factory.as_mut(), bench.program(), ctx.table(), &[])?;
-            time += report.execution_time.seconds();
-            energy += report.measured_energy.joules();
-        }
-        rows.push((label.to_owned(), time, energy));
+    for (&(label, _), (time, energy)) in governors.iter().zip(results) {
+        rows.push((label, time, energy));
         table.row(vec![
-            (*label).into(),
+            label.into(),
             f3(time),
             f3(energy),
             f3(energy * time),
@@ -122,7 +135,7 @@ mod tests {
 
     #[test]
     fn efficiency_orderings_hold() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -25,7 +25,8 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
-use crate::runner::RUN_SEEDS;
+use crate::pool::Pool;
+use crate::runner::{sim_seed, RUN_SEEDS};
 use crate::table::{pct, TextTable};
 
 /// Fault rates swept (applied to power, thermal, and PMC channels; the
@@ -49,35 +50,35 @@ fn fault_config(rate: f64, seed: u64) -> FaultConfig {
     }
 }
 
-/// Median-execution-time faulted run over the paper's three seeds.
+/// Median-execution-time faulted run over the paper's three seeds, fanned
+/// out over the pool.
 fn median_faulted_run(
-    make_governor: &mut dyn FnMut() -> Box<dyn Governor>,
+    pool: &Pool,
+    make_governor: &(dyn Fn() -> Box<dyn Governor> + Sync),
     program: &PhaseProgram,
     table: &PStateTable,
     rate: f64,
 ) -> Result<(RunReport, FaultStats)> {
-    let mut results = Vec::with_capacity(RUN_SEEDS.len());
-    for seed in RUN_SEEDS {
-        let machine = {
-            let mut b = MachineConfig::builder();
-            b.pstates(table.clone()).seed(seed);
-            b.build()?
-        };
-        let sim = SimulationConfig {
-            seed: seed ^ 0x5EED,
-            faults: fault_config(rate, seed ^ 0xFA17),
-            ..SimulationConfig::default()
-        };
-        let mut governor = make_governor();
-        results.push(run_with_faults(
-            governor.as_mut(),
-            machine,
-            program.clone(),
-            sim,
-            &[],
-            &[],
-        )?);
-    }
+    let cells: Vec<_> = RUN_SEEDS
+        .into_iter()
+        .map(|seed| {
+            move || -> Result<(RunReport, FaultStats)> {
+                let machine = {
+                    let mut b = MachineConfig::builder();
+                    b.pstates(table.clone()).seed(seed);
+                    b.build()?
+                };
+                let sim = SimulationConfig {
+                    seed: sim_seed(seed),
+                    faults: fault_config(rate, seed ^ 0xFA17),
+                    ..SimulationConfig::default()
+                };
+                let mut governor = make_governor();
+                run_with_faults(governor.as_mut(), machine, program.clone(), sim, &[], &[])
+            }
+        })
+        .collect();
+    let mut results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
     results.sort_by(|(a, _), (b, _)| {
         a.execution_time.seconds().total_cmp(&b.execution_time.seconds())
     });
@@ -89,7 +90,7 @@ fn median_faulted_run(
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fault-matrix",
         "governor limit adherence and slowdown under injected telemetry/actuator faults",
@@ -100,35 +101,48 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 
     let mut table =
         TextTable::new(vec!["governor", "dropout", "violations", "slowdown", "telemetry_losses"]);
-    for governor_name in ["pm", "ps", "watchdog<pm>"] {
-        let mut baseline_time = None;
+    // One cell per (governor, rate); per-governor baselines (rate 0.0) are
+    // resolved at merge time, so the cells stay independent.
+    let governor_names = ["pm", "ps", "watchdog<pm>"];
+    let ammp_ref = &ammp;
+    let mut cells = Vec::new();
+    for governor_name in governor_names {
         for rate in DROPOUT_RATES {
-            let model = ctx.power_model().clone();
-            let perf = ctx.perf_model_paper();
-            let mut factory: Box<dyn FnMut() -> Box<dyn Governor>> = match governor_name {
-                "pm" => Box::new(move || {
-                    Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>
-                }),
-                "ps" => Box::new(move || {
-                    Box::new(PowerSave::new(perf, floor)) as Box<dyn Governor>
-                }),
-                _ => Box::new(move || {
-                    Box::new(Watchdog::new(PerformanceMaximizer::new(model.clone(), limit)))
-                        as Box<dyn Governor>
-                }),
-            };
-            let (report, stats) =
-                median_faulted_run(&mut factory, ammp.program(), ctx.table(), rate)?;
-            let time = report.execution_time.seconds();
-            let baseline = *baseline_time.get_or_insert(time);
+            cells.push(move || -> Result<(f64, f64, u64)> {
+                let factory = move || -> Box<dyn Governor> {
+                    match governor_name {
+                        "pm" => {
+                            Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        }
+                        "ps" => Box::new(PowerSave::new(ctx.perf_model_paper(), floor)),
+                        _ => Box::new(Watchdog::new(PerformanceMaximizer::new(
+                            ctx.power_model().clone(),
+                            limit,
+                        ))),
+                    }
+                };
+                let (report, stats) =
+                    median_faulted_run(pool, &factory, ammp_ref.program(), ctx.table(), rate)?;
+                Ok((
+                    report.execution_time.seconds(),
+                    report.violation_fraction(limit.watts(), 10),
+                    stats.telemetry_losses(),
+                ))
+            });
+        }
+    }
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (g, governor_name) in governor_names.into_iter().enumerate() {
+        let per_rate = &results[g * DROPOUT_RATES.len()..(g + 1) * DROPOUT_RATES.len()];
+        let baseline = per_rate[0].0;
+        for (rate, &(time, violations, losses)) in DROPOUT_RATES.into_iter().zip(per_rate) {
             let slowdown = time / baseline - 1.0;
-            let violations = report.violation_fraction(limit.watts(), 10);
             table.row(vec![
                 governor_name.into(),
                 pct(rate),
                 pct(violations),
                 pct(slowdown),
-                stats.telemetry_losses().to_string(),
+                losses.to_string(),
             ]);
         }
     }
@@ -144,11 +158,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::test_ctx;
+    use crate::test_support::{test_ctx, test_pool};
 
     #[test]
     fn adherence_degrades_gracefully_up_to_ten_percent_dropout() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -14,6 +14,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, pct, TextTable};
 
@@ -26,7 +27,7 @@ const PEAK_OPERATING_POWER: f64 = 21.0;
 /// # Errors
 ///
 /// Propagates platform errors from the runs.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig1",
         "Power variation for SPEC CPU2000 at 2 GHz (paper Figure 1)",
@@ -36,9 +37,18 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 
     let mut suite_min = f64::INFINITY;
     let mut suite_max = f64::NEG_INFINITY;
-    for bench in spec::suite() {
-        let mut factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let report = median_run(&mut factory, bench.program(), ctx.table(), &[])?;
+    let benches = spec::suite();
+    let cells: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            move || {
+                let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+                median_run(pool, &factory, bench.program(), ctx.table(), &[])
+            }
+        })
+        .collect();
+    let reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (bench, report) in benches.iter().zip(reports) {
         let powers: Vec<f64> =
             report.trace.records().iter().map(|r| r.power.watts()).collect();
         let mean = powers.iter().sum::<f64>() / powers.len() as f64;
@@ -77,7 +87,7 @@ mod tests {
     #[test]
     fn range_exceeds_35_percent_of_peak() {
         let ctx = ExperimentContext::train().unwrap();
-        let out = run(&ctx).unwrap();
+        let out = run(&ctx, &Pool::new(4)).unwrap();
         assert_eq!(out.tables[0].1.len(), 26);
         // The note carries the suite range; re-derive the check from the
         // per-benchmark table to avoid string parsing.

@@ -12,6 +12,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, TextTable};
 
@@ -27,7 +28,7 @@ pub const FREQUENCIES_MHZ: [u32; 3] = [1600, 1800, 2000];
 /// # Errors
 ///
 /// Propagates platform errors from the runs.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig2",
         "Performance impact across p-states for swim / gap / sixtrack (paper Figure 2)",
@@ -35,15 +36,23 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
     let mut table = TextTable::new(vec!["benchmark", "1600MHz", "1800MHz", "2000MHz"]);
     let mut swim_range = 0.0f64;
     let mut sixtrack_range = 0.0f64;
+    // One cell per (workload, frequency), merged back in submission order.
+    let mut cells = Vec::new();
     for name in WORKLOADS {
         let bench = spec::by_name(name).expect("figure workloads are in the suite");
-        let mut times = Vec::new();
         for mhz in FREQUENCIES_MHZ {
-            let id = ctx.table().id_of_frequency(MegaHertz::new(mhz))?;
-            let mut factory = || Box::new(StaticClock::new(id)) as Box<dyn Governor>;
-            let report = median_run(&mut factory, bench.program(), ctx.table(), &[])?;
-            times.push(report.execution_time.seconds());
+            let bench = bench.clone();
+            cells.push(move || {
+                let id = ctx.table().id_of_frequency(MegaHertz::new(mhz))?;
+                let factory = || Box::new(StaticClock::new(id)) as Box<dyn Governor>;
+                let report = median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                Ok(report.execution_time.seconds())
+            });
         }
+    }
+    let all_times = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (w, name) in WORKLOADS.into_iter().enumerate() {
+        let times = &all_times[w * FREQUENCIES_MHZ.len()..(w + 1) * FREQUENCIES_MHZ.len()];
         let t2000 = times[2];
         let rel: Vec<f64> = times.iter().map(|t| t2000 / t).collect();
         table.row(vec![name.into(), f3(rel[0]), f3(rel[1]), f3(rel[2])]);
@@ -71,7 +80,7 @@ mod tests {
 
     #[test]
     fn swim_flat_sixtrack_linear() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -15,20 +15,21 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, pct, TextTable};
 
 /// The two PM limits of the paper's figure.
 pub const LIMITS_W: [f64; 2] = [14.5, 10.5];
 
-type GovernorFactory = Box<dyn FnMut() -> Box<dyn Governor>>;
+type GovernorFactory = Box<dyn Fn() -> Box<dyn Governor> + Send + Sync>;
 
 /// Runs the experiment.
 ///
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig5",
         "PM on ammp: unconstrained vs 14.5 W and 10.5 W limits (paper Figure 5)",
@@ -62,8 +63,15 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         ));
     }
 
-    for (label, factory) in &mut configs {
-        let report = median_run(factory.as_mut(), ammp.program(), ctx.table(), &[])?;
+    let ammp_ref = &ammp;
+    let cells: Vec<_> = configs
+        .iter()
+        .map(|(_, factory)| {
+            move || median_run(pool, factory.as_ref(), ammp_ref.program(), ctx.table(), &[])
+        })
+        .collect();
+    let reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for ((label, _), report) in configs.iter().zip(reports) {
         let max_window = report
             .trace
             .moving_average_power(10)
@@ -127,7 +135,7 @@ mod tests {
 
     #[test]
     fn tighter_limits_run_longer_and_cooler() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -12,24 +12,34 @@ use aapm::baselines::{StaticClock, Unconstrained};
 use aapm::governor::Governor;
 use aapm::pm::PerformanceMaximizer;
 use aapm_platform::error::Result;
+use aapm_platform::pstate::PStateId;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::{median_run, pm_power_limits, static_frequency_for_limit, worst_case_power_curve};
 use crate::table::{f3, TextTable};
 
-/// Suite execution time under a governor factory.
+/// Suite execution time under a governor factory, with one pool cell per
+/// benchmark.
 fn suite_time(
     ctx: &ExperimentContext,
-    factory: &mut dyn FnMut() -> Box<dyn Governor>,
+    pool: &Pool,
+    factory: &(dyn Fn() -> Box<dyn Governor> + Sync),
 ) -> Result<f64> {
-    let mut total = 0.0;
-    for bench in spec::suite() {
-        let report = median_run(factory, bench.program(), ctx.table(), &[])?;
-        total += report.execution_time.seconds();
-    }
-    Ok(total)
+    let benches = spec::suite();
+    let cells: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            move || {
+                let report = median_run(pool, factory, bench.program(), ctx.table(), &[])?;
+                Ok(report.execution_time.seconds())
+            }
+        })
+        .collect();
+    let times = pool.run(cells).into_iter().collect::<Result<Vec<f64>>>()?;
+    Ok(times.into_iter().sum())
 }
 
 /// Runs the experiment.
@@ -37,14 +47,14 @@ fn suite_time(
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig6",
         "Suite performance vs power limit: PM vs static clocking (paper Figure 6)",
     );
-    let curve = worst_case_power_curve(ctx.table())?;
-    let mut unconstrained_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let t_unconstrained = suite_time(ctx, &mut unconstrained_factory)?;
+    let curve = worst_case_power_curve(pool, ctx.table())?;
+    let unconstrained_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+    let t_unconstrained = suite_time(ctx, pool, &unconstrained_factory)?;
 
     let mut table = TextTable::new(vec![
         "limit_w",
@@ -53,17 +63,30 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
         "static_normalized_perf",
         "pm_advantage",
     ]);
+    let limits = pm_power_limits();
+    let curve_ref = &curve;
+    let cells: Vec<_> = limits
+        .iter()
+        .map(|&limit| {
+            move || -> Result<(f64, PStateId, f64)> {
+                let pm_factory = || {
+                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let t_pm = suite_time(ctx, pool, &pm_factory)?;
+
+                let static_id = static_frequency_for_limit(curve_ref, ctx.table(), limit);
+                let static_factory =
+                    || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
+                let t_static = suite_time(ctx, pool, &static_factory)?;
+                Ok((t_pm, static_id, t_static))
+            }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+
     let mut pm_always_wins = true;
-    for limit in pm_power_limits() {
-        let model = ctx.power_model().clone();
-        let mut pm_factory =
-            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-        let t_pm = suite_time(ctx, &mut pm_factory)?;
-
-        let static_id = static_frequency_for_limit(&curve, ctx.table(), limit);
-        let mut static_factory = || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
-        let t_static = suite_time(ctx, &mut static_factory)?;
-
+    for (limit, (t_pm, static_id, t_static)) in limits.iter().zip(results) {
         let pm_perf = t_unconstrained / t_pm;
         let static_perf = t_unconstrained / t_static;
         pm_always_wins &= pm_perf >= static_perf - 1e-6;
@@ -87,11 +110,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::test_ctx;
+    use crate::test_support::{test_ctx, test_pool};
 
     #[test]
     fn pm_dominates_static_at_every_limit() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), test_pool()).unwrap();
         let rows: Vec<Vec<f64>> = out.tables[0]
             .1
             .to_csv()

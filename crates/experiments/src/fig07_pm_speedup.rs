@@ -15,6 +15,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::{median_run, static_frequency_for_limit, worst_case_power_curve};
 use crate::table::{f3, pct, TextTable};
 
@@ -43,35 +44,38 @@ pub struct Fig7Row {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn compute(ctx: &ExperimentContext) -> Result<(Vec<Fig7Row>, f64)> {
+pub fn compute(ctx: &ExperimentContext, pool: &Pool) -> Result<(Vec<Fig7Row>, f64)> {
     let limit = PowerLimit::new(LIMIT_W).expect("limit is positive");
-    let curve = worst_case_power_curve(ctx.table())?;
+    let curve = worst_case_power_curve(pool, ctx.table())?;
     let static_id = static_frequency_for_limit(&curve, ctx.table(), limit);
 
-    let mut rows = Vec::new();
-    for bench in spec::suite() {
-        let model = ctx.power_model().clone();
-        let mut pm_factory =
-            || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-        let pm = median_run(&mut pm_factory, bench.program(), ctx.table(), &[])?;
-        let mut static_factory = || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
-        let st = median_run(&mut static_factory, bench.program(), ctx.table(), &[])?;
-        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let un = median_run(&mut un_factory, bench.program(), ctx.table(), &[])?;
-        rows.push(Fig7Row {
-            benchmark: bench.name().to_owned(),
-            pm_speedup: st.execution_time / pm.execution_time,
-            unconstrained_speedup: st.execution_time / un.execution_time,
-            t_pm: pm.execution_time.seconds(),
-            t_static: st.execution_time.seconds(),
-            t_unconstrained: un.execution_time.seconds(),
-        });
-    }
-    rows.sort_by(|a, b| {
-        a.unconstrained_speedup
-            .partial_cmp(&b.unconstrained_speedup)
-            .expect("speedups are finite")
-    });
+    let cells: Vec<_> = spec::suite()
+        .into_iter()
+        .map(|bench| {
+            move || -> Result<Fig7Row> {
+                let pm_factory = || {
+                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                        as Box<dyn Governor>
+                };
+                let pm = median_run(pool, &pm_factory, bench.program(), ctx.table(), &[])?;
+                let static_factory =
+                    || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
+                let st = median_run(pool, &static_factory, bench.program(), ctx.table(), &[])?;
+                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+                let un = median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
+                Ok(Fig7Row {
+                    benchmark: bench.name().to_owned(),
+                    pm_speedup: st.execution_time / pm.execution_time,
+                    unconstrained_speedup: st.execution_time / un.execution_time,
+                    t_pm: pm.execution_time.seconds(),
+                    t_static: st.execution_time.seconds(),
+                    t_unconstrained: un.execution_time.seconds(),
+                })
+            }
+        })
+        .collect();
+    let mut rows = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    rows.sort_by(|a, b| a.unconstrained_speedup.total_cmp(&b.unconstrained_speedup));
     let t_pm: f64 = rows.iter().map(|r| r.t_pm).sum();
     let t_static: f64 = rows.iter().map(|r| r.t_static).sum();
     let t_un: f64 = rows.iter().map(|r| r.t_unconstrained).sum();
@@ -84,12 +88,12 @@ pub fn compute(ctx: &ExperimentContext) -> Result<(Vec<Fig7Row>, f64)> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig7",
         "Per-benchmark PM and unconstrained speedup over static 1800 MHz at 17.5 W (paper Figure 7)",
     );
-    let (rows, capture) = compute(ctx)?;
+    let (rows, capture) = compute(ctx, pool)?;
     let mut table = TextTable::new(vec![
         "benchmark",
         "pm_speedup",
@@ -121,11 +125,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_support::test_ctx;
+    use crate::test_support::{test_ctx, test_pool};
 
     #[test]
     fn capture_fraction_and_ordering_match_paper_shape() {
-        let (rows, capture) = compute(test_ctx()).unwrap();
+        let (rows, capture) = compute(test_ctx(), test_pool()).unwrap();
         assert_eq!(rows.len(), 26);
         // Headline corridor: paper reports 86%; accept 75–95%.
         assert!((0.75..=0.95).contains(&capture), "capture {capture}");

@@ -14,6 +14,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::median_run;
 use crate::table::{f3, pct, TextTable};
 
@@ -25,21 +26,38 @@ pub const FLOOR: f64 = 0.8;
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "fig8",
         "PS on ammp with an 80% performance floor (paper Figure 8)",
     );
     let ammp = spec::by_name("ammp").expect("ammp is in the suite");
 
-    let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let reference = median_run(&mut un_factory, ammp.program(), ctx.table(), &[])?;
-    let model = ctx.perf_model_paper();
-    let mut ps_factory = || {
-        Box::new(PowerSave::new(model, PerformanceFloor::new(FLOOR).expect("valid floor")))
-            as Box<dyn Governor>
+    let reference_cell = {
+        let ammp = ammp.clone();
+        move || {
+            let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+            median_run(pool, &un_factory, ammp.program(), ctx.table(), &[])
+        }
     };
-    let ps = median_run(&mut ps_factory, ammp.program(), ctx.table(), &[])?;
+    let ps_cell = {
+        let ammp = ammp.clone();
+        move || {
+            let model = ctx.perf_model_paper();
+            let ps_factory = || {
+                Box::new(PowerSave::new(
+                    model,
+                    PerformanceFloor::new(FLOOR).expect("valid floor"),
+                )) as Box<dyn Governor>
+            };
+            median_run(pool, &ps_factory, ammp.program(), ctx.table(), &[])
+        }
+    };
+    let cells: Vec<Box<dyn FnOnce() -> Result<_> + Send>> =
+        vec![Box::new(reference_cell), Box::new(ps_cell)];
+    let mut reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    let ps = reports.pop().expect("two cells were submitted");
+    let reference = reports.pop().expect("two cells were submitted");
 
     let realized = reference.execution_time / ps.execution_time;
     let savings = ps.energy_savings_vs(&reference);
@@ -86,7 +104,7 @@ mod tests {
 
     #[test]
     fn ps_respects_floor_and_modulates() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         // Realized performance ≥ 80% (ammp is well-modelled).
         let summary = &out.tables[0].1;
         let realized: f64 = summary

@@ -62,8 +62,8 @@ pub fn run_with(sweep: &PsSweep) -> ExperimentOutput {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
-    Ok(run_with(&ps_sweep::compute(ctx)?))
+pub fn run(ctx: &ExperimentContext, pool: &crate::pool::Pool) -> Result<ExperimentOutput> {
+    Ok(run_with(&ps_sweep::compute(ctx, pool)?))
 }
 
 #[cfg(test)]

@@ -21,9 +21,7 @@ pub fn run_with(sweep: &PsSweep) -> ExperimentOutput {
         "Energy savings per workload and PS floor (paper Figure 10)",
     );
     let mut rows: Vec<&crate::ps_sweep::BenchmarkSweep> = sweep.benchmarks.iter().collect();
-    rows.sort_by(|a, b| {
-        b.max_savings().partial_cmp(&a.max_savings()).expect("savings are finite")
-    });
+    rows.sort_by(|a, b| b.max_savings().total_cmp(&a.max_savings()));
 
     let mut table = TextTable::new(vec![
         "benchmark",
@@ -66,8 +64,8 @@ pub fn run_with(sweep: &PsSweep) -> ExperimentOutput {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
-    Ok(run_with(&ps_sweep::compute(ctx)?))
+pub fn run(ctx: &ExperimentContext, pool: &crate::pool::Pool) -> Result<ExperimentOutput> {
+    Ok(run_with(&ps_sweep::compute(ctx, pool)?))
 }
 
 #[cfg(test)]
@@ -98,7 +96,7 @@ mod tests {
             .iter()
             .map(|b| (b.benchmark.as_str(), b.max_savings()))
             .collect();
-        ordered.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ordered.sort_by(|a, b| b.1.total_cmp(&a.1));
         let top: Vec<&str> = ordered.iter().take(8).map(|(n, _)| *n).collect();
         for name in ["swim", "equake", "lucas", "mcf"] {
             assert!(top.contains(&name), "{name} should be in the top savers: {top:?}");

@@ -21,9 +21,7 @@ pub fn run_with(sweep: &PsSweep) -> ExperimentOutput {
         "Performance reduction per workload and PS floor, exponents 0.81 and 0.59 (paper Figure 11)",
     );
     let mut rows: Vec<&crate::ps_sweep::BenchmarkSweep> = sweep.benchmarks.iter().collect();
-    rows.sort_by(|a, b| {
-        b.max_reduction().partial_cmp(&a.max_reduction()).expect("reductions are finite")
-    });
+    rows.sort_by(|a, b| b.max_reduction().total_cmp(&a.max_reduction()));
 
     for exponent in Exponent::BOTH {
         let mut table = TextTable::new(vec![
@@ -69,8 +67,8 @@ pub fn run_with(sweep: &PsSweep) -> ExperimentOutput {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
-    Ok(run_with(&ps_sweep::compute(ctx)?))
+pub fn run(ctx: &ExperimentContext, pool: &crate::pool::Pool) -> Result<ExperimentOutput> {
+    Ok(run_with(&ps_sweep::compute(ctx, pool)?))
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use aapm_platform::error::Result;
 use crate::context::ExperimentContext;
 use crate::fig07_pm_speedup;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::ps_sweep::{self, Exponent, PsSweep};
 use crate::table::{pct, TextTable};
 
@@ -18,9 +19,9 @@ use crate::table::{pct, TextTable};
 /// # Errors
 ///
 /// Propagates platform errors from the PM runs.
-pub fn run_with(ctx: &ExperimentContext, sweep: &PsSweep) -> Result<ExperimentOutput> {
+pub fn run_with(ctx: &ExperimentContext, pool: &Pool, sweep: &PsSweep) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new("headline", "Headline claims: paper vs reproduction");
-    let (_, capture) = fig07_pm_speedup::compute(ctx)?;
+    let (_, capture) = fig07_pm_speedup::compute(ctx, pool)?;
 
     let mut table = TextTable::new(vec!["claim", "paper", "reproduction"]);
     table.row(vec![
@@ -74,9 +75,9 @@ pub fn run_with(ctx: &ExperimentContext, sweep: &PsSweep) -> Result<ExperimentOu
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
-    let sweep = ps_sweep::compute(ctx)?;
-    run_with(ctx, &sweep)
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
+    let sweep = ps_sweep::compute(ctx, pool)?;
+    run_with(ctx, pool, &sweep)
 }
 
 #[cfg(test)]
@@ -88,7 +89,7 @@ mod tests {
     fn headline_numbers_land_in_paper_corridors() {
         let ctx = test_ctx();
         let sweep = test_sweep();
-        let out = run_with(ctx, sweep).unwrap();
+        let out = run_with(ctx, crate::test_support::test_pool(), sweep).unwrap();
         assert_eq!(out.tables[0].1.len(), 8);
         // The corridor checks live in the fig7/fig9/fig11 tests; here just
         // confirm the table renders every claim with a percentage.

@@ -21,6 +21,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::table::{f3, TextTable};
 
 /// Per-benchmark per-sample error statistics.
@@ -42,43 +43,47 @@ pub struct BenchmarkError {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn measure(ctx: &ExperimentContext) -> Result<Vec<BenchmarkError>> {
-    let model = ctx.power_model();
-    let top = ctx.table().highest();
-    let mut results = Vec::new();
-    for bench in spec::suite() {
-        let config = {
-            let mut b = MachineConfig::builder();
-            b.pstates(ctx.table().clone()).seed(0xE4_404);
-            b.build()?
-        };
-        let mut machine = Machine::new(config, bench.program().clone());
-        let mut daq = PowerDaq::new(DaqConfig::default(), 0xE4_404);
-        let mut pmc = PmcDriver::new(vec![HardwareEvent::InstructionsDecoded]);
-        let mut signed = 0.0;
-        let mut abs = 0.0;
-        let mut worst_under = 0.0f64;
-        let mut samples = 0usize;
-        while !machine.finished() && samples < 2_000 {
-            machine.tick(Seconds::from_millis(10.0));
-            let power = daq.sample(&machine);
-            let counters = pmc.sample(&machine);
-            let estimate = model.estimate(top, counters.dpc().unwrap_or(0.0))?.watts();
-            let error = estimate - power.power.watts();
-            signed += error;
-            abs += error.abs();
-            worst_under = worst_under.max(-error);
-            samples += 1;
-        }
-        let n = samples as f64;
-        results.push(BenchmarkError {
-            benchmark: bench.name().to_owned(),
-            mean_signed_w: signed / n,
-            mean_abs_w: abs / n,
-            worst_underestimate_w: worst_under,
-        });
-    }
-    Ok(results)
+pub fn measure(ctx: &ExperimentContext, pool: &Pool) -> Result<Vec<BenchmarkError>> {
+    let cells: Vec<_> = spec::suite()
+        .into_iter()
+        .map(|bench| {
+            move || -> Result<BenchmarkError> {
+                let model = ctx.power_model();
+                let top = ctx.table().highest();
+                let config = {
+                    let mut b = MachineConfig::builder();
+                    b.pstates(ctx.table().clone()).seed(0xE4_404);
+                    b.build()?
+                };
+                let mut machine = Machine::new(config, bench.program().clone());
+                let mut daq = PowerDaq::new(DaqConfig::default(), 0xE4_404);
+                let mut pmc = PmcDriver::new(vec![HardwareEvent::InstructionsDecoded]);
+                let mut signed = 0.0;
+                let mut abs = 0.0;
+                let mut worst_under = 0.0f64;
+                let mut samples = 0usize;
+                while !machine.finished() && samples < 2_000 {
+                    machine.tick(Seconds::from_millis(10.0));
+                    let power = daq.sample(&machine);
+                    let counters = pmc.sample(&machine);
+                    let estimate = model.estimate(top, counters.dpc().unwrap_or(0.0))?.watts();
+                    let error = estimate - power.power.watts();
+                    signed += error;
+                    abs += error.abs();
+                    worst_under = worst_under.max(-error);
+                    samples += 1;
+                }
+                let n = samples as f64;
+                Ok(BenchmarkError {
+                    benchmark: bench.name().to_owned(),
+                    mean_signed_w: signed / n,
+                    mean_abs_w: abs / n,
+                    worst_underestimate_w: worst_under,
+                })
+            }
+        })
+        .collect();
+    pool.run(cells).into_iter().collect()
 }
 
 /// Runs the experiment.
@@ -86,17 +91,13 @@ pub fn measure(ctx: &ExperimentContext) -> Result<Vec<BenchmarkError>> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "model-error",
         "Per-sample power-model error across the suite at 2 GHz (paper's accuracy focus)",
     );
-    let mut errors = measure(ctx)?;
-    errors.sort_by(|a, b| {
-        b.worst_underestimate_w
-            .partial_cmp(&a.worst_underestimate_w)
-            .expect("errors are finite")
-    });
+    let mut errors = measure(ctx, pool)?;
+    errors.sort_by(|a, b| b.worst_underestimate_w.total_cmp(&a.worst_underestimate_w));
     let mut table = TextTable::new(vec![
         "benchmark",
         "mean_signed_w",
@@ -131,15 +132,13 @@ mod tests {
 
     #[test]
     fn model_accurate_on_suite_with_galgel_as_worst_underestimate() {
-        let errors = measure(test_ctx()).unwrap();
+        let errors = measure(test_ctx(), crate::test_support::test_pool()).unwrap();
         let suite_mae =
             errors.iter().map(|e| e.mean_abs_w).sum::<f64>() / errors.len() as f64;
         assert!(suite_mae < 1.5, "suite per-sample MAE {suite_mae} too large");
         let worst = errors
             .iter()
-            .max_by(|a, b| {
-                a.worst_underestimate_w.partial_cmp(&b.worst_underestimate_w).unwrap()
-            })
+            .max_by(|a, b| a.worst_underestimate_w.total_cmp(&b.worst_underestimate_w))
             .unwrap();
         assert_eq!(
             worst.benchmark, "galgel",

@@ -13,6 +13,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::{median_run, pm_power_limits};
 use crate::table::{pct, TextTable};
 
@@ -25,27 +26,38 @@ pub const ENFORCED_THRESHOLD: f64 = 0.002;
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "pm-adherence",
         "PM 100 ms-window power-limit adherence across benchmarks and limits (paper §IV.A.2)",
     );
     let mut table = TextTable::new(vec!["benchmark", "worst_violation", "worst_limit_w"]);
     let mut offenders = Vec::new();
-    for bench in spec::suite() {
-        let mut worst = 0.0f64;
-        let mut worst_limit = 0.0;
-        for limit in pm_power_limits() {
-            let model = ctx.power_model().clone();
-            let mut factory =
-                || Box::new(PerformanceMaximizer::new(model.clone(), limit)) as Box<dyn Governor>;
-            let report = median_run(&mut factory, bench.program(), ctx.table(), &[])?;
-            let violation = report.violation_fraction(limit.watts(), 10);
-            if violation > worst {
-                worst = violation;
-                worst_limit = limit.watts().watts();
+    let benches = spec::suite();
+    let cells: Vec<_> = benches
+        .iter()
+        .map(|bench| {
+            move || -> Result<(f64, f64)> {
+                let mut worst = 0.0f64;
+                let mut worst_limit = 0.0;
+                for limit in pm_power_limits() {
+                    let factory = || {
+                        Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
+                            as Box<dyn Governor>
+                    };
+                    let report = median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                    let violation = report.violation_fraction(limit.watts(), 10);
+                    if violation > worst {
+                        worst = violation;
+                        worst_limit = limit.watts().watts();
+                    }
+                }
+                Ok((worst, worst_limit))
             }
-        }
+        })
+        .collect();
+    let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    for (bench, (worst, worst_limit)) in benches.iter().zip(results) {
         if worst > ENFORCED_THRESHOLD {
             offenders.push(bench.name().to_owned());
         }
@@ -68,7 +80,7 @@ mod tests {
 
     #[test]
     fn only_galgel_violates_materially() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -14,6 +14,7 @@ use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
+use crate::pool::Pool;
 use crate::runner::{median_run, ps_floors};
 
 /// Which eq.-3 exponent a PS run used.
@@ -140,37 +141,44 @@ fn measure_of(report: &aapm::report::RunReport) -> Measure {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn compute(ctx: &ExperimentContext) -> Result<PsSweep> {
-    let mut benchmarks = Vec::new();
-    for bench in spec::suite() {
-        let mut un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let unconstrained =
-            measure_of(&median_run(&mut un_factory, bench.program(), ctx.table(), &[])?);
-        let mut low_factory =
-            || Box::new(StaticClock::new(ctx.table().lowest())) as Box<dyn Governor>;
-        let at_600mhz =
-            measure_of(&median_run(&mut low_factory, bench.program(), ctx.table(), &[])?);
-        let mut ps_runs = Vec::new();
-        for exponent in Exponent::BOTH {
-            for floor in ps_floors() {
-                let model = exponent.model();
-                let mut factory = || {
-                    Box::new(PowerSave::new(
-                        model,
-                        PerformanceFloor::new(floor).expect("floors are valid"),
-                    )) as Box<dyn Governor>
-                };
-                let report = median_run(&mut factory, bench.program(), ctx.table(), &[])?;
-                ps_runs.push((exponent, floor, measure_of(&report)));
+pub fn compute(ctx: &ExperimentContext, pool: &Pool) -> Result<PsSweep> {
+    // One cell per benchmark; each cell runs its whole 2+8-point grid so
+    // the merged sweep keeps the suite's benchmark order.
+    let cells: Vec<_> = spec::suite()
+        .into_iter()
+        .map(|bench| {
+            move || -> Result<BenchmarkSweep> {
+                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+                let unconstrained =
+                    measure_of(&median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?);
+                let low_factory =
+                    || Box::new(StaticClock::new(ctx.table().lowest())) as Box<dyn Governor>;
+                let at_600mhz =
+                    measure_of(&median_run(pool, &low_factory, bench.program(), ctx.table(), &[])?);
+                let mut ps_runs = Vec::new();
+                for exponent in Exponent::BOTH {
+                    for floor in ps_floors() {
+                        let factory = || {
+                            Box::new(PowerSave::new(
+                                exponent.model(),
+                                PerformanceFloor::new(floor).expect("floors are valid"),
+                            )) as Box<dyn Governor>
+                        };
+                        let report =
+                            median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                        ps_runs.push((exponent, floor, measure_of(&report)));
+                    }
+                }
+                Ok(BenchmarkSweep {
+                    benchmark: bench.name().to_owned(),
+                    unconstrained,
+                    at_600mhz,
+                    ps_runs,
+                })
             }
-        }
-        benchmarks.push(BenchmarkSweep {
-            benchmark: bench.name().to_owned(),
-            unconstrained,
-            at_600mhz,
-            ps_runs,
-        });
-    }
+        })
+        .collect();
+    let benchmarks = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
     Ok(PsSweep { benchmarks })
 }
 

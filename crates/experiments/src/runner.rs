@@ -4,12 +4,17 @@
 //! pair runs three times with different seeds and the run with the median
 //! execution time is reported; static-clocking frequencies are derived from
 //! the worst-case FMA-256K power curve (Tables III/IV).
+//!
+//! Both [`median_run`] and [`worst_case_power_curve`] fan their inner loops
+//! out over a [`Pool`]: every seed (or p-state) builds a fresh `Machine`,
+//! DAQ, and governor, so the cells are fully isolated and their results are
+//! merged in deterministic submission order.
 
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
 use aapm::report::RunReport;
 use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
-use aapm_platform::error::Result;
+use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
 use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::{PStateId, PStateTable};
@@ -20,73 +25,125 @@ use aapm_workloads::characterize::{characterize_with_budget, CharacterizedLoop};
 use aapm_workloads::footprint::Footprint;
 use aapm_workloads::loops::MicroLoop;
 
+use crate::pool::Pool;
+
 /// Seeds for the paper's "execute three times, report the median" protocol.
 pub const RUN_SEEDS: [u64; 3] = [11, 23, 47];
 
-/// Runs one workload under a fresh governor per seed and returns the run
-/// with the median execution time.
+/// Salt XORed into a machine seed to derive the simulation-runtime seed,
+/// so the machine's process variation and the DAQ's measurement noise draw
+/// from decorrelated streams.
+pub const SIM_SEED_SALT: u64 = 0x5EED;
+
+/// Derives the simulation-runtime seed from a machine seed.
+///
+/// Every harness path — [`median_run`], the fault matrix, ad-hoc traces —
+/// must derive its [`SimulationConfig::seed`] through this helper so the
+/// seed streams cannot drift apart between call sites.
+#[must_use]
+pub fn sim_seed(machine_seed: u64) -> u64 {
+    machine_seed ^ SIM_SEED_SALT
+}
+
+/// Runs one workload under a fresh governor per seed (fanned out over the
+/// pool) and returns the run with the median execution time.
 ///
 /// `make_governor` is called once per seed so each run starts from clean
-/// governor state.
+/// governor state; it must be callable from multiple worker threads.
 ///
 /// # Errors
 ///
-/// Propagates platform errors from any run.
+/// Propagates platform errors from any run, and returns
+/// [`PlatformError::NonFiniteMeasurement`] when any seed's execution time
+/// is NaN or ±∞ (no meaningful median exists then).
 pub fn median_run(
-    make_governor: &mut dyn FnMut() -> Box<dyn Governor>,
+    pool: &Pool,
+    make_governor: &(dyn Fn() -> Box<dyn Governor> + Sync),
     program: &PhaseProgram,
     table: &PStateTable,
     commands: &[ScheduledCommand],
 ) -> Result<RunReport> {
-    let mut reports = Vec::with_capacity(RUN_SEEDS.len());
-    for seed in RUN_SEEDS {
-        let machine = {
-            let mut b = MachineConfig::builder();
-            b.pstates(table.clone()).seed(seed);
-            b.build()?
-        };
-        let sim = SimulationConfig { seed: seed ^ 0x5EED, ..SimulationConfig::default() };
-        let mut governor = make_governor();
-        reports.push(run(governor.as_mut(), machine, program.clone(), sim, commands)?);
+    let cells: Vec<_> = RUN_SEEDS
+        .into_iter()
+        .map(|seed| {
+            move || -> Result<RunReport> {
+                let machine = {
+                    let mut b = MachineConfig::builder();
+                    b.pstates(table.clone()).seed(seed);
+                    b.build()?
+                };
+                let sim =
+                    SimulationConfig { seed: sim_seed(seed), ..SimulationConfig::default() };
+                let mut governor = make_governor();
+                run(governor.as_mut(), machine, program.clone(), sim, commands)
+            }
+        })
+        .collect();
+    let reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
+    select_median(reports)
+}
+
+/// Picks the median-execution-time report out of a set of seed runs.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::NonFiniteMeasurement`] when any execution time
+/// is NaN or ±∞ — a garbage median must not silently enter the results.
+fn select_median(mut reports: Vec<RunReport>) -> Result<RunReport> {
+    for report in &reports {
+        let time = report.execution_time.seconds();
+        if !time.is_finite() {
+            return Err(PlatformError::NonFiniteMeasurement {
+                quantity: "execution time",
+                value: time,
+            });
+        }
     }
-    reports.sort_by(|a, b| {
-        a.execution_time.partial_cmp(&b.execution_time).expect("times are finite")
-    });
+    reports
+        .sort_by(|a, b| a.execution_time.seconds().total_cmp(&b.execution_time.seconds()));
     Ok(reports.swap_remove(reports.len() / 2))
 }
 
 /// Measures the FMA-256K worst-case power at every p-state (our Table III):
-/// mean measured power over a window of settled 10 ms samples.
+/// mean measured power over a window of settled 10 ms samples, with the
+/// per-p-state measurements fanned out over the pool.
 ///
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn worst_case_power_curve(table: &PStateTable) -> Result<Vec<(MegaHertz, Watts)>> {
+pub fn worst_case_power_curve(pool: &Pool, table: &PStateTable) -> Result<Vec<(MegaHertz, Watts)>> {
     let fma: CharacterizedLoop =
         characterize_with_budget(MicroLoop::Fma, Footprint::L2, 4_000_000_000)?;
-    let mut curve = Vec::with_capacity(table.len());
-    for (pstate, state) in table.iter() {
-        let machine_config = {
-            let mut b = MachineConfig::builder();
-            b.pstates(table.clone()).initial_pstate(pstate).seed(0xFA_256);
-            b.build()?
-        };
-        let mut machine = Machine::new(machine_config, fma.program());
-        let mut daq = PowerDaq::new(DaqConfig::default(), 0xFA_256 ^ pstate.index() as u64);
-        // Settle, then average 50 samples.
-        for _ in 0..5 {
-            machine.tick(Seconds::from_millis(10.0));
-            let _ = daq.sample(&machine);
-        }
-        let mut sum = 0.0;
-        let samples = 50;
-        for _ in 0..samples {
-            machine.tick(Seconds::from_millis(10.0));
-            sum += daq.sample(&machine).power.watts();
-        }
-        curve.push((state.frequency(), Watts::new(sum / f64::from(samples))));
-    }
-    Ok(curve)
+    let fma = &fma;
+    let cells: Vec<_> = table
+        .iter()
+        .map(|(pstate, state)| {
+            let frequency = state.frequency();
+            move || -> Result<(MegaHertz, Watts)> {
+                let machine_config = {
+                    let mut b = MachineConfig::builder();
+                    b.pstates(table.clone()).initial_pstate(pstate).seed(0xFA_256);
+                    b.build()?
+                };
+                let mut machine = Machine::new(machine_config, fma.program());
+                let mut daq =
+                    PowerDaq::new(DaqConfig::default(), 0xFA_256 ^ pstate.index() as u64);
+                // Settle, then average 50 samples.
+                for _ in 0..5 {
+                    machine.tick(Seconds::from_millis(10.0));
+                    let _ = daq.sample(&machine);
+                }
+                let mut sum = 0.0;
+                let samples = 50;
+                for _ in 0..samples {
+                    machine.tick(Seconds::from_millis(10.0));
+                    sum += daq.sample(&machine).power.watts();
+                }
+                Ok((frequency, Watts::new(sum / f64::from(samples))))
+            }
+        })
+        .collect();
+    pool.run(cells).into_iter().collect()
 }
 
 /// Derives the static-clocking frequency for each power limit (our
@@ -138,17 +195,61 @@ mod tests {
     #[test]
     fn median_run_is_deterministic() {
         let table = PStateTable::pentium_m_755();
-        let mut factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        let a = median_run(&mut factory, &program(), &table, &[]).unwrap();
-        let b = median_run(&mut factory, &program(), &table, &[]).unwrap();
+        let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let pool = Pool::serial();
+        let a = median_run(&pool, &factory, &program(), &table, &[]).unwrap();
+        let b = median_run(&pool, &factory, &program(), &table, &[]).unwrap();
         assert_eq!(a.execution_time, b.execution_time);
         assert!(a.completed);
     }
 
     #[test]
+    fn median_run_matches_across_pool_widths() {
+        let table = PStateTable::pentium_m_755();
+        let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let serial = median_run(&Pool::new(1), &factory, &program(), &table, &[]).unwrap();
+        let parallel = median_run(&Pool::new(8), &factory, &program(), &table, &[]).unwrap();
+        assert_eq!(serial.execution_time, parallel.execution_time);
+        assert_eq!(serial.measured_energy, parallel.measured_energy);
+        assert_eq!(serial.transitions, parallel.transitions);
+    }
+
+    #[test]
+    fn sim_seed_is_the_documented_convention() {
+        assert_eq!(sim_seed(0), SIM_SEED_SALT);
+        assert_eq!(sim_seed(0x5EED), 0);
+        for seed in RUN_SEEDS {
+            assert_eq!(sim_seed(seed), seed ^ 0x5EED);
+            assert_eq!(sim_seed(sim_seed(seed)), seed, "XOR salt must be an involution");
+        }
+    }
+
+    #[test]
+    fn select_median_rejects_non_finite_times() {
+        let table = PStateTable::pentium_m_755();
+        let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let pool = Pool::serial();
+        let good = median_run(&pool, &factory, &program(), &table, &[]).unwrap();
+        let inf = Seconds::new(f64::INFINITY);
+        // `Seconds::new` rejects NaN, but arithmetic can still produce one.
+        let nan = inf - inf;
+        for bad_time in [nan, inf, Seconds::new(f64::NEG_INFINITY)] {
+            let mut bad = good.clone();
+            bad.execution_time = bad_time;
+            let result = select_median(vec![good.clone(), bad, good.clone()]);
+            match result {
+                Err(PlatformError::NonFiniteMeasurement { quantity, .. }) => {
+                    assert_eq!(quantity, "execution time");
+                }
+                other => panic!("expected NonFiniteMeasurement, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn worst_case_curve_is_monotone_and_matches_table_iii_scale() {
         let table = PStateTable::pentium_m_755();
-        let curve = worst_case_power_curve(&table).unwrap();
+        let curve = worst_case_power_curve(&Pool::serial(), &table).unwrap();
         assert_eq!(curve.len(), 8);
         let mut last = Watts::ZERO;
         for &(_, w) in &curve {
@@ -166,7 +267,7 @@ mod tests {
     #[test]
     fn static_frequencies_follow_the_curve() {
         let table = PStateTable::pentium_m_755();
-        let curve = worst_case_power_curve(&table).unwrap();
+        let curve = worst_case_power_curve(&Pool::serial(), &table).unwrap();
         // Tighter limits must never pick higher frequencies.
         let mut last = usize::MAX;
         for limit in pm_power_limits() {

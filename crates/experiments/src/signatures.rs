@@ -21,6 +21,7 @@ use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::table::{f3, TextTable};
 
 /// One benchmark's mean counter signature at 2 GHz.
@@ -51,9 +52,10 @@ pub struct Signature {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn measure(ctx: &ExperimentContext) -> Result<Vec<Signature>> {
-    let mut signatures = Vec::new();
-    for bench in spec::suite() {
+pub fn measure(ctx: &ExperimentContext, pool: &Pool) -> Result<Vec<Signature>> {
+    let cells: Vec<_> = spec::suite()
+        .into_iter()
+        .map(|bench| move || -> Result<Signature> {
         let config = {
             let mut b = MachineConfig::builder();
             b.pstates(ctx.table().clone()).seed(0x51_6E);
@@ -92,7 +94,7 @@ pub fn measure(ctx: &ExperimentContext) -> Result<Vec<Signature>> {
         }
         let n = f64::from(samples);
         let (ipc, dcu) = (sums[0] / n, sums[2] / n);
-        signatures.push(Signature {
+        Ok(Signature {
             benchmark: bench.name().to_owned(),
             ipc,
             dpc: sums[1] / n,
@@ -102,9 +104,10 @@ pub fn measure(ctx: &ExperimentContext) -> Result<Vec<Signature>> {
             l2_requests: sums[5] / n,
             power_w: sums[6] / n,
             class: ctx.perf_model_paper().classify(ipc, dcu),
-        });
-    }
-    Ok(signatures)
+        })
+        })
+        .collect();
+    pool.run(cells).into_iter().collect()
 }
 
 /// Runs the experiment.
@@ -112,13 +115,13 @@ pub fn measure(ctx: &ExperimentContext) -> Result<Vec<Signature>> {
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "signatures",
         "Per-benchmark counter signatures at 2 GHz (paper §IV.A.2 discussion)",
     );
-    let mut signatures = measure(ctx)?;
-    signatures.sort_by(|a, b| b.dcu.partial_cmp(&a.dcu).expect("rates are finite"));
+    let mut signatures = measure(ctx, pool)?;
+    signatures.sort_by(|a, b| b.dcu.total_cmp(&a.dcu));
     let mut table = TextTable::new(vec![
         "benchmark",
         "ipc",
@@ -163,7 +166,7 @@ mod tests {
 
     #[test]
     fn signatures_match_the_papers_grouping() {
-        let signatures = measure(test_ctx()).unwrap();
+        let signatures = measure(test_ctx(), crate::test_support::test_pool()).unwrap();
         let by_name = |n: &str| signatures.iter().find(|s| s.benchmark == n).unwrap();
         // Paper: swim/lucas/equake/mcf/applu/art have high DCU and memory
         // requests; perlbmk/mesa/eon/crafty/sixtrack low.

@@ -11,6 +11,7 @@ use aapm_workloads::loops::MicroLoop;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::table::{f3, TextTable};
 
 /// Runs the experiment.
@@ -18,7 +19,7 @@ use crate::table::{f3, TextTable};
 /// # Errors
 ///
 /// Propagates characterization errors.
-pub fn run(_ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(_ctx: &ExperimentContext, _pool: &Pool) -> Result<ExperimentOutput> {
     let mut out =
         ExperimentOutput::new("tab1", "MS-Loops microbenchmarks (paper Table I) + characterization");
 
@@ -62,7 +63,7 @@ mod tests {
 
     #[test]
     fn roster_and_characterization_complete() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         assert_eq!(out.tables[0].1.len(), 4, "four loops");
         assert_eq!(out.tables[1].1.len(), 12, "twelve training points");
     }

@@ -13,6 +13,7 @@ use aapm_platform::error::Result;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::table::{f3, TextTable};
 
 /// Runs the experiment.
@@ -20,7 +21,7 @@ use crate::table::{f3, TextTable};
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, _pool: &Pool) -> Result<ExperimentOutput> {
     let mut out =
         ExperimentOutput::new("tab2", "DPC power model per p-state (paper Table II)");
     let paper = PowerModel::paper_table_ii();
@@ -74,7 +75,7 @@ mod tests {
 
     #[test]
     fn coefficients_cover_all_states_and_grow() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let table = &out.tables[0].1;
         assert_eq!(table.len(), 8);
         let rows: Vec<Vec<f64>> = table

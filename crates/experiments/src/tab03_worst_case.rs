@@ -8,6 +8,7 @@ use aapm_platform::error::Result;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::worst_case_power_curve;
 use crate::table::{f3, TextTable};
 
@@ -28,12 +29,12 @@ pub const PAPER_TABLE_III: [(u32, f64); 8] = [
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "tab3",
         "FMA-256KB measured power vs frequency (paper Table III)",
     );
-    let curve = worst_case_power_curve(ctx.table())?;
+    let curve = worst_case_power_curve(pool, ctx.table())?;
     let mut table =
         TextTable::new(vec!["freq_mhz", "measured_w", "paper_w", "delta_pct"]);
     let mut worst_delta = 0.0f64;
@@ -64,7 +65,7 @@ mod tests {
 
     #[test]
     fn curve_tracks_paper_within_five_percent() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -8,6 +8,7 @@ use aapm_platform::error::Result;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
+use crate::pool::Pool;
 use crate::runner::{pm_power_limits, static_frequency_for_limit, worst_case_power_curve};
 use crate::table::TextTable;
 
@@ -28,12 +29,12 @@ pub const PAPER_TABLE_IV: [(f64, u32); 8] = [
 /// # Errors
 ///
 /// Propagates platform errors.
-pub fn run(ctx: &ExperimentContext) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut out = ExperimentOutput::new(
         "tab4",
         "Power-limit determined static frequencies (paper Table IV)",
     );
-    let curve = worst_case_power_curve(ctx.table())?;
+    let curve = worst_case_power_curve(pool, ctx.table())?;
     let mut table = TextTable::new(vec!["limit_w", "static_mhz", "paper_mhz"]);
     let mut matches = 0usize;
     for (limit, (paper_limit, paper_mhz)) in pm_power_limits().iter().zip(PAPER_TABLE_IV) {
@@ -61,7 +62,7 @@ mod tests {
 
     #[test]
     fn static_frequencies_match_paper() {
-        let out = run(test_ctx()).unwrap();
+        let out = run(test_ctx(), crate::test_support::test_pool()).unwrap();
         let rows: Vec<Vec<String>> = out.tables[0]
             .1
             .to_csv()

@@ -8,17 +8,24 @@
 use std::sync::OnceLock;
 
 use crate::context::ExperimentContext;
+use crate::pool::Pool;
 use crate::ps_sweep::{self, PsSweep};
 
 static CTX: OnceLock<ExperimentContext> = OnceLock::new();
 static SWEEP: OnceLock<PsSweep> = OnceLock::new();
+static POOL: OnceLock<Pool> = OnceLock::new();
 
 /// The shared trained context.
 pub fn test_ctx() -> &'static ExperimentContext {
     CTX.get_or_init(|| ExperimentContext::train().expect("training succeeds"))
 }
 
+/// The shared job pool (modestly parallel so tests exercise the fan-out).
+pub fn test_pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::new(2))
+}
+
 /// The shared PS sweep.
 pub fn test_sweep() -> &'static PsSweep {
-    SWEEP.get_or_init(|| ps_sweep::compute(test_ctx()).expect("sweep succeeds"))
+    SWEEP.get_or_init(|| ps_sweep::compute(test_ctx(), test_pool()).expect("sweep succeeds"))
 }

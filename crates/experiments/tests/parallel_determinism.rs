@@ -1,0 +1,61 @@
+//! Cross-width determinism: parallel execution must be invisible in the
+//! output.
+//!
+//! The pool merges cell results in submission order, so a wide pool has to
+//! render byte-for-byte the same tables, notes, and row order as
+//! `--jobs 1`. These tests train one context and replay a representative
+//! slice of the suite at both widths: a plain per-benchmark fan-out
+//! (fig2), a pooled measurement curve reused by two tables (tab3/tab4),
+//! and a nested `median_run` fan under an outer fan (fig5).
+
+use aapm_experiments::{run_by_id, ExperimentContext, Pool};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::train().expect("training succeeds"))
+}
+
+fn rendered(pool: &Pool, id: &str) -> Vec<String> {
+    run_by_id(ctx(), pool, id)
+        .unwrap_or_else(|e| panic!("{id} failed: {e}"))
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let serial = Pool::new(1);
+    let wide = Pool::new(8);
+    for id in ["fig2", "tab3", "fig5"] {
+        assert_eq!(
+            rendered(&serial, id),
+            rendered(&wide, id),
+            "`{id}` must not depend on pool width"
+        );
+    }
+}
+
+#[test]
+fn pool_accounts_for_the_cells_it_ran() {
+    let pool = Pool::new(4);
+    let outputs = run_by_id(ctx(), &pool, "fig2").expect("fig2 succeeds");
+    assert_eq!(outputs.len(), 1);
+    let stats = pool.stats();
+    assert_eq!(stats.jobs, 4);
+    // fig2 fans 3 workloads × 3 frequencies, each a nested 3-seed
+    // median_run: 9 top-level cells plus 27 nested ones.
+    assert_eq!(stats.cells_run, 36);
+    assert_eq!(stats.cells_failed, 0);
+    assert_eq!(stats.top_cells, 9);
+    assert!(stats.top_busy >= stats.longest_top_cell);
+}
+
+#[test]
+fn unknown_ids_error_at_any_width() {
+    for pool in [Pool::new(1), Pool::new(8)] {
+        let err = run_by_id(ctx(), &pool, "fig99").unwrap_err();
+        assert!(err.to_string().contains("unknown experiment id"), "{err}");
+    }
+}

@@ -85,7 +85,7 @@ pub fn recommend_guardband(
     if abs_errors.is_empty() {
         return None;
     }
-    abs_errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    abs_errors.sort_by(f64::total_cmp);
     let rank = (quantile * (abs_errors.len() - 1) as f64).round() as usize;
     Some(abs_errors[rank])
 }

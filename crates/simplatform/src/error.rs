@@ -63,6 +63,20 @@ pub enum PlatformError {
         /// Consecutive control intervals without data.
         intervals: usize,
     },
+    /// An experiment cell panicked inside the parallel harness; the panic
+    /// was contained to that cell.
+    CellPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A measurement that must be finite (an execution time, an energy)
+    /// came back as NaN or ±∞, so no meaningful statistic can be derived.
+    NonFiniteMeasurement {
+        /// Which quantity was non-finite (`"execution time"`, …).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -91,6 +105,12 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::TelemetryLost { channel, intervals } => {
                 write!(f, "telemetry channel `{channel}` lost for {intervals} consecutive intervals")
+            }
+            PlatformError::CellPanicked { message } => {
+                write!(f, "experiment cell panicked: {message}")
+            }
+            PlatformError::NonFiniteMeasurement { quantity, value } => {
+                write!(f, "non-finite {quantity}: {value}")
             }
         }
     }
@@ -125,6 +145,8 @@ mod tests {
             PlatformError::InvalidCacheGeometry { reason: "bad".into() },
             PlatformError::ActuationFailed { pstate: 2, attempts: 4, source: None },
             PlatformError::TelemetryLost { channel: "power", intervals: 10 },
+            PlatformError::CellPanicked { message: "boom".into() },
+            PlatformError::NonFiniteMeasurement { quantity: "execution time", value: f64::NAN },
         ];
         for e in errors {
             let msg = e.to_string();

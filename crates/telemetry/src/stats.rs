@@ -7,7 +7,12 @@ pub struct Summary {
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
-    /// Population standard deviation.
+    /// **Population** standard deviation (divisor `n`, not `n − 1`). The
+    /// intended inputs are complete populations — e.g. the paper's three
+    /// fixed-seed runs behind every reported median — where the values
+    /// *are* the whole set, not a sample from one. Callers estimating the
+    /// spread of a larger population should apply Bessel's correction
+    /// themselves (`std_dev * sqrt(n / (n − 1))`; ~22 % larger at n = 3).
     pub std_dev: f64,
     /// Smallest value.
     pub min: f64,
@@ -31,18 +36,27 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
 /// Median of the values (mean of the middle pair for even counts);
 /// `None` for an empty slice. Used for the paper's "three runs, report the
 /// median" methodology.
+///
+/// NaNs sort after `+inf` (IEEE 754 total order), so they never panic and
+/// only reach the result when they crowd past the midpoint — a NaN result
+/// is an honest "your samples were NaN", not a crash.
 pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in medians"));
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     Some(if sorted.len() % 2 == 1 { sorted[mid] } else { (sorted[mid - 1] + sorted[mid]) / 2.0 })
 }
 
 /// Linear-interpolation percentile (`p` in `[0, 100]`); `None` for an empty
 /// slice.
+///
+/// NaNs sort after `+inf` (IEEE 754 total order) instead of panicking. The
+/// interpolation rank is clamped to the slice, and exact ranks (p = 0,
+/// p = 100, single element) return the element directly rather than
+/// interpolating — `inf * 0.0` would manufacture a NaN.
 ///
 /// # Panics
 ///
@@ -53,12 +67,12 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentiles"));
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).clamp(0.0, (sorted.len() - 1) as f64);
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let hi = (rank.ceil() as usize).min(sorted.len() - 1);
     let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    Some(if frac == 0.0 { sorted[lo] } else { sorted[lo] * (1.0 - frac) + sorted[hi] * frac })
 }
 
 #[cfg(test)]
@@ -97,5 +111,28 @@ mod tests {
     #[should_panic(expected = "[0, 100]")]
     fn percentile_out_of_range_panics() {
         let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn median_and_percentile_survive_non_finite_input() {
+        // NaN sorts last, so a single NaN among finite values leaves the
+        // lower order statistics intact.
+        let v = [f64::NAN, 1.0, 2.0, 3.0];
+        assert_eq!(median(&v), Some(2.5));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert!(percentile(&v, 100.0).unwrap().is_nan());
+        // Infinities at the boundaries return exactly, not `inf * 0 = NaN`.
+        let w = [f64::NEG_INFINITY, 0.0, f64::INFINITY];
+        assert_eq!(percentile(&w, 0.0), Some(f64::NEG_INFINITY));
+        assert_eq!(percentile(&w, 100.0), Some(f64::INFINITY));
+        assert_eq!(percentile(&w, 50.0), Some(0.0));
+        assert_eq!(median(&[f64::NAN]).map(f64::is_nan), Some(true));
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        for p in [0.0, 37.5, 100.0] {
+            assert_eq!(percentile(&[42.0], p), Some(42.0));
+        }
     }
 }

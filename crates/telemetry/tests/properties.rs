@@ -7,6 +7,17 @@ use aapm_telemetry::trace::{RunTrace, TraceRecord};
 use aapm_telemetry::window::MovingWindow;
 use proptest::prelude::*;
 
+/// Any f64, including the non-finite values the stats helpers must survive
+/// (one third of draws are NaN or ±inf).
+fn any_sample() -> impl Strategy<Value = f64> {
+    (0usize..9, -50.0f64..50.0).prop_map(|(kind, v)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => v,
+    })
+}
+
 fn trace_from(powers: &[f64]) -> RunTrace {
     let mut trace = RunTrace::new(Seconds::from_millis(10.0));
     for (i, &p) in powers.iter().enumerate() {
@@ -140,5 +151,33 @@ proptest! {
         let summary = summarize(&values).unwrap();
         prop_assert!(summary.mean >= min - 1e-12 && summary.mean <= max + 1e-12);
         prop_assert!(summary.std_dev >= 0.0);
+    }
+
+    /// The stats helpers are total over *any* floats: NaN and ±inf never
+    /// panic, and the exact-rank percentiles return the total-order
+    /// extremes instead of manufacturing `inf * 0` NaNs.
+    #[test]
+    fn median_and_percentile_total_over_non_finite(
+        values in prop::collection::vec(any_sample(), 1..60),
+        p in 0.0f64..100.0,
+    ) {
+        prop_assert!(median(&values).is_some());
+        prop_assert!(percentile(&values, p).is_some());
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let lo = percentile(&values, 0.0).unwrap();
+        let hi = percentile(&values, 100.0).unwrap();
+        prop_assert_eq!(lo.total_cmp(&sorted[0]), std::cmp::Ordering::Equal);
+        prop_assert_eq!(
+            hi.total_cmp(&sorted[sorted.len() - 1]),
+            std::cmp::Ordering::Equal
+        );
+        // All-finite input keeps the helpers finite and in range.
+        if values.iter().all(|v| v.is_finite()) {
+            let med = median(&values).unwrap();
+            prop_assert!(med.is_finite());
+            prop_assert!((sorted[0]..=sorted[sorted.len() - 1]).contains(&med));
+            prop_assert!(percentile(&values, p).unwrap().is_finite());
+        }
     }
 }

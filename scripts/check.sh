@@ -8,5 +8,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
+cargo bench --no-run --offline
+
+# Parallel-harness smoke: the full suite on a 2-wide pool must complete and
+# leave the wall-clock/speedup report behind.
+cargo run --release --offline -p aapm-experiments -- all --jobs 2 > /dev/null
+test -s results/BENCH_suite.json
 
 echo "check.sh: all gates passed"
