@@ -9,6 +9,7 @@
 //!   paper's PS improves upon: it only lowers frequency when the system is
 //!   *under-utilized*, so at full load it saves nothing.
 
+use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::PStateId;
 
@@ -97,12 +98,28 @@ impl DemandBasedSwitching {
 
     /// Creates DBS with an explicit utilization target in `(0, 1]`.
     ///
-    /// # Panics
+    /// The target divides the measured busy fraction, so a zero, negative,
+    /// or non-finite value would turn the demand calculation into
+    /// `inf`/negative MHz and silently pin the highest p-state; such
+    /// targets are rejected here instead.
     ///
-    /// Panics if `target` is outside `(0, 1]`.
-    pub fn with_target(target: f64) -> Self {
-        assert!(target > 0.0 && target <= 1.0, "utilization target must lie in (0, 1]");
-        DemandBasedSwitching { target_utilization: target }
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] if `target` is not a finite
+    /// number in `(0, 1]`.
+    pub fn with_target(target: f64) -> Result<Self> {
+        if !target.is_finite() || target <= 0.0 || target > 1.0 {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "target_utilization",
+                reason: format!("utilization target must lie in (0, 1], got {target}"),
+            });
+        }
+        Ok(DemandBasedSwitching { target_utilization: target })
+    }
+
+    /// The active utilization target.
+    pub fn target_utilization(&self) -> f64 {
+        self.target_utilization
     }
 }
 
@@ -210,8 +227,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "utilization target")]
-    fn dbs_rejects_invalid_target() {
-        let _ = DemandBasedSwitching::with_target(0.0);
+    fn dbs_rejects_invalid_targets() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            match DemandBasedSwitching::with_target(bad) {
+                Err(PlatformError::InvalidConfig { parameter, .. }) => {
+                    assert_eq!(parameter, "target_utilization");
+                }
+                other => panic!("target {bad} must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dbs_accepts_valid_targets() {
+        for good in [0.1, 0.8, 1.0] {
+            let g = DemandBasedSwitching::with_target(good).unwrap();
+            assert_eq!(g.target_utilization(), good);
+        }
+    }
+
+    /// A mid-range target actually shapes the decision: at half busy with
+    /// target 0.8 the demanded frequency is 2000·0.5/0.8 = 1250 MHz → the
+    /// 1400 MHz state. (Guards the division the validation protects.)
+    #[test]
+    fn dbs_target_scales_demand() {
+        let table = PStateTable::pentium_m_755();
+        let mut g = DemandBasedSwitching::with_target(1.0).unwrap();
+        let s = sample(1.2);
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        assert_eq!(g.decide(&ctx), table.highest(), "target 1.0 at full load keeps peak");
     }
 }

@@ -100,6 +100,10 @@ impl Governor for CombinedPm {
     fn command(&mut self, command: GovernorCommand) {
         self.inner.command(command);
     }
+
+    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
+        self.inner.install_metrics(metrics);
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use aapm_platform::pstate::{PStateId, PStateTable};
 use aapm_platform::thermal::Celsius;
 use aapm_platform::throttle::ThrottleLevel;
 use aapm_telemetry::daq::PowerSample;
+use aapm_telemetry::metrics::Metrics;
 use aapm_telemetry::pmc::CounterSample;
 
 use crate::limits::{PerformanceFloor, PowerLimit};
@@ -67,6 +68,18 @@ pub trait Governor {
 
     /// Delivers a runtime command. The default implementation ignores it.
     fn command(&mut self, _command: GovernorCommand) {}
+
+    /// Installs a metrics handle for governor-internal observability
+    /// (hold-window events, guardband margins, projection errors). The
+    /// runtime calls this once before the control loop starts; decorators
+    /// must forward the handle to their inner governor.
+    ///
+    /// The handle is write-only by contract: recording must never perturb a
+    /// decision (DESIGN.md §9), so a run with metrics installed stays
+    /// bit-identical to one without. The default implementation discards
+    /// the handle, which is correct for governors with no internal state
+    /// worth exporting.
+    fn install_metrics(&mut self, _metrics: Metrics) {}
 }
 
 #[cfg(test)]

@@ -106,6 +106,10 @@ impl Governor for PhasePm {
         self.detector.reset();
         self.raise_streak = 0;
     }
+
+    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
+        self.inner.install_metrics(metrics);
+    }
 }
 
 #[cfg(test)]

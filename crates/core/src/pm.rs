@@ -22,6 +22,7 @@ use aapm_platform::pstate::PStateId;
 use aapm_platform::units::Watts;
 use aapm_models::dpc_projection::project_dpc;
 use aapm_models::power_model::PowerModel;
+use aapm_telemetry::metrics::{EventKind, Metrics};
 
 use crate::governor::{Governor, GovernorCommand, SampleContext};
 use crate::limits::PowerLimit;
@@ -36,7 +37,9 @@ pub struct PmConfig {
     pub raise_samples: usize,
     /// How many consecutive stale counter samples (missed PMC reads) PM
     /// tolerates by holding its last measured DPC before it starts
-    /// stepping the frequency down as a fail-safe.
+    /// stepping the frequency down as a fail-safe. "Hold for N" means
+    /// *exactly N* stale intervals are absorbed: stale samples 1..=N hold,
+    /// and stale sample N+1 takes the first fail-safe step.
     pub hold_samples: usize,
 }
 
@@ -72,6 +75,11 @@ pub struct PerformanceMaximizer {
     last_dpc: Option<f64>,
     /// Consecutive stale counter samples seen.
     stale_streak: usize,
+    /// DPC projected for the state chosen last interval, compared against
+    /// the next fresh sample to measure eq. 4's projection error.
+    predicted_dpc: Option<f64>,
+    /// Observability handle (disabled unless the runtime installs one).
+    metrics: Metrics,
 }
 
 impl PerformanceMaximizer {
@@ -89,6 +97,8 @@ impl PerformanceMaximizer {
             raise_streak: 0,
             last_dpc: None,
             stale_streak: 0,
+            predicted_dpc: None,
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -146,17 +156,39 @@ impl Governor for PerformanceMaximizer {
     }
 
     fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        let now = ctx.counters.end;
         // Graceful degradation under missed PMC reads: hold the last
-        // measured DPC for a bounded window (never raising on stale data),
-        // then fail safe by stepping the frequency down one state per
-        // sample until fresh telemetry returns.
+        // measured DPC for a bounded window of exactly `hold_samples` stale
+        // intervals (never raising on stale data), then fail safe by
+        // stepping the frequency down one state per sample until fresh
+        // telemetry returns.
         let dpc = if ctx.counters.is_fresh() {
-            self.stale_streak = 0;
+            if self.stale_streak > 0 {
+                self.metrics.inc("pm.hold_exits");
+                self.metrics.event(
+                    now,
+                    EventKind::HoldExited {
+                        governor: "pm",
+                        stale_intervals: self.stale_streak as u64,
+                    },
+                );
+                self.stale_streak = 0;
+            }
             let dpc = ctx.counters.dpc().unwrap_or(0.0);
+            if let Some(predicted) = self.predicted_dpc.take() {
+                self.metrics.observe("pm.projection_error_dpc", (dpc - predicted).abs());
+            }
             self.last_dpc = Some(dpc);
             dpc
         } else {
             self.stale_streak += 1;
+            self.metrics.inc("pm.stale_intervals");
+            if self.stale_streak == 1 {
+                self.metrics.inc("pm.hold_entries");
+                self.metrics.event(now, EventKind::HoldEntered { governor: "pm" });
+            }
+            // A stale interval invalidates the one-step-ahead projection.
+            self.predicted_dpc = None;
             match self.last_dpc {
                 Some(dpc) if self.stale_streak <= self.config.hold_samples => {
                     // Only safety-driven lowering is allowed on held data.
@@ -169,12 +201,14 @@ impl Governor for PerformanceMaximizer {
                 }
                 _ => {
                     self.raise_streak = 0;
+                    self.metrics.inc("pm.failsafe_steps");
+                    self.metrics.event(now, EventKind::FailSafeStep { governor: "pm" });
                     return ctx.table.next_lower(ctx.current).unwrap_or(ctx.table.lowest());
                 }
             }
         };
         let candidate = self.best_pstate(ctx, dpc);
-        if candidate < ctx.current {
+        let chosen = if candidate < ctx.current {
             // A single over-limit sample lowers frequency immediately.
             self.raise_streak = 0;
             candidate
@@ -190,7 +224,22 @@ impl Governor for PerformanceMaximizer {
         } else {
             self.raise_streak = 0;
             ctx.current
+        };
+        if self.metrics.is_enabled() {
+            // Guardband margin: headroom between the limit and the guarded
+            // estimate at the state actually chosen.
+            if let Some(estimate) = self.estimate_at(ctx, dpc, chosen) {
+                self.metrics
+                    .observe("pm.guardband_margin_w", self.limit.watts().watts() - estimate.watts());
+            }
+            // One-step-ahead DPC projection for the chosen state (eq. 4),
+            // scored against the next fresh sample.
+            if let (Ok(from), Ok(to)) = (ctx.table.get(ctx.current), ctx.table.get(chosen)) {
+                self.predicted_dpc =
+                    Some(project_dpc(dpc, from.frequency(), to.frequency()));
+            }
         }
+        chosen
     }
 
     fn command(&mut self, command: GovernorCommand) {
@@ -199,6 +248,10 @@ impl Governor for PerformanceMaximizer {
             // A fresh limit invalidates the raise history.
             self.raise_streak = 0;
         }
+    }
+
+    fn install_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 }
 
@@ -363,6 +416,54 @@ mod tests {
             let chosen = decide_stale(&mut pm, &table, 2);
             assert!(chosen <= PStateId::new(2));
         }
+    }
+
+    /// Boundary of the hold window: with `hold_samples = N`, exactly N
+    /// stale intervals are held and the (N+1)-th steps down.
+    #[test]
+    fn hold_window_boundary_is_exactly_n_stale_intervals() {
+        let table = PStateTable::pentium_m_755();
+        let n = 3;
+        let config = PmConfig { hold_samples: n, ..PmConfig::default() };
+        let mut pm = PerformanceMaximizer::with_config(
+            PowerModel::paper_table_ii(),
+            PowerLimit::new(30.0).unwrap(),
+            config,
+        );
+        assert_eq!(decide_at(&mut pm, &table, 7, 1.0), PStateId::new(7));
+        for i in 1..=n {
+            assert_eq!(decide_stale(&mut pm, &table, 7), PStateId::new(7), "stale sample {i} holds");
+        }
+        // Stale sample N+1 is the first fail-safe step.
+        assert_eq!(decide_stale(&mut pm, &table, 7), PStateId::new(6), "sample N+1 steps down");
+    }
+
+    /// Hold-window entry/exit and fail-safe steps are counted when a
+    /// metrics registry is installed, and the counts follow the exact-N
+    /// boundary contract.
+    #[test]
+    fn hold_window_metrics_count_the_boundary() {
+        let table = PStateTable::pentium_m_755();
+        let n = 3;
+        let config = PmConfig { hold_samples: n, ..PmConfig::default() };
+        let mut pm = PerformanceMaximizer::with_config(
+            PowerModel::paper_table_ii(),
+            PowerLimit::new(30.0).unwrap(),
+            config,
+        );
+        let metrics = Metrics::enabled();
+        Governor::install_metrics(&mut pm, metrics.clone());
+        decide_at(&mut pm, &table, 7, 1.0);
+        for _ in 0..n + 2 {
+            decide_stale(&mut pm, &table, 7);
+        }
+        decide_at(&mut pm, &table, 7, 1.0);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counter("pm.hold_entries"), 1);
+        assert_eq!(snapshot.counter("pm.hold_exits"), 1);
+        assert_eq!(snapshot.counter("pm.stale_intervals"), n as u64 + 2);
+        assert_eq!(snapshot.counter("pm.failsafe_steps"), 2, "samples N+1 and N+2 step down");
+        assert!(snapshot.histogram("pm.guardband_margin_w").is_some());
     }
 
     #[test]

@@ -17,9 +17,28 @@
 use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::PStateId;
 use aapm_models::perf_model::PerfModel;
+use aapm_telemetry::metrics::{EventKind, Metrics};
 
 use crate::governor::{Governor, GovernorCommand, SampleContext};
 use crate::limits::PerformanceFloor;
+
+/// Tunables of the PS control loop (the analogue of
+/// [`PmConfig`](crate::pm::PmConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsConfig {
+    /// How many consecutive stale counter samples (missed PMC reads) PS
+    /// tolerates by repeating its last fresh choice before it starts
+    /// stepping toward the peak state as a fail-safe. "Hold for N" means
+    /// *exactly N* stale intervals are absorbed: stale samples 1..=N hold,
+    /// and stale sample N+1 takes the first step up.
+    pub hold_samples: usize,
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        PsConfig { hold_samples: PowerSave::STALE_HOLD_SAMPLES }
+    }
+}
 
 /// The PowerSave governor.
 ///
@@ -41,26 +60,52 @@ use crate::limits::PerformanceFloor;
 pub struct PowerSave {
     model: PerfModel,
     floor: PerformanceFloor,
+    config: PsConfig,
     /// Choice made on the last fresh counter sample, held during outages.
     last_choice: Option<PStateId>,
     /// Consecutive stale counter samples seen.
     stale_streak: usize,
+    /// IPC projected for the state chosen last interval, compared against
+    /// the next fresh sample to measure eq. 3's projection error.
+    predicted_ipc: Option<f64>,
+    /// Observability handle (disabled unless the runtime installs one).
+    metrics: Metrics,
 }
 
 impl PowerSave {
-    /// Consecutive stale counter samples PS tolerates by holding its last
-    /// projection before failing safe toward the peak state (protecting the
-    /// performance floor when the workload may have shifted unseen).
+    /// Default hold window: consecutive stale counter samples PS tolerates
+    /// by holding its last projection before failing safe toward the peak
+    /// state (protecting the performance floor when the workload may have
+    /// shifted unseen). Configurable via [`PsConfig::hold_samples`].
     pub const STALE_HOLD_SAMPLES: usize = 50;
 
-    /// Creates PS with the given projection model and floor.
+    /// Creates PS with the given projection model and floor, using the
+    /// default hold window.
     pub fn new(model: PerfModel, floor: PerformanceFloor) -> Self {
-        PowerSave { model, floor, last_choice: None, stale_streak: 0 }
+        PowerSave::with_config(model, floor, PsConfig::default())
+    }
+
+    /// Creates PS with explicit control-loop tunables.
+    pub fn with_config(model: PerfModel, floor: PerformanceFloor, config: PsConfig) -> Self {
+        PowerSave {
+            model,
+            floor,
+            config,
+            last_choice: None,
+            stale_streak: 0,
+            predicted_ipc: None,
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// The active performance floor.
     pub fn floor(&self) -> PerformanceFloor {
         self.floor
+    }
+
+    /// The control-loop tunables in use.
+    pub fn config(&self) -> &PsConfig {
+        &self.config
     }
 
     /// The projection model in use.
@@ -99,42 +144,84 @@ impl Governor for PowerSave {
     }
 
     fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        let now = ctx.counters.end;
         // Graceful degradation under missed PMC reads: hold the last fresh
-        // projection for a bounded window, then step back up toward the
-        // peak — PS's contract is a performance floor, and running too fast
-        // is the safe failure direction.
+        // choice for a bounded window of exactly `hold_samples` stale
+        // intervals, then step back up toward the peak — PS's contract is a
+        // performance floor, and running too fast is the safe failure
+        // direction.
         if !ctx.counters.is_fresh() {
             self.stale_streak += 1;
+            self.metrics.inc("ps.stale_intervals");
+            if self.stale_streak == 1 {
+                self.metrics.inc("ps.hold_entries");
+                self.metrics.event(now, EventKind::HoldEntered { governor: "ps" });
+            }
+            // A stale interval invalidates the one-step-ahead projection.
+            self.predicted_ipc = None;
             return match self.last_choice {
-                Some(choice) if self.stale_streak <= PowerSave::STALE_HOLD_SAMPLES => choice,
-                _ => ctx
-                    .table
-                    .next_higher(ctx.current)
-                    .unwrap_or_else(|| ctx.table.highest()),
+                Some(choice) if self.stale_streak <= self.config.hold_samples => choice,
+                _ => {
+                    self.metrics.inc("ps.failsafe_steps");
+                    self.metrics.event(now, EventKind::FailSafeStep { governor: "ps" });
+                    ctx.table
+                        .next_higher(ctx.current)
+                        .unwrap_or_else(|| ctx.table.highest())
+                }
             };
         }
-        self.stale_streak = 0;
+        if self.stale_streak > 0 {
+            self.metrics.inc("ps.hold_exits");
+            self.metrics.event(
+                now,
+                EventKind::HoldExited { governor: "ps", stale_intervals: self.stale_streak as u64 },
+            );
+            self.stale_streak = 0;
+        }
         let ipc = ctx.counters.ipc().unwrap_or(0.0);
         let dcu = ctx.counters.dcu().unwrap_or(0.0);
+        if let Some(predicted) = self.predicted_ipc.take() {
+            self.metrics.observe("ps.projection_error_ipc", (ipc - predicted).abs());
+        }
         // Scan from the lowest frequency up; take the first state whose
         // predicted throughput clears the floor. The peak state always
         // clears it (ratio 1.0), so the loop always returns.
+        let mut chosen = ctx.table.highest();
         for (id, _) in ctx.table.iter() {
             if let Some(relative) = self.predicted_relative_performance(ctx, ipc, dcu, id) {
                 if relative >= self.floor.fraction() {
-                    self.last_choice = Some(id);
-                    return id;
+                    chosen = id;
+                    break;
                 }
             }
         }
-        self.last_choice = Some(ctx.table.highest());
-        ctx.table.highest()
+        self.last_choice = Some(chosen);
+        if self.metrics.is_enabled() {
+            // Floor slack: how far above the floor the discrete choice
+            // lands (the Figure 9 "p-states are coarse" observation).
+            if let Some(relative) = self.predicted_relative_performance(ctx, ipc, dcu, chosen) {
+                self.metrics.observe("ps.floor_slack", relative - self.floor.fraction());
+            }
+            // One-step-ahead IPC projection for the chosen state (eq. 3):
+            // performance ∝ IPC × f, so the predicted IPC rescales the
+            // relative-performance projection by the frequency ratio.
+            if let (Ok(from), Ok(to)) = (ctx.table.get(ctx.current), ctx.table.get(chosen)) {
+                let rel = self.model.relative_performance(ipc, dcu, from.frequency(), to.frequency());
+                let ratio = from.frequency().mhz() as f64 / to.frequency().mhz() as f64;
+                self.predicted_ipc = Some(ipc * rel * ratio);
+            }
+        }
+        chosen
     }
 
     fn command(&mut self, command: GovernorCommand) {
         if let GovernorCommand::SetPerformanceFloor(floor) = command {
             self.floor = floor;
         }
+    }
+
+    fn install_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 }
 
@@ -275,6 +362,56 @@ mod tests {
         let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
         let stepped = ps.decide(&ctx);
         assert_eq!(stepped, table.next_higher(held).unwrap());
+    }
+
+    /// Boundary of the hold window: with `hold_samples = N`, exactly N
+    /// stale intervals repeat the held choice and the (N+1)-th steps up.
+    #[test]
+    fn hold_window_boundary_is_exactly_n_stale_intervals() {
+        let table = PStateTable::pentium_m_755();
+        let n = 4;
+        let mut ps = PowerSave::with_config(
+            PerfModel::new(PerfModelParams::paper()),
+            PerformanceFloor::new(0.8).unwrap(),
+            PsConfig { hold_samples: n },
+        );
+        let held = decide_at(&mut ps, &table, 7, 0.3, 1.8);
+        let s = stale_sample();
+        for i in 1..=n {
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            assert_eq!(ps.decide(&ctx), held, "stale sample {i} holds");
+        }
+        // Stale sample N+1 is the first fail-safe step toward the peak.
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+        assert_eq!(ps.decide(&ctx), table.next_higher(held).unwrap(), "sample N+1 steps up");
+    }
+
+    /// Hold-window entry/exit and fail-safe steps are counted when a
+    /// metrics registry is installed.
+    #[test]
+    fn hold_window_metrics_count_the_boundary() {
+        let table = PStateTable::pentium_m_755();
+        let n = 4;
+        let mut ps = PowerSave::with_config(
+            PerfModel::new(PerfModelParams::paper()),
+            PerformanceFloor::new(0.8).unwrap(),
+            PsConfig { hold_samples: n },
+        );
+        let metrics = Metrics::enabled();
+        Governor::install_metrics(&mut ps, metrics.clone());
+        let held = decide_at(&mut ps, &table, 7, 0.3, 1.8);
+        let s = stale_sample();
+        for _ in 0..n + 3 {
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            ps.decide(&ctx);
+        }
+        decide_at(&mut ps, &table, 7, 0.3, 1.8);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counter("ps.hold_entries"), 1);
+        assert_eq!(snapshot.counter("ps.hold_exits"), 1);
+        assert_eq!(snapshot.counter("ps.stale_intervals"), n as u64 + 3);
+        assert_eq!(snapshot.counter("ps.failsafe_steps"), 3);
+        assert!(snapshot.histogram("ps.floor_slack").is_some());
     }
 
     #[test]

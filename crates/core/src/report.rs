@@ -1,6 +1,7 @@
 //! Results of a governed run.
 
 use aapm_platform::units::{Joules, Seconds, Watts};
+use aapm_telemetry::metrics::MetricsSnapshot;
 use aapm_telemetry::trace::RunTrace;
 
 /// Everything measured during one governed run of one workload.
@@ -24,6 +25,11 @@ pub struct RunReport {
     pub completed: bool,
     /// The full sample trace.
     pub trace: RunTrace,
+    /// End-of-run metrics snapshot (empty unless the run was observed via
+    /// [`run_observed`] with an enabled registry).
+    ///
+    /// [`run_observed`]: crate::runtime::run_observed
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -88,6 +94,7 @@ mod tests {
             transitions: 0,
             completed: true,
             trace: RunTrace::new(Seconds::from_millis(10.0)),
+            metrics: MetricsSnapshot::default(),
         }
     }
 

@@ -15,6 +15,7 @@ use aapm_telemetry::daq::{DaqConfig, PowerDaq, PowerSample};
 use aapm_telemetry::faults::{
     ActuationFault, FaultConfig, FaultPlan, FaultStats, FaultWindow, PowerFault,
 };
+use aapm_telemetry::metrics::{EventKind, Metrics};
 use aapm_telemetry::pmc::PmcDriver;
 use aapm_telemetry::sensor::{ThermalSensor, ThermalSensorConfig};
 use aapm_telemetry::trace::RunTrace;
@@ -146,6 +147,7 @@ impl FaultyActuator {
     /// Returns [`PlatformError::ActuationFailed`] (no source) when an
     /// ignored write exhausts its retries; real platform errors (e.g. an
     /// out-of-range p-state) propagate unchanged.
+    #[allow(clippy::too_many_arguments)] // one call site, inside the interval loop
     fn write(
         &mut self,
         machine: &mut Machine,
@@ -154,6 +156,7 @@ impl FaultyActuator {
         plan: &mut FaultPlan,
         now: Seconds,
         stats: &mut FaultStats,
+        metrics: &Metrics,
     ) -> Result<()> {
         match fault {
             ActuationFault::Intact => {
@@ -162,17 +165,31 @@ impl FaultyActuator {
             }
             ActuationFault::Stalled => {
                 stats.actuations_stalled += 1;
+                metrics.inc("actuator.stalled");
+                metrics.event(
+                    now,
+                    EventKind::ActuatorStalled { intervals: self.stall_intervals as u64 },
+                );
                 self.pending = Some((target, self.stall_intervals));
                 Ok(())
             }
             ActuationFault::Ignored => {
                 stats.actuations_ignored += 1;
-                for _ in 0..self.retry_limit {
+                metrics.inc("actuator.ignored");
+                metrics.event(now, EventKind::ActuatorIgnored { attempt: 1 });
+                for retry in 0..self.retry_limit {
                     if !plan.retry_fails(now) {
                         self.pending = None;
+                        metrics.inc("actuator.recoveries");
+                        metrics.event(
+                            now,
+                            EventKind::ActuatorRecovered { attempts: retry as u64 + 2 },
+                        );
                         return machine.set_pstate(target);
                     }
                     stats.actuations_ignored += 1;
+                    metrics.inc("actuator.ignored");
+                    metrics.event(now, EventKind::ActuatorIgnored { attempt: retry as u64 + 2 });
                 }
                 Err(PlatformError::ActuationFailed {
                     pstate: target.index(),
@@ -211,6 +228,14 @@ impl FaultyActuator {
 ///
 /// [`CounterSample::is_fresh`]: aapm_telemetry::pmc::CounterSample::is_fresh
 ///
+/// Scheduled-command delivery contract: commands are stable-sorted by
+/// `at`, so two commands with the same `at` are delivered in their
+/// submission order (the later one in the slice wins any conflict). A
+/// command is delivered at the start of the first control interval whose
+/// start time is ≥ `at`; in particular a command at `t = 0` (or any
+/// non-positive time) reaches the governor before the very first sample is
+/// decided.
+///
 /// # Errors
 ///
 /// Returns [`PlatformError::InvalidConfig`] for non-finite scheduled
@@ -223,6 +248,52 @@ pub fn run_with_faults(
     config: SimulationConfig,
     commands: &[ScheduledCommand],
     fault_windows: &[FaultWindow],
+) -> Result<(RunReport, FaultStats)> {
+    run_observed(
+        governor,
+        machine_config,
+        program,
+        config,
+        commands,
+        fault_windows,
+        &Metrics::disabled(),
+    )
+}
+
+/// The wire name of a command for event records.
+fn command_name(command: GovernorCommand) -> &'static str {
+    match command {
+        GovernorCommand::SetPowerLimit(_) => "set_power_limit",
+        GovernorCommand::SetPerformanceFloor(_) => "set_performance_floor",
+    }
+}
+
+/// [`run_with_faults`] with an observability handle: `metrics` is installed
+/// into the governor chain and the runtime emits structured events
+/// (governor decisions, hold windows, actuator retries/stalls, injected
+/// faults, command deliveries) stamped with *simulated* time, plus
+/// counters for each. A disabled handle (the default) makes this
+/// bit-identical to [`run_with_faults`]; an enabled one must not perturb
+/// the simulation either — recording is observation-only (DESIGN.md §9).
+///
+/// The end-of-run [`MetricsSnapshot`] is carried in
+/// [`RunReport::metrics`], so callers that only keep the report can still
+/// assert on governor-internal behaviour.
+///
+/// [`MetricsSnapshot`]: aapm_telemetry::metrics::MetricsSnapshot
+///
+/// # Errors
+///
+/// As [`run_with_faults`].
+#[allow(clippy::too_many_lines)]
+pub fn run_observed(
+    governor: &mut dyn Governor,
+    machine_config: MachineConfig,
+    program: PhaseProgram,
+    config: SimulationConfig,
+    commands: &[ScheduledCommand],
+    fault_windows: &[FaultWindow],
+    metrics: &Metrics,
 ) -> Result<(RunReport, FaultStats)> {
     for command in commands {
         if !command.at.seconds().is_finite() {
@@ -237,6 +308,8 @@ pub fn run_with_faults(
     }
     let mut plan = FaultPlan::with_windows(config.faults, fault_windows)?;
     let mut stats = FaultStats::default();
+
+    governor.install_metrics(metrics.clone());
 
     let workload = program.name().to_owned();
     let table = machine_config.pstates().clone();
@@ -259,7 +332,13 @@ pub fn run_with_faults(
     while !machine.finished() && samples < config.max_samples {
         // Deliver any commands due at or before this interval's start.
         while next_command < pending.len() && pending[next_command].at <= machine.elapsed() {
-            governor.command(pending[next_command].command);
+            let command = pending[next_command].command;
+            governor.command(command);
+            metrics.inc("runtime.commands_delivered");
+            metrics.event(
+                machine.elapsed(),
+                EventKind::CommandDelivered { command: command_name(command) },
+            );
             next_command += 1;
         }
 
@@ -275,6 +354,8 @@ pub fn run_with_faults(
         let temperature = thermal.read(&machine);
         let counters = if faults.pmc_missed {
             stats.pmc_missed += 1;
+            metrics.inc("fault.pmc_missed");
+            metrics.event(now, EventKind::FaultInjected { kind: "pmc_missed" });
             pmc.sample_missed(&machine, config.sample_interval)
         } else {
             pmc.sample(&machine)
@@ -287,6 +368,8 @@ pub fn run_with_faults(
             }
             PowerFault::Dropped => {
                 stats.power_dropouts += 1;
+                metrics.inc("fault.power_dropped");
+                metrics.event(now, EventKind::FaultInjected { kind: "power_dropped" });
                 None
             }
             PowerFault::Stuck => match last_delivered {
@@ -294,6 +377,8 @@ pub fn run_with_faults(
                 // current interval.
                 Some(prev) => {
                     stats.power_stuck += 1;
+                    metrics.inc("fault.power_stuck");
+                    metrics.event(now, EventKind::FaultInjected { kind: "power_stuck" });
                     Some(PowerSample {
                         start: power.start,
                         end: power.end,
@@ -311,6 +396,8 @@ pub fn run_with_faults(
         };
         let shown_temperature = if faults.thermal_dropped {
             stats.thermal_dropouts += 1;
+            metrics.inc("fault.thermal_dropped");
+            metrics.event(now, EventKind::FaultInjected { kind: "thermal_dropped" });
             None
         } else {
             Some(temperature)
@@ -325,14 +412,32 @@ pub fn run_with_faults(
         };
         let target = governor.decide(&ctx);
         let throttle = governor.throttle_decision(&ctx);
+        metrics.inc("runtime.intervals");
+        if target != interval_pstate {
+            metrics.inc("runtime.pstate_changes");
+            metrics.event(
+                now,
+                EventKind::Decision { from: interval_pstate.index(), to: target.index() },
+            );
+        }
 
         actuator.step(&mut machine)?;
-        match actuator.write(&mut machine, target, faults.actuation, &mut plan, now, &mut stats) {
+        match actuator.write(
+            &mut machine,
+            target,
+            faults.actuation,
+            &mut plan,
+            now,
+            &mut stats,
+            metrics,
+        ) {
             Ok(()) => {}
-            Err(PlatformError::ActuationFailed { .. }) => {
+            Err(PlatformError::ActuationFailed { attempts, .. }) => {
                 // Injected loss: the machine keeps its p-state and the
                 // governor retries from fresh telemetry next interval.
                 stats.actuation_failures += 1;
+                metrics.inc("actuator.failures");
+                metrics.event(now, EventKind::ActuationFailed { attempts: attempts as u64 });
             }
             Err(other) => return Err(other),
         }
@@ -353,6 +458,7 @@ pub fn run_with_faults(
         transitions: machine.transitions_performed(),
         completed,
         trace,
+        metrics: metrics.snapshot(),
     };
     Ok((report, stats))
 }
@@ -450,19 +556,16 @@ mod tests {
             at: Seconds::new(0.2),
             command: GovernorCommand::SetPowerLimit(PowerLimit::new(6.0).unwrap()),
         }];
-        let report = run(
-            &mut pm,
-            quiet_machine(1),
-            program(1_000_000_000),
-            SimulationConfig::default(),
-            &commands,
-        )
-        .unwrap();
+        let config = SimulationConfig::default();
+        let report = run(&mut pm, quiet_machine(1), program(1_000_000_000), config, &commands)
+            .unwrap();
         assert!(report.completed);
         // Early samples run at the top p-state; after the command the
-        // governor must drop several states.
+        // governor must drop several states. The "late" probe sits 50 ms
+        // past the command, expressed in control intervals so the test
+        // tracks the configured cadence rather than assuming 10 ms.
         let early = &report.trace.records()[..15];
-        let late_start = (0.25 / 0.01) as usize;
+        let late_start = (0.25 / config.sample_interval.seconds()).round() as usize;
         let late = &report.trace.records()[late_start..late_start + 15];
         assert!(early.iter().all(|r| r.pstate == PStateId::new(7)));
         assert!(late.iter().all(|r| r.pstate < PStateId::new(5)), "limit 6 W forces low states");
@@ -505,6 +608,109 @@ mod tests {
         assert_eq!(a.execution_time, b.execution_time);
         assert_eq!(a.measured_energy, b.measured_energy);
         assert_eq!(a.trace, b.trace);
+    }
+
+    fn limited_pm(watts: f64) -> PerformanceMaximizer {
+        PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(watts).unwrap())
+    }
+
+    fn set_limit(at: f64, watts: f64) -> ScheduledCommand {
+        ScheduledCommand {
+            at: Seconds::new(at),
+            command: GovernorCommand::SetPowerLimit(PowerLimit::new(watts).unwrap()),
+        }
+    }
+
+    fn pm_trace(commands: &[ScheduledCommand]) -> RunTrace {
+        run(
+            &mut limited_pm(30.0),
+            quiet_machine(1),
+            program(1_000_000_000),
+            SimulationConfig::default(),
+            commands,
+        )
+        .unwrap()
+        .trace
+    }
+
+    /// Two commands with the same `at`: submission order is preserved, so
+    /// the later one in the slice is delivered last and wins.
+    #[test]
+    fn same_instant_commands_deliver_in_submission_order() {
+        let loose_then_tight = pm_trace(&[set_limit(0.2, 30.0), set_limit(0.2, 6.0)]);
+        let tight_then_loose = pm_trace(&[set_limit(0.2, 6.0), set_limit(0.2, 30.0)]);
+        let probe = (0.3 / 0.01) as usize;
+        assert!(
+            loose_then_tight.records()[probe].pstate < PStateId::new(5),
+            "6 W delivered last must pin low states"
+        );
+        assert_eq!(
+            tight_then_loose.records()[probe].pstate,
+            PStateId::new(7),
+            "30 W delivered last must restore the top state"
+        );
+    }
+
+    /// Commands supplied out of order are stable-sorted by `at`, so the
+    /// run is identical to one given the same commands pre-sorted.
+    #[test]
+    fn out_of_order_commands_match_sorted_delivery() {
+        let sorted = pm_trace(&[set_limit(0.1, 25.0), set_limit(0.3, 6.0)]);
+        let shuffled = pm_trace(&[set_limit(0.3, 6.0), set_limit(0.1, 25.0)]);
+        assert_eq!(sorted, shuffled);
+    }
+
+    /// A command at t = 0 reaches the governor before the first decision,
+    /// so the second interval already runs at the commanded limit.
+    #[test]
+    fn command_at_time_zero_lands_before_first_decision() {
+        let unlimited = pm_trace(&[]);
+        let capped = pm_trace(&[set_limit(0.0, 6.0)]);
+        assert_eq!(unlimited.records()[1].pstate, PStateId::new(7));
+        assert!(
+            capped.records()[1].pstate < PStateId::new(5),
+            "t=0 command must shape the very first decision"
+        );
+    }
+
+    /// An enabled metrics registry must not perturb the simulation: the
+    /// trace is bit-identical with and without it, and the snapshot counts
+    /// what actually happened.
+    #[test]
+    fn metrics_registry_does_not_perturb_the_run() {
+        let faults = FaultConfig {
+            pmc_missed_rate: 0.05,
+            actuation_ignored_rate: 0.05,
+            seed: 7,
+            ..FaultConfig::default()
+        };
+        let config = SimulationConfig { faults, ..SimulationConfig::default() };
+        let run_once = |metrics: &Metrics| {
+            run_observed(
+                &mut limited_pm(12.0),
+                quiet_machine(3),
+                program(500_000_000),
+                config,
+                &[set_limit(0.1, 8.0)],
+                &[],
+                metrics,
+            )
+            .unwrap()
+        };
+        let (plain, plain_stats) = run_once(&Metrics::disabled());
+        let metrics = Metrics::enabled();
+        let (observed, observed_stats) = run_once(&metrics);
+
+        assert_eq!(plain.trace, observed.trace);
+        assert_eq!(plain.execution_time, observed.execution_time);
+        assert_eq!(plain_stats, observed_stats);
+        assert!(plain.metrics.is_empty(), "disabled handle records nothing");
+
+        let snapshot = &observed.metrics;
+        assert_eq!(snapshot.counter("runtime.intervals"), observed.trace.len() as u64);
+        assert_eq!(snapshot.counter("fault.pmc_missed"), observed_stats.pmc_missed);
+        assert_eq!(snapshot.counter("runtime.commands_delivered"), 1);
+        assert!(snapshot.counter("runtime.pstate_changes") > 0);
     }
 
     #[test]

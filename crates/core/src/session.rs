@@ -143,6 +143,7 @@ pub fn run_session(
             transitions: machine.transitions_performed(),
             completed,
             trace: run_trace,
+            metrics: aapm_telemetry::metrics::MetricsSnapshot::default(),
         });
     }
 

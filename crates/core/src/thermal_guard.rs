@@ -149,6 +149,10 @@ impl<G: Governor> Governor for ThermalGuard<G> {
     fn command(&mut self, command: GovernorCommand) {
         self.inner.command(command);
     }
+
+    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
+        self.inner.install_metrics(metrics);
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use aapm_platform::error::PlatformError;
 use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::PStateId;
 use aapm_platform::throttle::ThrottleLevel;
+use aapm_telemetry::metrics::{EventKind, Metrics};
 
 use crate::governor::{Governor, GovernorCommand, SampleContext};
 
@@ -65,6 +66,8 @@ pub struct Watchdog<G> {
     healthy_streak: usize,
     engaged: bool,
     name: String,
+    /// Observability handle (disabled unless the runtime installs one).
+    metrics: Metrics,
 }
 
 impl<G: Governor> Watchdog<G> {
@@ -77,7 +80,15 @@ impl<G: Governor> Watchdog<G> {
     /// Wraps `inner` with explicit thresholds.
     pub fn with_config(inner: G, config: WatchdogConfig) -> Self {
         let name = format!("watchdog<{}>", inner.name());
-        Watchdog { inner, config, loss_streak: 0, healthy_streak: 0, engaged: false, name }
+        Watchdog {
+            inner,
+            config,
+            loss_streak: 0,
+            healthy_streak: 0,
+            engaged: false,
+            name,
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// The wrapped governor.
@@ -124,8 +135,13 @@ impl<G: Governor> Governor for Watchdog<G> {
         if Watchdog::<G>::is_blind(ctx) {
             self.loss_streak += 1;
             self.healthy_streak = 0;
-            if self.loss_streak >= self.config.loss_threshold {
+            if self.loss_streak >= self.config.loss_threshold && !self.engaged {
                 self.engaged = true;
+                self.metrics.inc("watchdog.engagements");
+                self.metrics.event(
+                    ctx.counters.end,
+                    EventKind::WatchdogEngaged { blind_intervals: self.loss_streak as u64 },
+                );
             }
         } else {
             self.loss_streak = 0;
@@ -134,6 +150,8 @@ impl<G: Governor> Governor for Watchdog<G> {
                 if self.healthy_streak >= self.config.recovery_samples {
                     self.engaged = false;
                     self.healthy_streak = 0;
+                    self.metrics.inc("watchdog.releases");
+                    self.metrics.event(ctx.counters.end, EventKind::WatchdogReleased);
                 }
             }
         }
@@ -156,6 +174,11 @@ impl<G: Governor> Governor for Watchdog<G> {
 
     fn command(&mut self, command: GovernorCommand) {
         self.inner.command(command);
+    }
+
+    fn install_metrics(&mut self, metrics: Metrics) {
+        self.inner.install_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! aapm-experiments <id> [--csv <dir>] [--jobs <n>]
+//!                       [--trace-out <dir>] [--metrics-out <path>]
 //! aapm-experiments all --csv results/ --jobs 4
 //! aapm-experiments --list
 //! ```
@@ -9,16 +10,24 @@
 //! `--jobs 1` forces the serial path (the determinism reference); the
 //! default fans experiment cells over every available core. Each run also
 //! writes `results/BENCH_suite.json` with wall-clock and pool statistics.
+//! `--trace-out` enables the observability layer and writes one JSONL
+//! event stream per simulation run; `--metrics-out` writes an aggregated
+//! end-of-suite metrics snapshot. Both outputs are deterministic across
+//! `--jobs` widths.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aapm_experiments::pool::PoolStats;
-use aapm_experiments::{run_by_id, ExperimentContext, Pool, ALL_IDS};
+use aapm_experiments::{run_by_id, ExperimentContext, Pool, RunObserver, ALL_IDS};
 
 fn usage() {
-    eprintln!("usage: aapm-experiments <id>|all [--csv <dir>] [--jobs <n>]");
+    eprintln!(
+        "usage: aapm-experiments <id>|all [--csv <dir>] [--jobs <n>] \
+         [--trace-out <dir>] [--metrics-out <path>]"
+    );
     eprintln!("       aapm-experiments --list");
 }
 
@@ -37,18 +46,27 @@ fn write_bench_report(
     // Serial wall-clock ≈ the sum of top-level cell times, so busy/wall
     // estimates the speedup without paying for a reference serial run.
     let speedup = if wall_s > 0.0 { busy_s / wall_s } else { 1.0 };
+    let mean_cell_ms = if stats.cells_run > 0 {
+        stats.cell_busy.as_secs_f64() * 1000.0 / stats.cells_run as f64
+    } else {
+        0.0
+    };
     let json = format!(
         "{{\n  \"experiment\": \"{id}\",\n  \"jobs\": {},\n  \"suite_wall_s\": {wall_s:.3},\n  \
          \"train_wall_s\": {:.3},\n  \"experiments\": {experiments},\n  \
          \"cells_run\": {},\n  \"cells_failed\": {},\n  \"top_level_cells\": {},\n  \
          \"cells_per_sec\": {cells_per_sec:.2},\n  \"top_cell_busy_s\": {busy_s:.3},\n  \
-         \"longest_top_cell_s\": {:.3},\n  \"estimated_speedup_vs_serial\": {speedup:.2}\n}}\n",
+         \"longest_top_cell_s\": {:.3},\n  \"cell_busy_s\": {:.3},\n  \
+         \"mean_cell_ms\": {mean_cell_ms:.3},\n  \"peak_queue_depth\": {},\n  \
+         \"estimated_speedup_vs_serial\": {speedup:.2}\n}}\n",
         stats.jobs,
         train_wall.as_secs_f64(),
         stats.cells_run,
         stats.cells_failed,
         stats.top_cells,
         stats.longest_top_cell.as_secs_f64(),
+        stats.cell_busy.as_secs_f64(),
+        stats.peak_queue_depth,
     );
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -71,11 +89,21 @@ fn main() -> ExitCode {
     let id = args[0].clone();
     let mut csv_dir: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--csv" if i + 1 < args.len() => {
                 csv_dir = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--metrics-out" if i + 1 < args.len() => {
+                metrics_out = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
             "--jobs" if i + 1 < args.len() => {
@@ -95,7 +123,15 @@ fn main() -> ExitCode {
             }
         }
     }
-    let pool = jobs.map_or_else(Pool::default_parallel, Pool::new);
+    let observer = (trace_out.is_some() || metrics_out.is_some())
+        .then(|| Arc::new(RunObserver::new(trace_out.clone())));
+    let jobs_count = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let pool = match &observer {
+        Some(observer) => Pool::with_observer(jobs_count, Arc::clone(observer)),
+        None => Pool::new(jobs_count),
+    };
 
     eprintln!("training models on the simulated platform…");
     let train_start = Instant::now();
@@ -155,6 +191,24 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("pool/timing report written to {}", report.display());
+            if let Some(observer) = &observer {
+                if let Err(e) = observer.finish(metrics_out.as_deref()) {
+                    eprintln!("failed to write observability output: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "observability: {} run(s) observed{}{}",
+                    observer.runs_observed(),
+                    trace_out
+                        .as_ref()
+                        .map(|d| format!(", traces under {}", d.display()))
+                        .unwrap_or_default(),
+                    metrics_out
+                        .as_ref()
+                        .map(|p| format!(", metrics snapshot at {}", p.display()))
+                        .unwrap_or_default(),
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

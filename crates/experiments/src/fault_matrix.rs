@@ -14,13 +14,14 @@ use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
 use aapm::ps::PowerSave;
 use aapm::report::RunReport;
-use aapm::runtime::{run_with_faults, SimulationConfig};
+use aapm::runtime::{run_observed, SimulationConfig};
 use aapm::watchdog::Watchdog;
 use aapm_platform::error::Result;
 use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::PStateTable;
 use aapm_platform::MachineConfig;
 use aapm_telemetry::faults::{FaultConfig, FaultStats};
+use aapm_telemetry::metrics::Metrics;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
@@ -59,9 +60,11 @@ fn median_faulted_run(
     table: &PStateTable,
     rate: f64,
 ) -> Result<(RunReport, FaultStats)> {
+    let observer = pool.observer().cloned();
     let cells: Vec<_> = RUN_SEEDS
         .into_iter()
         .map(|seed| {
+            let observer = observer.clone();
             move || -> Result<(RunReport, FaultStats)> {
                 let machine = {
                     let mut b = MachineConfig::builder();
@@ -74,7 +77,25 @@ fn median_faulted_run(
                     ..SimulationConfig::default()
                 };
                 let mut governor = make_governor();
-                run_with_faults(governor.as_mut(), machine, program.clone(), sim, &[], &[])
+                let metrics =
+                    if observer.is_some() { Metrics::enabled() } else { Metrics::disabled() };
+                let (report, stats) = run_observed(
+                    governor.as_mut(),
+                    machine,
+                    program.clone(),
+                    sim,
+                    &[],
+                    &[],
+                    &metrics,
+                )?;
+                if let Some(observer) = &observer {
+                    let label = format!(
+                        "{}-{}-r{:.2}-s{seed}",
+                        report.workload, report.governor, rate
+                    );
+                    observer.observe_run(&label, &metrics);
+                }
+                Ok((report, stats))
             }
         })
         .collect();

@@ -43,6 +43,7 @@ pub mod fig10_ps_energy;
 pub mod fig11_ps_perf;
 pub mod headline;
 pub mod model_error;
+pub mod observe;
 pub mod output;
 pub mod pm_adherence;
 pub mod pool;
@@ -58,6 +59,7 @@ pub mod table;
 mod test_support;
 
 pub use context::ExperimentContext;
+pub use observe::RunObserver;
 pub use output::ExperimentOutput;
 pub use pool::Pool;
 

@@ -37,6 +37,8 @@ use std::time::{Duration, Instant};
 
 use aapm_platform::error::{PlatformError, Result};
 
+use crate::observe::RunObserver;
+
 /// Shared state behind a cloneable [`Pool`] handle.
 #[derive(Debug)]
 struct PoolInner {
@@ -56,6 +58,16 @@ struct PoolInner {
     top_busy_nanos: AtomicU64,
     /// Longest single top-level cell.
     top_max_cell_nanos: AtomicU64,
+    /// Σ wall-clock of *all* cells, at any nesting depth.
+    busy_nanos: AtomicU64,
+    /// Cells submitted but not yet claimed by a worker.
+    queued: AtomicUsize,
+    /// High-water mark of `queued`.
+    peak_queued: AtomicUsize,
+    /// Observability sink consulted by [`crate::runner::median_run`]; when
+    /// present, every simulation cell runs with an enabled metrics
+    /// registry and reports its event stream here.
+    observer: Option<Arc<RunObserver>>,
 }
 
 /// A work pool that fans independent experiment cells over OS threads and
@@ -89,12 +101,27 @@ pub struct PoolStats {
     pub top_busy: Duration,
     /// Longest single top-level cell (lower bound on parallel wall-clock).
     pub longest_top_cell: Duration,
+    /// Σ wall-clock of all cells at any nesting depth.
+    pub cell_busy: Duration,
+    /// High-water mark of cells submitted but not yet claimed by a worker.
+    pub peak_queue_depth: usize,
 }
 
 impl Pool {
     /// Creates a pool running at most `jobs` concurrent cells
     /// (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
+        Pool::build(jobs, None)
+    }
+
+    /// Creates a pool with an observability sink attached: simulation
+    /// cells run with metrics enabled and report their event streams and
+    /// snapshots to `observer`.
+    pub fn with_observer(jobs: usize, observer: Arc<RunObserver>) -> Self {
+        Pool::build(jobs, Some(observer))
+    }
+
+    fn build(jobs: usize, observer: Option<Arc<RunObserver>>) -> Self {
         let jobs = jobs.max(1);
         Pool {
             inner: Arc::new(PoolInner {
@@ -106,8 +133,17 @@ impl Pool {
                 top_cells: AtomicUsize::new(0),
                 top_busy_nanos: AtomicU64::new(0),
                 top_max_cell_nanos: AtomicU64::new(0),
+                busy_nanos: AtomicU64::new(0),
+                queued: AtomicUsize::new(0),
+                peak_queued: AtomicUsize::new(0),
+                observer,
             }),
         }
+    }
+
+    /// The attached observability sink, if any.
+    pub fn observer(&self) -> Option<&Arc<RunObserver>> {
+        self.inner.observer.as_ref()
     }
 
     /// The historical serial path: cells run in submission order on the
@@ -138,6 +174,8 @@ impl Pool {
             longest_top_cell: Duration::from_nanos(
                 inner.top_max_cell_nanos.load(Ordering::Relaxed),
             ),
+            cell_busy: Duration::from_nanos(inner.busy_nanos.load(Ordering::Relaxed)),
+            peak_queue_depth: inner.peak_queued.load(Ordering::Relaxed),
         }
     }
 
@@ -164,11 +202,19 @@ impl Pool {
         F: FnOnce() -> Result<T> + Send,
     {
         let count = cells.len();
+        let depth = self.inner.queued.fetch_add(count, Ordering::Relaxed) + count;
+        self.inner.peak_queued.fetch_max(depth, Ordering::Relaxed);
         let extra_wanted = count.saturating_sub(1);
         let extra = if self.inner.jobs == 1 { 0 } else { self.acquire(extra_wanted) };
         if extra == 0 {
             // Serial path: submission order on the calling thread.
-            return cells.into_iter().map(|cell| self.run_cell(cell, top_level)).collect();
+            return cells
+                .into_iter()
+                .map(|cell| {
+                    self.inner.queued.fetch_sub(1, Ordering::Relaxed);
+                    self.run_cell(cell, top_level)
+                })
+                .collect();
         }
 
         let tasks: Vec<Mutex<Option<F>>> =
@@ -186,6 +232,7 @@ impl Pool {
                 .expect("task mutex is never poisoned: cells cannot panic while held")
                 .take()
                 .expect("each task index is claimed exactly once");
+            self.inner.queued.fetch_sub(1, Ordering::Relaxed);
             let result = self.run_cell(cell, top_level);
             *slots[index]
                 .lock()
@@ -222,6 +269,7 @@ impl Pool {
         };
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.inner.cells_run.fetch_add(1, Ordering::Relaxed);
+        self.inner.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
         if result.is_err() {
             self.inner.cells_failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -347,6 +395,30 @@ mod tests {
         assert_eq!(stats.cells_run, 3 + 3 * 2, "nested cells still counted in the total");
         assert_eq!(stats.cells_failed, 0);
         assert!(stats.top_busy >= stats.longest_top_cell);
+    }
+
+    #[test]
+    fn queue_and_busy_accounting() {
+        for jobs in [1, 4] {
+            let pool = Pool::new(jobs);
+            let cells: Vec<_> = (0..8)
+                .map(|i| {
+                    move || -> Result<usize> {
+                        std::thread::sleep(Duration::from_millis(1));
+                        Ok(i)
+                    }
+                })
+                .collect();
+            let _ = pool.run(cells);
+            let stats = pool.stats();
+            assert!(
+                (1..=8).contains(&stats.peak_queue_depth),
+                "jobs={jobs}: peak {}",
+                stats.peak_queue_depth
+            );
+            assert!(stats.cell_busy >= stats.longest_top_cell, "jobs={jobs}");
+            assert_eq!(pool.inner.queued.load(Ordering::SeqCst), 0, "queue drains");
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
 use aapm::report::RunReport;
-use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm::runtime::{run_observed, ScheduledCommand, SimulationConfig};
+use aapm_telemetry::metrics::Metrics;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
 use aapm_platform::program::PhaseProgram;
@@ -63,9 +64,11 @@ pub fn median_run(
     table: &PStateTable,
     commands: &[ScheduledCommand],
 ) -> Result<RunReport> {
+    let observer = pool.observer().cloned();
     let cells: Vec<_> = RUN_SEEDS
         .into_iter()
         .map(|seed| {
+            let observer = observer.clone();
             move || -> Result<RunReport> {
                 let machine = {
                     let mut b = MachineConfig::builder();
@@ -75,7 +78,25 @@ pub fn median_run(
                 let sim =
                     SimulationConfig { seed: sim_seed(seed), ..SimulationConfig::default() };
                 let mut governor = make_governor();
-                run(governor.as_mut(), machine, program.clone(), sim, commands)
+                // Metrics are enabled only when an observer is attached, so
+                // un-observed suites pay nothing.
+                let metrics =
+                    if observer.is_some() { Metrics::enabled() } else { Metrics::disabled() };
+                let (report, _stats) = run_observed(
+                    governor.as_mut(),
+                    machine,
+                    program.clone(),
+                    sim,
+                    commands,
+                    &[],
+                    &metrics,
+                )?;
+                if let Some(observer) = &observer {
+                    let label =
+                        format!("{}-{}-s{seed}", report.workload, report.governor);
+                    observer.observe_run(&label, &metrics);
+                }
+                Ok(report)
             }
         })
         .collect();

@@ -8,8 +8,8 @@
 //! (fig2), a pooled measurement curve reused by two tables (tab3/tab4),
 //! and a nested `median_run` fan under an outer fan (fig5).
 
-use aapm_experiments::{run_by_id, ExperimentContext, Pool};
-use std::sync::OnceLock;
+use aapm_experiments::{run_by_id, ExperimentContext, Pool, RunObserver};
+use std::sync::{Arc, OnceLock};
 
 fn ctx() -> &'static ExperimentContext {
     static CTX: OnceLock<ExperimentContext> = OnceLock::new();
@@ -50,6 +50,71 @@ fn pool_accounts_for_the_cells_it_ran() {
     assert_eq!(stats.cells_failed, 0);
     assert_eq!(stats.top_cells, 9);
     assert!(stats.top_busy >= stats.longest_top_cell);
+}
+
+/// Acceptance: installing the metrics registry must not perturb any run,
+/// and the observability artifacts themselves must be identical across
+/// pool widths.
+#[test]
+fn observer_outputs_are_byte_identical_across_widths() {
+    let temp = std::env::temp_dir().join(format!("aapm-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&temp);
+
+    let run_observed_suite = |jobs: usize| {
+        let trace_dir = temp.join(format!("traces-{jobs}"));
+        let metrics_path = temp.join(format!("metrics-{jobs}.json"));
+        let observer = Arc::new(RunObserver::new(Some(trace_dir.clone())));
+        let pool = Pool::with_observer(jobs, Arc::clone(&observer));
+        let output = rendered(&pool, "fig5");
+        observer.finish(Some(&metrics_path)).expect("observer output is writable");
+        assert!(observer.runs_observed() > 0, "fig5 must observe its runs");
+        let mut traces: Vec<(String, String)> = std::fs::read_dir(&trace_dir)
+            .expect("trace dir exists")
+            .map(|e| {
+                let e = e.unwrap();
+                let name = e.file_name().into_string().unwrap();
+                let body = std::fs::read_to_string(e.path()).unwrap();
+                (name, body)
+            })
+            .collect();
+        traces.sort();
+        let metrics_json = std::fs::read_to_string(&metrics_path).unwrap();
+        (output, traces, metrics_json)
+    };
+
+    let (out_serial, traces_serial, json_serial) = run_observed_suite(1);
+    let (out_wide, traces_wide, json_wide) = run_observed_suite(8);
+
+    // The run itself must be unchanged by the registry…
+    assert_eq!(
+        out_serial,
+        rendered(&Pool::new(1), "fig5"),
+        "metrics registry must not perturb the rendered output"
+    );
+    // …and every artifact must be width-independent.
+    assert_eq!(out_serial, out_wide);
+    assert_eq!(traces_serial, traces_wide, "trace files must not depend on pool width");
+    assert_eq!(json_serial, json_wide, "aggregate must not depend on pool width");
+
+    assert!(!traces_serial.is_empty());
+    // A steady-state baseline can emit zero events, but at least one of
+    // fig5's runs (PM stepping around the limit) must produce a stream,
+    // and every present line must be well-formed.
+    assert!(
+        traces_serial.iter().any(|(_, body)| !body.is_empty()),
+        "fig5's PM runs must carry events"
+    );
+    for (name, body) in &traces_serial {
+        for line in body.lines() {
+            assert!(
+                line.starts_with("{\"t\":") && line.ends_with('}'),
+                "{name}: malformed JSONL line {line}"
+            );
+        }
+    }
+    assert!(json_serial.contains("\"runtime.intervals\""));
+
+    let _ = std::fs::remove_dir_all(&temp);
 }
 
 #[test]

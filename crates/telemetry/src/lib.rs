@@ -17,12 +17,16 @@
 //! * [`stats`] — summaries, medians (the paper's three-run median);
 //! * [`faults`] — seeded fault injection for the whole chain (sample
 //!   dropouts, stuck readings, missed counter reads, ignored/stalled
-//!   actuator writes).
+//!   actuator writes);
+//! * [`metrics`] — the observability layer: a counters/gauges/histograms
+//!   registry plus structured control-loop events stamped with simulated
+//!   time (zero-overhead when no registry is installed).
 
 pub mod daq;
 pub mod derived;
 pub mod faults;
 pub mod gpio;
+pub mod metrics;
 pub mod pmc;
 pub mod sensor;
 pub mod stats;
@@ -35,6 +39,7 @@ pub use faults::{
     ActuationFault, FaultConfig, FaultKind, FaultPlan, FaultStats, FaultWindow, IntervalFaults,
     PowerFault,
 };
+pub use metrics::{Event, EventKind, Metrics, MetricsSnapshot, Summary};
 pub use pmc::{CounterSample, PmcDriver, PROGRAMMABLE_COUNTERS};
 pub use sensor::{ThermalSensor, ThermalSensorConfig};
 pub use trace::{RunTrace, TraceRecord};

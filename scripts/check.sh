@@ -15,4 +15,37 @@ cargo bench --no-run --offline
 cargo run --release --offline -p aapm-experiments -- all --jobs 2 > /dev/null
 test -s results/BENCH_suite.json
 
+# Observability smoke: a suite cell with tracing and metrics enabled must
+# emit parseable JSONL traces and a non-trivial aggregate snapshot.
+rm -rf results/trace-smoke results/METRICS_fault_matrix.json
+cargo run --release --offline -p aapm-experiments -- fault-matrix --jobs 2 \
+    --trace-out results/trace-smoke \
+    --metrics-out results/METRICS_fault_matrix.json > /dev/null
+python3 - <<'EOF'
+import json, pathlib, sys
+
+traces = sorted(pathlib.Path("results/trace-smoke").glob("*.jsonl"))
+assert traces, "no trace files written"
+events = 0
+for trace in traces:
+    for i, line in enumerate(trace.read_text().splitlines(), 1):
+        event = json.loads(line)
+        assert "t" in event and "event" in event, f"{trace}:{i}: malformed event {event}"
+        events += 1
+assert events > 0, "no events in any trace"
+
+snapshot = json.loads(pathlib.Path("results/METRICS_fault_matrix.json").read_text())
+assert snapshot["runs"] > 0, snapshot
+counters = snapshot["counters"]
+assert any(name.startswith("fault.") for name in counters), counters
+assert any(name.startswith("actuator.") for name in counters), counters
+assert counters.get("runtime.intervals", 0) > 0, counters
+print(f"observability smoke: {len(traces)} trace(s), {events} event(s), "
+      f"{snapshot['runs']} run(s) aggregated")
+EOF
+
+# Determinism with the registry installed: the dedicated cross-width test.
+cargo test -q --offline -p aapm-experiments --test parallel_determinism \
+    observer_outputs_are_byte_identical_across_widths
+
 echo "check.sh: all gates passed"

@@ -1,0 +1,171 @@
+//! Cross-crate observability acceptance tests: the metrics registry's
+//! counters and event stream must agree exactly with the fault-injection
+//! layer's own bookkeeping ([`FaultStats`]), the hold-window events must
+//! pair up, and the exported JSONL must be well-formed — all without
+//! perturbing the run.
+
+use aapm::limits::PowerLimit;
+use aapm::pm::PerformanceMaximizer;
+use aapm::runtime::{run_observed, SimulationConfig};
+use aapm_models::power_model::PowerModel;
+use aapm_platform::config::MachineConfig;
+use aapm_platform::program::PhaseProgram;
+use aapm_telemetry::faults::FaultConfig;
+use aapm_telemetry::metrics::{EventKind, Metrics};
+use aapm_workloads::synth::random_program;
+
+fn short_program(seed: u64) -> PhaseProgram {
+    let program = random_program(seed, 4);
+    let target: u64 = 400_000_000;
+    let factor = target as f64 / program.total_instructions() as f64;
+    program.scaled(factor.min(1.0))
+}
+
+fn pm(limit: f64) -> PerformanceMaximizer {
+    PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(limit).unwrap())
+}
+
+fn faulted_sim() -> SimulationConfig {
+    SimulationConfig {
+        max_samples: 30_000,
+        faults: FaultConfig {
+            seed: 0x0B5E,
+            power_dropout_rate: 0.05,
+            pmc_missed_rate: 0.05,
+            actuation_ignored_rate: 0.05,
+            actuation_stall_rate: 0.02,
+            ..FaultConfig::default()
+        },
+        ..SimulationConfig::default()
+    }
+}
+
+/// Acceptance: every fault and actuator-retry event in the stream matches
+/// the count the fault layer itself reports in [`FaultStats`].
+#[test]
+fn event_and_counter_totals_match_fault_stats() {
+    let metrics = Metrics::enabled();
+    let (report, stats) = run_observed(
+        &mut pm(12.5),
+        MachineConfig::pentium_m_755(5),
+        short_program(5),
+        faulted_sim(),
+        &[],
+        &[],
+        &metrics,
+    )
+    .unwrap();
+    assert!(stats.pmc_missed > 0 && stats.power_dropouts > 0, "faults must fire: {stats:?}");
+    assert!(stats.actuations_ignored > 0, "actuator faults must fire: {stats:?}");
+
+    let snapshot = metrics.snapshot();
+    assert_eq!(snapshot.counter("fault.pmc_missed"), stats.pmc_missed);
+    assert_eq!(snapshot.counter("fault.power_dropped"), stats.power_dropouts);
+    assert_eq!(snapshot.counter("fault.power_stuck"), stats.power_stuck);
+    assert_eq!(snapshot.counter("fault.thermal_dropped"), stats.thermal_dropouts);
+    assert_eq!(snapshot.counter("actuator.ignored"), stats.actuations_ignored);
+    assert_eq!(snapshot.counter("actuator.stalled"), stats.actuations_stalled);
+    assert_eq!(snapshot.counter("actuator.failures"), stats.actuation_failures);
+    assert_eq!(snapshot.counter("runtime.intervals"), report.trace.len() as u64);
+    // PM goes stale exactly when its PMC read is missed.
+    assert_eq!(snapshot.counter("pm.stale_intervals"), stats.pmc_missed);
+
+    // The event stream carries the same totals as the counters.
+    let events = metrics.events();
+    let count = |f: &dyn Fn(&EventKind) -> bool| {
+        events.iter().filter(|e| f(&e.kind)).count() as u64
+    };
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::FaultInjected { kind: "pmc_missed" })),
+        stats.pmc_missed
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::FaultInjected { kind: "power_dropped" })),
+        stats.power_dropouts
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::ActuatorIgnored { .. })),
+        stats.actuations_ignored
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::ActuatorStalled { .. })),
+        stats.actuations_stalled
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::ActuationFailed { .. })),
+        stats.actuation_failures
+    );
+
+    // Hold windows pair up: a run can end inside a window, so entries may
+    // lead exits by at most one.
+    let entries = count(&|k| matches!(k, EventKind::HoldEntered { .. }));
+    let exits = count(&|k| matches!(k, EventKind::HoldExited { .. }));
+    assert!(entries > 0, "5% PMC misses must open hold windows");
+    assert!(entries >= exits && entries - exits <= 1, "entries {entries} vs exits {exits}");
+
+    // The report carries the same snapshot the caller can read directly.
+    assert_eq!(report.metrics, snapshot);
+}
+
+/// Event timestamps are simulated time: monotone non-decreasing and inside
+/// the run's span, and the JSONL rendering is one well-formed object per
+/// line.
+#[test]
+fn event_stream_is_simulated_time_ordered_jsonl() {
+    let metrics = Metrics::enabled();
+    let (report, _stats) = run_observed(
+        &mut pm(12.5),
+        MachineConfig::pentium_m_755(9),
+        short_program(9),
+        faulted_sim(),
+        &[],
+        &[],
+        &metrics,
+    )
+    .unwrap();
+    let events = metrics.events();
+    assert!(!events.is_empty());
+    // The final interval's events are stamped at its boundary, which may
+    // land up to one sample interval past the exact completion time.
+    let span = report.execution_time.seconds() + SimulationConfig::default().sample_interval.seconds();
+    let mut last = f64::NEG_INFINITY;
+    for event in &events {
+        let t = event.t.seconds();
+        assert!(t >= last, "events must be time-ordered: {t} after {last}");
+        assert!(t >= 0.0 && t <= span + 1e-9, "event at {t} outside run span {span}");
+        last = t;
+    }
+    let jsonl = metrics.events_jsonl();
+    assert_eq!(jsonl.lines().count(), events.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"t\":"), "line must open with the timestamp: {line}");
+        assert!(line.ends_with('}'), "line must be a closed object: {line}");
+        assert!(line.contains("\"event\":\""), "line must name its event: {line}");
+    }
+}
+
+/// The observability layer is write-only: a run with the registry enabled
+/// is bit-identical to the same run without it.
+#[test]
+fn metrics_do_not_perturb_faulted_runs() {
+    let run_with = |metrics: &Metrics| {
+        run_observed(
+            &mut pm(12.5),
+            MachineConfig::pentium_m_755(13),
+            short_program(13),
+            faulted_sim(),
+            &[],
+            &[],
+            metrics,
+        )
+        .unwrap()
+    };
+    let (plain, plain_stats) = run_with(&Metrics::disabled());
+    let (observed, observed_stats) = run_with(&Metrics::enabled());
+    assert_eq!(plain_stats, observed_stats);
+    assert_eq!(plain.execution_time, observed.execution_time);
+    assert_eq!(plain.measured_energy, observed.measured_energy);
+    assert_eq!(plain.trace, observed.trace, "traces must match bit for bit");
+    assert!(plain.metrics.is_empty(), "disabled registry must record nothing");
+    assert!(!observed.metrics.is_empty());
+}
