@@ -35,7 +35,7 @@ fn bench_multi_phase(c: &mut Criterion) {
         b.iter(|| {
             let mut machine =
                 Machine::new(MachineConfig::pentium_m_755(1), galgel.program().clone());
-            machine.run_to_completion(Seconds::from_millis(10.0))
+            machine.run_to_completion()
         })
     });
 }

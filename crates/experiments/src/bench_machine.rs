@@ -1,0 +1,234 @@
+//! `--bench-machine`: machine/cache throughput regression harness.
+//!
+//! Measures the simulator's three hot paths — the governed tick loop, the
+//! segment-level fast-forward path, and the cache-hierarchy simulation that
+//! characterization drives — plus the wall-clock of the full serial suite.
+//! The numbers land in `results/BENCH_machine.json`; `scripts/check.sh`
+//! compares each run against the committed baseline and fails the build on
+//! a >20% regression, so hot-path slowdowns surface as red CI instead of
+//! slow experiments.
+
+use std::path::Path;
+use std::time::Instant;
+
+use aapm_platform::config::MachineConfig;
+use aapm_platform::error::Result;
+use aapm_platform::hierarchy::{MemoryHierarchy, PrefetchConfig};
+use aapm_platform::machine::Machine;
+use aapm_platform::phase::PhaseDescriptor;
+use aapm_platform::program::PhaseProgram;
+use aapm_platform::pstate::PStateId;
+use aapm_platform::units::Seconds;
+use aapm_workloads::footprint::Footprint;
+use aapm_workloads::loops::MicroLoop;
+
+use crate::pool::Pool;
+use crate::{run_suite, ExperimentContext};
+
+/// Micro-measurement repetitions; the best (least-interfered) run counts.
+const REPS: usize = 3;
+
+/// Throughput numbers for one `--bench-machine` run.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineBenchReport {
+    /// Simulated seconds per wall second through the governed `tick` path,
+    /// with a p-state change every 100 ticks (memo invalidation included).
+    pub ticked_sim_per_wall: f64,
+    /// Simulated seconds per wall second through `run_to_completion`'s
+    /// segment-level fast-forward path (a full galgel phase program).
+    pub fastforward_sim_per_wall: f64,
+    /// Millions of cache-hierarchy accesses per wall second on the
+    /// characterization path (FMA stream, prefetcher enabled).
+    pub cache_maccesses_per_sec: f64,
+    /// Wall-clock of model training (characterization + sampling + fits).
+    pub train_wall_s: f64,
+    /// Wall-clock of the full experiment suite at `--jobs 1`.
+    pub suite_serial_wall_s: f64,
+}
+
+impl MachineBenchReport {
+    /// One-line human summary (the check.sh bench-gate headline).
+    pub fn headline(&self) -> String {
+        format!(
+            "machine bench: tick {:.0} sim-s/wall-s, fast-forward {:.0} sim-s/wall-s, \
+             cache {:.1} Maccess/s, train {:.3}s, serial suite {:.3}s",
+            self.ticked_sim_per_wall,
+            self.fastforward_sim_per_wall,
+            self.cache_maccesses_per_sec,
+            self.train_wall_s,
+            self.suite_serial_wall_s,
+        )
+    }
+
+    /// Writes the report as flat JSON (hand-rolled; numbers only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = format!(
+            "{{\n  \"ticked_sim_per_wall\": {:.1},\n  \"fastforward_sim_per_wall\": {:.1},\n  \
+             \"cache_maccesses_per_sec\": {:.2},\n  \"train_wall_s\": {:.3},\n  \
+             \"suite_serial_wall_s\": {:.3}\n}}\n",
+            self.ticked_sim_per_wall,
+            self.fastforward_sim_per_wall,
+            self.cache_maccesses_per_sec,
+            self.train_wall_s,
+            self.suite_serial_wall_s,
+        );
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, json)
+    }
+}
+
+/// A long mixed workload phase (never finishes within the bench).
+fn fixture_program() -> PhaseProgram {
+    let phase = PhaseDescriptor::builder("bench")
+        .instructions(u64::MAX / 4)
+        .core_cpi(0.7)
+        .mem_fraction(0.4)
+        .l1_mpi(0.03)
+        .l2_mpi(0.004)
+        .overlap(0.3)
+        .build()
+        .expect("fixture phase is valid");
+    PhaseProgram::from_phase(phase)
+}
+
+/// Best-of-[`REPS`] throughput of `measure`, which returns
+/// (units-of-work, wall-seconds).
+fn best_throughput(mut measure: impl FnMut() -> (f64, f64)) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let (work, wall) = measure();
+        if wall > 0.0 {
+            best = best.max(work / wall);
+        }
+    }
+    best
+}
+
+/// Simulated-seconds/wall-second through the governed tick path.
+fn ticked_throughput() -> f64 {
+    const TICKS: u32 = 20_000;
+    let tick = Seconds::from_millis(10.0);
+    best_throughput(|| {
+        let mut machine = Machine::new(MachineConfig::pentium_m_755(1), fixture_program());
+        let start = Instant::now();
+        for i in 0..TICKS {
+            // Governor-like cadence: a DVFS move (and memo invalidation)
+            // every 100 control intervals.
+            if i % 100 == 0 {
+                let target = PStateId::new(((i / 100) % 8) as usize);
+                machine.set_pstate(target).expect("p-state 0..8 valid");
+            }
+            machine.tick(tick);
+        }
+        (f64::from(TICKS) * tick.seconds(), start.elapsed().as_secs_f64())
+    })
+}
+
+/// Simulated-seconds/wall-second through the fast-forward path.
+fn fastforward_throughput() -> f64 {
+    let galgel = aapm_workloads::spec::by_name("galgel").expect("galgel exists");
+    best_throughput(|| {
+        let mut machine =
+            Machine::new(MachineConfig::pentium_m_755(1), galgel.program().clone());
+        let start = Instant::now();
+        let simulated = machine.run_to_completion();
+        (simulated.seconds(), start.elapsed().as_secs_f64())
+    })
+}
+
+/// Millions of hierarchy accesses per second on the characterization path.
+///
+/// # Errors
+///
+/// Propagates hierarchy-construction errors (none for the built-in
+/// geometry).
+fn cache_throughput() -> Result<f64> {
+    const PASSES: u64 = 3;
+    let mut hierarchy =
+        MemoryHierarchy::pentium_m_755()?.with_prefetcher(PrefetchConfig::pentium_m());
+    Ok(best_throughput(|| {
+        let mut accesses = 0u64;
+        let start = Instant::now();
+        for pass in 0..PASSES {
+            MicroLoop::Fma.for_each_address(Footprint::Dram, pass, |addr| {
+                hierarchy.access(addr);
+                accesses += 1;
+            });
+        }
+        (accesses as f64 / 1e6, start.elapsed().as_secs_f64())
+    }))
+}
+
+/// Runs the full machine benchmark: the three micro throughputs plus a
+/// timed train + serial (`--jobs 1`) suite run.
+///
+/// # Errors
+///
+/// Propagates platform errors from training or the suite.
+pub fn run() -> Result<MachineBenchReport> {
+    let ticked_sim_per_wall = ticked_throughput();
+    let fastforward_sim_per_wall = fastforward_throughput();
+    let cache_maccesses_per_sec = cache_throughput()?;
+
+    let train_start = Instant::now();
+    let ctx = ExperimentContext::train()?;
+    let train_wall_s = train_start.elapsed().as_secs_f64();
+
+    let pool = Pool::new(1);
+    let suite_start = Instant::now();
+    run_suite(&ctx, &pool)?;
+    let suite_serial_wall_s = suite_start.elapsed().as_secs_f64();
+
+    Ok(MachineBenchReport {
+        ticked_sim_per_wall,
+        fastforward_sim_per_wall,
+        cache_maccesses_per_sec,
+        train_wall_s,
+        suite_serial_wall_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_throughputs_are_positive() {
+        // The micro benches alone (no train/suite) must produce sane
+        // numbers; wall-clock magnitudes are environment-dependent.
+        assert!(ticked_throughput() > 0.0);
+        assert!(fastforward_throughput() > 0.0);
+        assert!(cache_throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_fields() {
+        let report = MachineBenchReport {
+            ticked_sim_per_wall: 1234.5,
+            fastforward_sim_per_wall: 67890.1,
+            cache_maccesses_per_sec: 42.25,
+            train_wall_s: 0.5,
+            suite_serial_wall_s: 0.75,
+        };
+        let dir = std::env::temp_dir().join("aapm_bench_machine_test");
+        let path = dir.join("BENCH_machine.json");
+        report.write(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "ticked_sim_per_wall",
+            "fastforward_sim_per_wall",
+            "cache_maccesses_per_sec",
+            "train_wall_s",
+            "suite_serial_wall_s",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,7 +28,42 @@ fn usage() {
         "usage: aapm-experiments <id>|all [--csv <dir>] [--jobs <n>] \
          [--trace-out <dir>] [--metrics-out <path>]"
     );
+    eprintln!("       aapm-experiments --bench-machine [--out <path>]");
     eprintln!("       aapm-experiments --list");
+}
+
+/// Runs the machine throughput benchmark and writes the report.
+fn bench_machine_mode(args: &[String]) -> ExitCode {
+    let mut out = Path::new("results").join("BENCH_machine.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                out = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown --bench-machine argument `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("benchmarking the simulator hot paths (micro benches + serial suite)…");
+    let report = match aapm_experiments::bench_machine::run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench-machine failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", report.headline());
+    if let Err(e) = report.write(&out) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("machine bench report written to {}", out.display());
+    ExitCode::SUCCESS
 }
 
 /// Writes `results/BENCH_suite.json` (hand-rolled JSON: flat numbers only).
@@ -85,6 +120,9 @@ fn main() -> ExitCode {
             println!("{id}");
         }
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "--bench-machine" {
+        return bench_machine_mode(&args[1..]);
     }
     let id = args[0].clone();
     let mut csv_dir: Option<PathBuf> = None;

@@ -7,12 +7,13 @@
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
 use aapm_models::training::{
-    collect_training_data, train_perf_model, train_power_model, PerfFitReport, TrainingConfig,
-    TrainingData,
+    collect_training_data_from, train_perf_model, train_power_model, PerfFitReport,
+    TrainingConfig, TrainingData,
 };
 use aapm_platform::error::Result;
 use aapm_platform::pipeline::MemoryTimings;
 use aapm_platform::pstate::PStateTable;
+use aapm_workloads::characterize::{training_set, CharacterizedLoop};
 
 /// Trained models plus the platform constants experiments need.
 #[derive(Debug, Clone)]
@@ -22,6 +23,7 @@ pub struct ExperimentContext {
     power_model: PowerModel,
     perf_fit: PerfFitReport,
     training: TrainingData,
+    characterized: Vec<CharacterizedLoop>,
 }
 
 impl ExperimentContext {
@@ -33,7 +35,12 @@ impl ExperimentContext {
     /// Propagates platform errors from training.
     pub fn train() -> Result<Self> {
         let table = PStateTable::pentium_m_755();
-        let training = collect_training_data(&TrainingConfig::default(), &table)?;
+        // Characterize the 12-point training set once; experiments that
+        // need the loops themselves (Table I) reuse it instead of paying
+        // for the cache simulation again.
+        let characterized = training_set()?;
+        let training =
+            collect_training_data_from(&TrainingConfig::default(), &table, &characterized)?;
         let power_model = train_power_model(&training)?;
         let perf_fit = train_perf_model(&training);
         Ok(ExperimentContext {
@@ -42,7 +49,14 @@ impl ExperimentContext {
             power_model,
             perf_fit,
             training,
+            characterized,
         })
+    }
+
+    /// The characterized 12-point MS-Loops training set (4 loops × 3
+    /// footprints, Table I order).
+    pub fn characterized(&self) -> &[CharacterizedLoop] {
+        &self.characterized
     }
 
     /// The platform's p-state table.

@@ -29,6 +29,7 @@
 
 pub mod ablation_actuators;
 pub mod ablations;
+pub mod bench_machine;
 pub mod context;
 pub mod efficiency;
 pub mod fault_matrix;
@@ -58,6 +59,7 @@ pub mod table;
 #[cfg(test)]
 mod test_support;
 
+pub use bench_machine::MachineBenchReport;
 pub use context::ExperimentContext;
 pub use observe::RunObserver;
 pub use output::ExperimentOutput;

@@ -6,7 +6,6 @@
 //! parameters the training pipeline feeds on.
 
 use aapm_platform::error::Result;
-use aapm_workloads::characterize::training_set;
 use aapm_workloads::loops::MicroLoop;
 
 use crate::context::ExperimentContext;
@@ -19,7 +18,7 @@ use crate::table::{f3, TextTable};
 /// # Errors
 ///
 /// Propagates characterization errors.
-pub fn run(_ctx: &ExperimentContext, _pool: &Pool) -> Result<ExperimentOutput> {
+pub fn run(ctx: &ExperimentContext, _pool: &Pool) -> Result<ExperimentOutput> {
     let mut out =
         ExperimentOutput::new("tab1", "MS-Loops microbenchmarks (paper Table I) + characterization");
 
@@ -37,7 +36,7 @@ pub fn run(_ctx: &ExperimentContext, _pool: &Pool) -> Result<ExperimentOutput> {
         "l2_mpi",
         "prefetch_per_inst",
     ]);
-    for point in training_set()? {
+    for point in ctx.characterized() {
         characterized.row(vec![
             point.name(),
             f3(point.measurements.l1_miss_rate()),

@@ -154,9 +154,23 @@ fn measure_point(
 ///
 /// Propagates platform errors from characterization or machine setup.
 pub fn collect_training_data(config: &TrainingConfig, table: &PStateTable) -> Result<TrainingData> {
-    let loops = training_set()?;
+    collect_training_data_from(config, table, &training_set()?)
+}
+
+/// [`collect_training_data`] over an already-characterized training set,
+/// for callers (the experiment context) that also need the characterized
+/// loops themselves and should not pay for cache simulation twice.
+///
+/// # Errors
+///
+/// Propagates platform errors from machine setup.
+pub fn collect_training_data_from(
+    config: &TrainingConfig,
+    table: &PStateTable,
+    loops: &[CharacterizedLoop],
+) -> Result<TrainingData> {
     let mut points = Vec::with_capacity(loops.len() * table.len());
-    for loop_ in &loops {
+    for loop_ in loops {
         for (pstate, _) in table.iter() {
             points.push(measure_point(loop_, pstate, config, table)?);
         }

@@ -10,6 +10,7 @@ use std::fmt;
 use std::ops::{Index, Sub};
 
 use crate::events::HardwareEvent;
+use crate::pipeline::PhaseRates;
 
 /// Accumulated event counts for every [`HardwareEvent`].
 ///
@@ -53,6 +54,35 @@ impl CounterBlock {
     /// Returns the accumulated count for `event`.
     pub fn get(&self, event: HardwareEvent) -> f64 {
         self.counts[event.index()]
+    }
+
+    /// Accumulates one execution segment's events in a single fused update:
+    /// every per-cycle rate in `rates` multiplied by the `cycles` that
+    /// elapsed. Each slot receives exactly the `rate × cycles` increment the
+    /// equivalent 14 [`CounterBlock::add`] calls would have applied, so the
+    /// totals are bit-identical to the dispatched path — just without the
+    /// per-event enum dispatch on the simulator's hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `cycles` is negative or NaN.
+    pub fn add_rates(&mut self, rates: &PhaseRates, cycles: f64) {
+        debug_assert!(cycles >= 0.0 && !cycles.is_nan(), "cycle counts are non-negative");
+        let c = &mut self.counts;
+        c[HardwareEvent::Cycles.index()] += cycles;
+        c[HardwareEvent::InstructionsRetired.index()] += rates.ipc * cycles;
+        c[HardwareEvent::InstructionsDecoded.index()] += rates.dpc * cycles;
+        c[HardwareEvent::DcuMissOutstanding.index()] += rates.dcu_outstanding_per_cycle * cycles;
+        c[HardwareEvent::ResourceStalls.index()] += rates.resource_stalls_per_cycle * cycles;
+        c[HardwareEvent::MemoryRequests.index()] += rates.memory_requests_per_cycle * cycles;
+        c[HardwareEvent::L2Requests.index()] += rates.l2_requests_per_cycle * cycles;
+        c[HardwareEvent::L1DMisses.index()] += rates.l1_misses_per_cycle * cycles;
+        c[HardwareEvent::L2Misses.index()] += rates.l2_misses_per_cycle * cycles;
+        c[HardwareEvent::FpOperations.index()] += rates.fp_per_cycle * cycles;
+        c[HardwareEvent::BranchesRetired.index()] += rates.branches_per_cycle * cycles;
+        c[HardwareEvent::BranchMispredictions.index()] += rates.mispredicts_per_cycle * cycles;
+        c[HardwareEvent::HardwarePrefetches.index()] += rates.prefetches_per_cycle * cycles;
+        c[HardwareEvent::UopsRetired.index()] += rates.uops_per_cycle * cycles;
     }
 
     /// Takes an immutable copy of the current totals.
@@ -234,6 +264,47 @@ mod tests {
         block.add(HardwareEvent::FpOperations, 9.0);
         block.reset();
         assert_eq!(block.snapshot(), CounterSnapshot::zero());
+    }
+
+    #[test]
+    fn add_rates_matches_per_event_adds_bitwise() {
+        let rates = PhaseRates {
+            cpi: 1.3,
+            ipc: 1.0 / 1.3,
+            dpc: 0.83,
+            dcu_outstanding_per_cycle: 0.41,
+            resource_stalls_per_cycle: 0.17,
+            memory_requests_per_cycle: 0.013,
+            l2_requests_per_cycle: 0.031,
+            l1_accesses_per_cycle: 0.29,
+            l1_misses_per_cycle: 0.023,
+            l2_misses_per_cycle: 0.007,
+            fp_per_cycle: 0.11,
+            branches_per_cycle: 0.13,
+            mispredicts_per_cycle: 0.0013,
+            prefetches_per_cycle: 0.019,
+            uops_per_cycle: 0.885,
+            instructions_per_second: 1.1e9,
+        };
+        let cycles = 19_876_543.21;
+        let mut fused = CounterBlock::new();
+        fused.add_rates(&rates, cycles);
+        let mut dispatched = CounterBlock::new();
+        dispatched.add(HardwareEvent::Cycles, cycles);
+        dispatched.add(HardwareEvent::InstructionsRetired, rates.ipc * cycles);
+        dispatched.add(HardwareEvent::InstructionsDecoded, rates.dpc * cycles);
+        dispatched.add(HardwareEvent::DcuMissOutstanding, rates.dcu_outstanding_per_cycle * cycles);
+        dispatched.add(HardwareEvent::ResourceStalls, rates.resource_stalls_per_cycle * cycles);
+        dispatched.add(HardwareEvent::MemoryRequests, rates.memory_requests_per_cycle * cycles);
+        dispatched.add(HardwareEvent::L2Requests, rates.l2_requests_per_cycle * cycles);
+        dispatched.add(HardwareEvent::L1DMisses, rates.l1_misses_per_cycle * cycles);
+        dispatched.add(HardwareEvent::L2Misses, rates.l2_misses_per_cycle * cycles);
+        dispatched.add(HardwareEvent::FpOperations, rates.fp_per_cycle * cycles);
+        dispatched.add(HardwareEvent::BranchesRetired, rates.branches_per_cycle * cycles);
+        dispatched.add(HardwareEvent::BranchMispredictions, rates.mispredicts_per_cycle * cycles);
+        dispatched.add(HardwareEvent::HardwarePrefetches, rates.prefetches_per_cycle * cycles);
+        dispatched.add(HardwareEvent::UopsRetired, rates.uops_per_cycle * cycles);
+        assert_eq!(fused.snapshot(), dispatched.snapshot());
     }
 
     #[test]

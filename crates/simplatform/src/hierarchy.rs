@@ -56,10 +56,12 @@ impl PrefetchEngine {
         PrefetchEngine { config, last_line: None, streak: 0, frontier: 0 }
     }
 
-    /// Observes a demand access to `line`; returns the lines to prefetch.
-    fn on_access(&mut self, line: u64) -> Vec<u64> {
+    /// Observes a demand access to `line`; returns the inclusive line range
+    /// to prefetch, if any. A range (not a collected list) keeps this on
+    /// the characterization hot path allocation-free.
+    fn on_access(&mut self, line: u64) -> Option<(u64, u64)> {
         match self.last_line {
-            Some(last) if line == last => return Vec::new(), // same line, no news
+            Some(last) if line == last => return None, // same line, no news
             Some(last) if line == last + 1 => self.streak += 1,
             _ => {
                 self.streak = 0;
@@ -68,15 +70,15 @@ impl PrefetchEngine {
         }
         self.last_line = Some(line);
         if self.streak < self.config.trigger_streak {
-            return Vec::new();
+            return None;
         }
         let start = self.frontier.max(line + 1);
         let end = line + self.config.degree as u64;
         if start > end {
-            return Vec::new();
+            return None;
         }
         self.frontier = end + 1;
-        (start..=end).collect()
+        Some((start, end))
     }
 }
 
@@ -216,9 +218,9 @@ impl MemoryHierarchy {
     fn run_prefetcher(&mut self, addr: u64) {
         let Some(engine) = self.prefetcher.as_mut() else { return };
         let line = addr / self.line_bytes;
-        let to_fetch = engine.on_access(line);
-        self.stats.prefetches_issued += to_fetch.len() as u64;
-        for target_line in to_fetch {
+        let Some((start, end)) = engine.on_access(line) else { return };
+        self.stats.prefetches_issued += end - start + 1;
+        for target_line in start..=end {
             let target_addr = target_line * self.line_bytes;
             // Fill L2 first; if absent there, the fill comes from DRAM.
             if self.l2.access(target_addr).is_miss() {

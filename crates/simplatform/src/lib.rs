@@ -28,7 +28,6 @@
 //! use aapm_platform::machine::Machine;
 //! use aapm_platform::phase::PhaseDescriptor;
 //! use aapm_platform::program::PhaseProgram;
-//! use aapm_platform::units::Seconds;
 //!
 //! let phase = PhaseDescriptor::builder("demo")
 //!     .instructions(50_000_000)
@@ -38,7 +37,7 @@
 //!     MachineConfig::pentium_m_755(42),
 //!     PhaseProgram::from_phase(phase),
 //! );
-//! let time = machine.run_to_completion(Seconds::from_millis(10.0));
+//! let time = machine.run_to_completion();
 //! println!("finished in {time}, used {}", machine.true_energy());
 //! # Ok::<(), aapm_platform::error::PlatformError>(())
 //! ```

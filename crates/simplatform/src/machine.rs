@@ -22,10 +22,47 @@ use crate::thermal::{Celsius, ThermalModel};
 use crate::throttle::ThrottleLevel;
 use crate::units::{Joules, Seconds, Watts};
 
+/// Relative instruction-count tolerance for phase completion.
+///
+/// The boundary rule: a phase is complete as soon as its *remaining*
+/// instruction count drops to within `budget × PHASE_END_REL_EPS` of zero.
+/// The tolerance is relative because both error sources scale with the
+/// budget — the `left / ips × ips` round-trip at an exact boundary loses a
+/// few ulps of `left`, and `phase_done_instructions` accumulates one ulp of
+/// the budget per sub-step. A relative rule keeps the admitted time error
+/// below `1e-9 × phase_time` at any `ips`, where the old absolute `1e-6`
+/// residue (machine.rs pre-refactor) was simultaneously too loose for tiny
+/// phases and too strict for multi-billion-instruction ones, and the exact
+/// float compare it was paired with could fire on one path but not the
+/// other, double-advancing a boundary.
+const PHASE_END_REL_EPS: f64 = 1e-9;
+
+/// Derived per-segment state, memoized across ticks.
+///
+/// Everything here is a pure function of the (phase index, p-state,
+/// throttle) key plus machine constants, so reusing it across the sub-steps
+/// of a segment is bit-identical to recomputing it — the property tests in
+/// this module drive a memoized machine against the uncached reference path
+/// to prove it. The throttle participates in the key for clarity even
+/// though the cached values do not depend on the duty (duty enters `tick`
+/// only as an energy/time weight); throttle changes are rare enough that
+/// the extra invalidations cost nothing.
+#[derive(Debug, Clone, Copy)]
+struct SegmentMemo {
+    phase_index: usize,
+    pstate: PStateId,
+    throttle: ThrottleLevel,
+    rates: PhaseRates,
+    active_power: Watts,
+    gated_power: Watts,
+    phase_instructions: f64,
+}
+
 /// What happened during one [`Machine::tick`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TickOutcome {
-    /// Simulated time advanced (always the requested `dt`).
+    /// Simulated time advanced (the requested `dt` for [`Machine::tick`];
+    /// the executed segment length for [`Machine::fast_forward`]).
     pub advanced: Seconds,
     /// Instructions retired during the tick.
     pub instructions: f64,
@@ -72,6 +109,7 @@ pub struct Machine {
     throttle: ThrottleLevel,
     thermal: ThermalModel,
     noise: NoiseSource,
+    memo: Option<SegmentMemo>,
 }
 
 impl Machine {
@@ -97,6 +135,7 @@ impl Machine {
             throttle: ThrottleLevel::FULL,
             thermal,
             noise,
+            memo: None,
         }
     }
 
@@ -166,9 +205,17 @@ impl Machine {
         if self.finished() || self.transition_remaining.is_positive() {
             return self.power_model.idle_power(&ps);
         }
+        let duty = self.throttle.duty();
+        if let Some(m) = &self.memo {
+            if m.phase_index == self.phase_index
+                && m.pstate == self.current
+                && m.throttle == self.throttle
+            {
+                return m.active_power * duty + m.gated_power * (1.0 - duty);
+            }
+        }
         let phase = &self.program.phases()[self.phase_index];
         let rates = evaluate(phase, &ps, self.config.timings());
-        let duty = self.throttle.duty();
         self.power_model.power(&ps, &rates, phase.activity()) * duty
             + self.power_model.gated_power(&ps) * (1.0 - duty)
     }
@@ -246,34 +293,22 @@ impl Machine {
             // cycle-counted events scale with the duty, the gated fraction
             // draws leakage only.
             let duty = self.throttle.duty();
-            let phase = self.program.phases()[self.phase_index].clone();
-            let rates = evaluate(&phase, &ps, self.config.timings());
-            let ips = rates.instructions_per_second * self.phase_jitter * duty;
-            let left_in_phase = phase.instructions() as f64 - self.phase_done_instructions;
+            let seg = self.segment(&ps);
+            let ips = seg.rates.instructions_per_second * self.phase_jitter * duty;
+            let left_in_phase = seg.phase_instructions - self.phase_done_instructions;
             let time_to_phase_end = Seconds::new(left_in_phase / ips);
             let adv = remaining.min(time_to_phase_end);
 
             let executed = ips * adv.seconds();
-            self.accumulate_events(&rates, &ps, adv * duty);
-            let active_power = self.power_model.power(&ps, &rates, phase.activity());
-            energy += active_power * (adv * duty)
-                + self.power_model.gated_power(&ps) * (adv * (1.0 - duty));
+            let cycles = ps.frequency().hz() * (adv * duty).seconds();
+            self.counters.add_rates(&seg.rates, cycles);
+            energy += seg.active_power * (adv * duty) + seg.gated_power * (adv * (1.0 - duty));
             instructions += executed;
             self.phase_done_instructions += executed;
             remaining = (remaining - adv).clamp_non_negative();
 
-            // Phase complete? (Tolerate float residue.)
-            if self.phase_done_instructions >= phase.instructions() as f64 - 1e-6
-                || adv == time_to_phase_end
-            {
-                self.phase_index += 1;
-                self.phase_done_instructions = 0.0;
-                self.phase_jitter =
-                    Self::sample_jitter(&mut self.noise, self.config.execution_variation());
-                if self.finished() {
-                    self.completion_time =
-                        Some(self.elapsed + (dt - remaining.clamp_non_negative()));
-                }
+            if self.phase_boundary_reached(&seg) {
+                self.complete_phase(self.elapsed + (dt - remaining));
             }
         }
 
@@ -284,37 +319,222 @@ impl Machine {
         TickOutcome { advanced: dt, instructions, average_power, finished: self.finished() }
     }
 
+    /// Advances the machine analytically by exactly one *segment*: the
+    /// shortest of `max_dt`, the rest of a DVFS stall, or the time to the
+    /// current phase boundary — energy, counters, thermal state, and
+    /// completion time all advance in one closed-form step.
+    ///
+    /// Eligibility rule: `fast_forward` produces the same end state as an
+    /// equivalent tick loop up to float summation order, but it never
+    /// materializes the intermediate states, so it may only drive runs
+    /// where nothing samples inside a segment — [`Machine::run_to_completion`],
+    /// characterization sweeps, benches. Governed runs must keep calling
+    /// [`Machine::tick`] at the sampling cadence: the DAQ/PMC sample and the
+    /// governor decides (and noise streams advance) at every tick, so
+    /// skipping ticks would change observable history, not just speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_dt` is not positive, or if the program has finished
+    /// and `max_dt` is non-finite (an unbounded idle segment never ends).
+    pub fn fast_forward(&mut self, max_dt: Seconds) -> TickOutcome {
+        assert!(max_dt.is_positive(), "fast_forward horizon must be positive");
+        let ps = *self.operating_point();
+
+        // DVFS stall segment: clock halted, idle power, no events.
+        if self.transition_remaining.is_positive() {
+            let adv = max_dt.min(self.transition_remaining);
+            self.transition_remaining = (self.transition_remaining - adv).clamp_non_negative();
+            let energy = self.power_model.idle_power(&ps) * adv;
+            return self.book_segment(adv, 0.0, energy);
+        }
+
+        // Idle segment: the program is done, spin for the whole horizon.
+        if self.finished() {
+            assert!(
+                max_dt.seconds().is_finite(),
+                "cannot fast_forward a finished machine over an unbounded horizon"
+            );
+            self.counters.add(HardwareEvent::Cycles, ps.frequency().hz() * max_dt.seconds());
+            let energy = self.power_model.idle_power(&ps) * max_dt;
+            return self.book_segment(max_dt, 0.0, energy);
+        }
+
+        // Phase segment: execute up to the phase boundary in one step.
+        let duty = self.throttle.duty();
+        let seg = self.segment(&ps);
+        let ips = seg.rates.instructions_per_second * self.phase_jitter * duty;
+        let left_in_phase = seg.phase_instructions - self.phase_done_instructions;
+        let time_to_phase_end = Seconds::new(left_in_phase / ips);
+        let adv = max_dt.min(time_to_phase_end);
+
+        let executed = ips * adv.seconds();
+        let cycles = ps.frequency().hz() * (adv * duty).seconds();
+        self.counters.add_rates(&seg.rates, cycles);
+        let energy = seg.active_power * (adv * duty) + seg.gated_power * (adv * (1.0 - duty));
+        self.phase_done_instructions += executed;
+
+        if self.phase_boundary_reached(&seg) {
+            self.complete_phase(self.elapsed + adv);
+        }
+        self.book_segment(adv, executed, energy)
+    }
+
+    /// Returns the memoized derived state for the current (phase, p-state,
+    /// throttle) segment, computing and caching it on a key change.
+    fn segment(&mut self, ps: &PState) -> SegmentMemo {
+        if let Some(m) = self.memo {
+            if m.phase_index == self.phase_index
+                && m.pstate == self.current
+                && m.throttle == self.throttle
+            {
+                return m;
+            }
+        }
+        let phase = &self.program.phases()[self.phase_index];
+        let rates = evaluate(phase, ps, self.config.timings());
+        let m = SegmentMemo {
+            phase_index: self.phase_index,
+            pstate: self.current,
+            throttle: self.throttle,
+            rates,
+            active_power: self.power_model.power(ps, &rates, phase.activity()),
+            gated_power: self.power_model.gated_power(ps),
+            phase_instructions: phase.instructions() as f64,
+        };
+        self.memo = Some(m);
+        m
+    }
+
+    /// The single phase-completion rule (see [`PHASE_END_REL_EPS`]).
+    fn phase_boundary_reached(&self, seg: &SegmentMemo) -> bool {
+        seg.phase_instructions - self.phase_done_instructions
+            <= seg.phase_instructions * PHASE_END_REL_EPS
+    }
+
+    /// Advances to the next phase at simulated time `now`, resampling the
+    /// execution jitter and latching the completion time if the program is
+    /// done.
+    fn complete_phase(&mut self, now: Seconds) {
+        self.phase_index += 1;
+        self.phase_done_instructions = 0.0;
+        self.phase_jitter = Self::sample_jitter(&mut self.noise, self.config.execution_variation());
+        if self.finished() {
+            self.completion_time = Some(now);
+        }
+    }
+
+    /// Commits a fast-forwarded segment to elapsed time, energy, and the
+    /// thermal model. A zero-length segment (e.g. a zero-instruction phase)
+    /// books nothing.
+    fn book_segment(&mut self, adv: Seconds, instructions: f64, energy: Joules) -> TickOutcome {
+        self.elapsed += adv;
+        self.true_energy += energy;
+        let average_power = if adv.is_positive() { energy / adv } else { Watts::ZERO };
+        if adv.is_positive() {
+            self.thermal.advance(average_power, adv);
+        }
+        TickOutcome { advanced: adv, instructions, average_power, finished: self.finished() }
+    }
+
     /// Current die temperature from the integrated RC thermal model.
     pub fn temperature(&self) -> Celsius {
         self.thermal.temperature()
     }
 
-    fn accumulate_events(&mut self, rates: &PhaseRates, ps: &PState, dt: Seconds) {
-        let cycles = ps.frequency().hz() * dt.seconds();
-        let c = &mut self.counters;
-        c.add(HardwareEvent::Cycles, cycles);
-        c.add(HardwareEvent::InstructionsRetired, rates.ipc * cycles);
-        c.add(HardwareEvent::InstructionsDecoded, rates.dpc * cycles);
-        c.add(HardwareEvent::DcuMissOutstanding, rates.dcu_outstanding_per_cycle * cycles);
-        c.add(HardwareEvent::ResourceStalls, rates.resource_stalls_per_cycle * cycles);
-        c.add(HardwareEvent::MemoryRequests, rates.memory_requests_per_cycle * cycles);
-        c.add(HardwareEvent::L2Requests, rates.l2_requests_per_cycle * cycles);
-        c.add(HardwareEvent::L1DMisses, rates.l1_misses_per_cycle * cycles);
-        c.add(HardwareEvent::L2Misses, rates.l2_misses_per_cycle * cycles);
-        c.add(HardwareEvent::FpOperations, rates.fp_per_cycle * cycles);
-        c.add(HardwareEvent::BranchesRetired, rates.branches_per_cycle * cycles);
-        c.add(HardwareEvent::BranchMispredictions, rates.mispredicts_per_cycle * cycles);
-        c.add(HardwareEvent::HardwarePrefetches, rates.prefetches_per_cycle * cycles);
-        c.add(HardwareEvent::UopsRetired, rates.uops_per_cycle * cycles);
-    }
-
-    /// Runs the machine to completion with a fixed tick, returning total
-    /// wall-clock time. Convenience for tests and uncontrolled runs.
-    pub fn run_to_completion(&mut self, tick: Seconds) -> Seconds {
+    /// Runs the machine to completion segment-by-segment (see
+    /// [`Machine::fast_forward`]), returning total wall-clock time. For
+    /// unobserved runs only — tests, characterization, benches; governed
+    /// runs must tick at their sampling cadence instead.
+    pub fn run_to_completion(&mut self) -> Seconds {
         while !self.finished() {
-            self.tick(tick);
+            self.fast_forward(Seconds::new(f64::INFINITY));
         }
         self.completion_time().expect("finished machines have a completion time")
+    }
+
+    /// Reference implementation of [`Machine::tick`] with no memoization:
+    /// rates and powers are re-derived from scratch on every sub-step and
+    /// counters advance through per-event dispatched adds. The property
+    /// tests drive this against the memoized `tick` on identical inputs to
+    /// prove the memo changes nothing, bit for bit.
+    #[cfg(test)]
+    pub(crate) fn tick_uncached(&mut self, dt: Seconds) -> TickOutcome {
+        assert!(dt.is_positive(), "tick duration must be positive");
+        let mut remaining = dt;
+        let mut energy = Joules::ZERO;
+        let mut instructions = 0.0;
+
+        while remaining.is_positive() {
+            let ps = *self.operating_point();
+
+            if self.transition_remaining.is_positive() {
+                let adv = remaining.min(self.transition_remaining);
+                energy += self.power_model.idle_power(&ps) * adv;
+                self.transition_remaining = (self.transition_remaining - adv).clamp_non_negative();
+                remaining = (remaining - adv).clamp_non_negative();
+                continue;
+            }
+
+            if self.finished() {
+                energy += self.power_model.idle_power(&ps) * remaining;
+                self.counters.add(HardwareEvent::Cycles, ps.frequency().hz() * remaining.seconds());
+                remaining = Seconds::ZERO;
+                continue;
+            }
+
+            let duty = self.throttle.duty();
+            // Derive everything fresh inside a scoped borrow of the phase,
+            // ending the borrow before the counter/energy mutations below.
+            let (rates, active_power, gated_power, phase_instructions) = {
+                let phase = &self.program.phases()[self.phase_index];
+                let rates = evaluate(phase, &ps, self.config.timings());
+                (
+                    rates,
+                    self.power_model.power(&ps, &rates, phase.activity()),
+                    self.power_model.gated_power(&ps),
+                    phase.instructions() as f64,
+                )
+            };
+            let ips = rates.instructions_per_second * self.phase_jitter * duty;
+            let left_in_phase = phase_instructions - self.phase_done_instructions;
+            let time_to_phase_end = Seconds::new(left_in_phase / ips);
+            let adv = remaining.min(time_to_phase_end);
+
+            let executed = ips * adv.seconds();
+            let cycles = ps.frequency().hz() * (adv * duty).seconds();
+            let c = &mut self.counters;
+            c.add(HardwareEvent::Cycles, cycles);
+            c.add(HardwareEvent::InstructionsRetired, rates.ipc * cycles);
+            c.add(HardwareEvent::InstructionsDecoded, rates.dpc * cycles);
+            c.add(HardwareEvent::DcuMissOutstanding, rates.dcu_outstanding_per_cycle * cycles);
+            c.add(HardwareEvent::ResourceStalls, rates.resource_stalls_per_cycle * cycles);
+            c.add(HardwareEvent::MemoryRequests, rates.memory_requests_per_cycle * cycles);
+            c.add(HardwareEvent::L2Requests, rates.l2_requests_per_cycle * cycles);
+            c.add(HardwareEvent::L1DMisses, rates.l1_misses_per_cycle * cycles);
+            c.add(HardwareEvent::L2Misses, rates.l2_misses_per_cycle * cycles);
+            c.add(HardwareEvent::FpOperations, rates.fp_per_cycle * cycles);
+            c.add(HardwareEvent::BranchesRetired, rates.branches_per_cycle * cycles);
+            c.add(HardwareEvent::BranchMispredictions, rates.mispredicts_per_cycle * cycles);
+            c.add(HardwareEvent::HardwarePrefetches, rates.prefetches_per_cycle * cycles);
+            c.add(HardwareEvent::UopsRetired, rates.uops_per_cycle * cycles);
+            energy += active_power * (adv * duty) + gated_power * (adv * (1.0 - duty));
+            instructions += executed;
+            self.phase_done_instructions += executed;
+            remaining = (remaining - adv).clamp_non_negative();
+
+            if phase_instructions - self.phase_done_instructions
+                <= phase_instructions * PHASE_END_REL_EPS
+            {
+                self.complete_phase(self.elapsed + (dt - remaining));
+            }
+        }
+
+        self.elapsed += dt;
+        self.true_energy += energy;
+        let average_power = energy / dt;
+        self.thermal.advance(average_power, dt);
+        TickOutcome { advanced: dt, instructions, average_power, finished: self.finished() }
     }
 }
 
@@ -344,7 +564,7 @@ mod tests {
     fn program_completes_in_expected_time() {
         // 20M instructions at CPI 1.0, 2 GHz → 10 ms.
         let mut machine = Machine::new(quiet_config(), simple_program(20_000_000));
-        let time = machine.run_to_completion(Seconds::from_millis(1.0));
+        let time = machine.run_to_completion();
         assert!((time.millis() - 10.0).abs() < 0.1, "took {time}");
     }
 
@@ -366,8 +586,8 @@ mod tests {
         let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
         let mut slow = Machine::new(config, simple_program(50_000_000));
         slow.set_pstate(PStateId::new(0)).unwrap();
-        let t_fast = fast.run_to_completion(Seconds::from_millis(1.0));
-        let t_slow = slow.run_to_completion(Seconds::from_millis(1.0));
+        let t_fast = fast.run_to_completion();
+        let t_slow = slow.run_to_completion();
         // Core-bound: time ratio ≈ frequency ratio 2000/600.
         let ratio = t_slow / t_fast;
         assert!((ratio - 2000.0 / 600.0).abs() < 0.05, "ratio {ratio}");
@@ -379,8 +599,8 @@ mod tests {
         let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
         let mut slow = Machine::new(config, simple_program(50_000_000));
         slow.set_pstate(PStateId::new(0)).unwrap();
-        fast.run_to_completion(Seconds::from_millis(1.0));
-        slow.run_to_completion(Seconds::from_millis(1.0));
+        fast.run_to_completion();
+        slow.run_to_completion();
         assert!(fast.true_energy() > Joules::ZERO);
         // Core-bound work at low V/f takes longer but still wins on energy.
         assert!(slow.true_energy() < fast.true_energy());
@@ -417,7 +637,7 @@ mod tests {
     #[test]
     fn finished_machine_idles() {
         let mut machine = Machine::new(quiet_config(), simple_program(1_000));
-        machine.run_to_completion(Seconds::from_millis(1.0));
+        machine.run_to_completion();
         let energy_before = machine.true_energy();
         let outcome = machine.tick(Seconds::from_millis(10.0));
         assert!(outcome.finished);
@@ -440,7 +660,7 @@ mod tests {
             .unwrap();
         let program = PhaseProgram::new("ab", vec![a, b]).unwrap();
         let mut machine = Machine::new(quiet_config(), program);
-        let time = machine.run_to_completion(Seconds::from_millis(1.0));
+        let time = machine.run_to_completion();
         // 10M @ CPI 1 + 10M @ CPI 2 at 2 GHz = 5ms + 10ms.
         assert!((time.millis() - 15.0).abs() < 0.2, "took {time}");
     }
@@ -476,8 +696,8 @@ mod tests {
         let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
         let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
         half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
-        let t_full = full.run_to_completion(Seconds::from_millis(1.0));
-        let t_half = half.run_to_completion(Seconds::from_millis(1.0));
+        let t_full = full.run_to_completion();
+        let t_half = half.run_to_completion();
         let ratio = t_half / t_full;
         assert!((ratio - 2.0).abs() < 0.01, "50% duty doubles time, got {ratio}");
     }
@@ -487,8 +707,8 @@ mod tests {
         let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
         let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
         half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
-        let t_full = full.run_to_completion(Seconds::from_millis(1.0));
-        let t_half = half.run_to_completion(Seconds::from_millis(1.0));
+        let t_full = full.run_to_completion();
+        let t_half = half.run_to_completion();
         let p_full = full.true_energy() / t_full;
         let p_half = half.true_energy() / t_half;
         assert!(p_half < p_full, "gating halves the active time per second");
@@ -520,8 +740,8 @@ mod tests {
         let config = MachineConfig::pentium_m_755(99);
         let mut m1 = Machine::new(config.clone(), simple_program(30_000_000));
         let mut m2 = Machine::new(config, simple_program(30_000_000));
-        let t1 = m1.run_to_completion(Seconds::from_millis(1.0));
-        let t2 = m2.run_to_completion(Seconds::from_millis(1.0));
+        let t1 = m1.run_to_completion();
+        let t2 = m2.run_to_completion();
         assert_eq!(t1, t2);
         assert_eq!(m1.true_energy(), m2.true_energy());
     }
@@ -529,11 +749,168 @@ mod tests {
     #[test]
     fn different_seeds_vary_execution_time_slightly() {
         let t1 = Machine::new(MachineConfig::pentium_m_755(1), simple_program(200_000_000))
-            .run_to_completion(Seconds::from_millis(1.0));
+            .run_to_completion();
         let t2 = Machine::new(MachineConfig::pentium_m_755(2), simple_program(200_000_000))
-            .run_to_completion(Seconds::from_millis(1.0));
+            .run_to_completion();
         assert_ne!(t1, t2);
         let rel = (t1 / t2 - 1.0).abs();
         assert!(rel < 0.05, "variation should be small, got {rel}");
+    }
+
+    fn two_phase_program(instructions: u64) -> PhaseProgram {
+        let a = PhaseDescriptor::builder("a")
+            .instructions(instructions)
+            .core_cpi(1.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        let b = PhaseDescriptor::builder("b")
+            .instructions(instructions)
+            .core_cpi(1.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        PhaseProgram::new("ab", vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn exact_boundary_tick_advances_phase_exactly_once() {
+        // 20M instructions at CPI 1.0, 2 GHz is exactly 10 ms, so a 10 ms
+        // tick lands on the phase boundary to within an ulp. The old exact
+        // float compare plus the absolute residue could fire twice here and
+        // skip phase b entirely; the relative rule must advance exactly one
+        // phase per boundary regardless of which side the ulp falls on.
+        let mut machine = Machine::new(quiet_config(), two_phase_program(20_000_000));
+        let first = machine.tick(Seconds::from_millis(10.0));
+        assert!(!first.finished, "phase b must still be pending");
+        assert!(
+            (first.instructions - 20e6).abs() < 1.0,
+            "first tick retires phase a: {}",
+            first.instructions
+        );
+        let second = machine.tick(Seconds::from_millis(10.0));
+        assert!(second.finished, "phase b completes in the second tick");
+        let t = machine.completion_time().unwrap();
+        assert!((t.millis() - 20.0).abs() < 1e-6, "completed at {t}");
+    }
+
+    #[test]
+    fn sliced_boundary_conserves_instructions_at_tiny_ips() {
+        // Cross both phase boundaries in sub-microsecond slices at the
+        // slowest p-state with a heavy CPI, where the retired-per-tick
+        // count is small and residue accumulates; the relative rule must
+        // neither double-advance nor strand instructions.
+        let a = PhaseDescriptor::builder("a")
+            .instructions(50_000)
+            .core_cpi(4.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        let b = PhaseDescriptor::builder("b")
+            .instructions(50_000)
+            .core_cpi(4.0)
+            .mispredict_rate(0.0)
+            .build()
+            .unwrap();
+        let program = PhaseProgram::new("ab", vec![a, b]).unwrap();
+        let mut machine = Machine::new(quiet_config(), program);
+        machine.set_pstate(PStateId::new(0)).unwrap();
+        let mut retired = 0.0;
+        let mut guard = 0;
+        while !machine.finished() && guard < 5_000_000 {
+            retired += machine.tick(Seconds::from_micros(0.37)).instructions;
+            guard += 1;
+        }
+        assert!(machine.finished(), "machine must finish");
+        let budget = 100_000.0;
+        assert!(
+            (retired - budget).abs() / budget < 1e-6,
+            "retired {retired} of {budget}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_matches_ticked_physics() {
+        // Same seed, same program: the segment-level fast path must agree
+        // with a fine tick loop on completion time (analytically exact in
+        // both) and on energy up to the ticked run's idle tail.
+        let config = MachineConfig::pentium_m_755(7);
+        let mut fast = Machine::new(config.clone(), two_phase_program(10_000_000));
+        let mut ticked = Machine::new(config, two_phase_program(10_000_000));
+        let t_fast = fast.run_to_completion();
+        while !ticked.finished() {
+            ticked.tick(Seconds::from_micros(50.0));
+        }
+        let t_ticked = ticked.completion_time().unwrap();
+        assert!(
+            (t_fast.seconds() - t_ticked.seconds()).abs() < 1e-9,
+            "completion {t_fast} vs {t_ticked}"
+        );
+        let e_fast = fast.true_energy().joules();
+        let e_ticked = ticked.true_energy().joules();
+        // The ticked run idles out the tail of its final 50 µs tick.
+        assert!((e_fast - e_ticked).abs() < 13.0 * 50e-6, "energy {e_fast} vs {e_ticked}");
+        let i_fast = fast.counter_snapshot().get(HardwareEvent::InstructionsRetired);
+        let i_ticked = ticked.counter_snapshot().get(HardwareEvent::InstructionsRetired);
+        assert!((i_fast - i_ticked).abs() / i_ticked < 1e-9);
+    }
+
+    #[test]
+    fn fast_forward_respects_horizon_and_stalls() {
+        let mut machine = Machine::new(quiet_config(), simple_program(2_000_000_000));
+        let horizon = Seconds::from_millis(1.0);
+        let outcome = machine.fast_forward(horizon);
+        assert_eq!(outcome.advanced, horizon, "segment clipped to the horizon");
+        assert!(outcome.instructions > 0.0);
+        // A DVFS transition stalls the core: the next segment is the stall
+        // itself, retiring nothing.
+        machine.set_pstate(PStateId::new(0)).unwrap();
+        let stalled = machine.fast_forward(Seconds::new(f64::INFINITY));
+        assert_eq!(stalled.instructions, 0.0);
+        assert!(stalled.advanced < horizon, "stall is microseconds, not the horizon");
+        assert_eq!(machine.elapsed(), horizon + stalled.advanced);
+    }
+
+    mod memo_bit_identity {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Driving the memoized `tick` and the uncached reference path
+            /// through an identical script of random tick sizes, p-state
+            /// changes, and throttle levels leaves both machines in
+            /// bit-identical externally observable state at every step.
+            #[test]
+            fn memoized_tick_is_bit_identical_to_uncached_reference(
+                seed in 0u64..512,
+                script in prop::collection::vec((1u32..20_000, 0u8..10, 1u8..9), 1..48),
+            ) {
+                let config = MachineConfig::pentium_m_755(seed);
+                let program = two_phase_program(40_000_000);
+                let mut cached = Machine::new(config.clone(), program.clone());
+                let mut reference = Machine::new(config, program);
+                for (us, ps, steps) in script {
+                    if ps < 8 {
+                        cached.set_pstate(PStateId::new(ps as usize)).unwrap();
+                        reference.set_pstate(PStateId::new(ps as usize)).unwrap();
+                    }
+                    let level = ThrottleLevel::new(steps).unwrap();
+                    cached.set_throttle(level);
+                    reference.set_throttle(level);
+                    let dt = Seconds::from_micros(f64::from(us));
+                    let a = cached.tick(dt);
+                    let b = reference.tick_uncached(dt);
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(cached.counter_snapshot(), reference.counter_snapshot());
+                    prop_assert_eq!(cached.true_energy(), reference.true_energy());
+                    prop_assert_eq!(cached.elapsed(), reference.elapsed());
+                    prop_assert_eq!(cached.completion_time(), reference.completion_time());
+                    prop_assert_eq!(cached.instantaneous_power(), reference.instantaneous_power());
+                    prop_assert_eq!(cached.temperature(), reference.temperature());
+                }
+            }
+        }
     }
 }

@@ -73,20 +73,18 @@ pub fn characterize_with_budget(
         MemoryHierarchy::pentium_m_755()?.with_prefetcher(PrefetchConfig::pentium_m());
 
     // Warm-up pass: populate caches and train the prefetcher.
-    let warmup = microloop.stream(footprint, 1);
-    for &addr in &warmup {
+    microloop.for_each_address(footprint, 1, |addr| {
         hierarchy.access(addr);
-    }
+    });
     hierarchy.reset_stats();
 
     // Measured passes (different seed per pass for the random loop).
     let mut accesses_measured = 0u64;
     for pass in 0..2u64 {
-        let stream = microloop.stream(footprint, 2 + pass);
-        accesses_measured += stream.len() as u64;
-        for &addr in &stream {
+        microloop.for_each_address(footprint, 2 + pass, |addr| {
+            accesses_measured += 1;
             hierarchy.access(addr);
-        }
+        });
     }
     let stats = *hierarchy.stats();
     debug_assert_eq!(stats.accesses, accesses_measured);

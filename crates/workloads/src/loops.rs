@@ -167,9 +167,17 @@ impl MicroLoop {
         }
     }
 
-    /// Generates the byte addresses of one pass over the data, in access
-    /// order. `seed` only affects `MLOAD_RAND`.
-    pub fn stream(self, footprint: Footprint, seed: u64) -> Vec<u64> {
+    /// Visits the byte addresses of one pass over the data, in access
+    /// order, without materializing the stream. `seed` only affects
+    /// `MLOAD_RAND`. Characterization drives hundreds of millions of
+    /// addresses per suite; the visitor form keeps that O(1) in memory
+    /// where [`MicroLoop::stream`] would allocate multi-megabyte vectors.
+    pub fn for_each_address(
+        self,
+        footprint: Footprint,
+        seed: u64,
+        mut visit: impl FnMut(u64),
+    ) {
         let bytes = footprint.bytes();
         let elements = self.elements_per_pass(footprint);
         match self {
@@ -177,41 +185,47 @@ impl MicroLoop {
                 // x array at 0, y array at bytes/2; per element: ld x, ld y,
                 // st y (same address as the load).
                 let half = bytes / 2;
-                let mut out = Vec::with_capacity((elements * 3) as usize);
                 for i in 0..elements {
-                    let x = i * 8;
                     let y = half + i * 8;
-                    out.push(x);
-                    out.push(y);
-                    out.push(y);
+                    visit(i * 8);
+                    visit(y);
+                    visit(y);
                 }
-                out
             }
             MicroLoop::Fma => {
                 // Single array; adjacent pair per iteration.
-                let mut out = Vec::with_capacity((elements * 2) as usize);
                 for i in 0..elements {
-                    out.push(i * 16);
-                    out.push(i * 16 + 8);
+                    visit(i * 16);
+                    visit(i * 16 + 8);
                 }
-                out
             }
             MicroLoop::Mcopy => {
                 // Source at 0, destination at bytes/2.
                 let half = bytes / 2;
-                let mut out = Vec::with_capacity((elements * 2) as usize);
                 for i in 0..elements {
-                    out.push(i * 8);
-                    out.push(half + i * 8);
+                    visit(i * 8);
+                    visit(half + i * 8);
                 }
-                out
             }
             MicroLoop::MloadRand => {
                 let mut noise = NoiseSource::seeded(seed);
                 let slots = bytes / 8;
-                (0..elements).map(|_| noise.below(slots) * 8).collect()
+                for _ in 0..elements {
+                    visit(noise.below(slots) * 8);
+                }
             }
         }
+    }
+
+    /// Generates the byte addresses of one pass over the data, in access
+    /// order. `seed` only affects `MLOAD_RAND`. Prefer
+    /// [`MicroLoop::for_each_address`] on hot paths.
+    pub fn stream(self, footprint: Footprint, seed: u64) -> Vec<u64> {
+        let mix = self.mix();
+        let capacity = self.elements_per_pass(footprint) as f64 * mix.mem_accesses_per_element;
+        let mut out = Vec::with_capacity(capacity as usize);
+        self.for_each_address(footprint, seed, |addr| out.push(addr));
+        out
     }
 }
 

@@ -48,4 +48,54 @@ EOF
 cargo test -q --offline -p aapm-experiments --test parallel_determinism \
     observer_outputs_are_byte_identical_across_widths
 
+# bench-gate: re-run the machine bench and compare against the committed
+# baseline. An attempt fails on a >20% throughput regression (or a >25%
+# slower serial suite) and prints the simulated-seconds-per-wall-second
+# headline. The committed baseline is conservative (minimum throughput /
+# maximum wall over repeated runs) and the gate allows up to three
+# attempts — shared-host scheduler noise can sink any single attempt, but
+# a real regression (e.g. losing the fast-forward path) fails all three.
+bench_gate_ok=0
+for attempt in 1 2 3; do
+    cargo run --release --offline -p aapm-experiments -- --bench-machine \
+        --out results/BENCH_machine.current.json
+    if python3 - <<'EOF'
+import json, pathlib, sys
+
+base = json.loads(pathlib.Path("results/BENCH_machine.json").read_text())
+cur = json.loads(pathlib.Path("results/BENCH_machine.current.json").read_text())
+
+failures = []
+for key in ("ticked_sim_per_wall", "fastforward_sim_per_wall",
+            "cache_maccesses_per_sec"):
+    floor = base[key] * 0.8
+    if cur[key] < floor:
+        failures.append(f"{key}: {cur[key]:.1f} < 80% of baseline {base[key]:.1f}")
+ceiling = base["suite_serial_wall_s"] * 1.25
+if cur["suite_serial_wall_s"] > ceiling:
+    failures.append(
+        f"suite_serial_wall_s: {cur['suite_serial_wall_s']:.3f}s > 125% of "
+        f"baseline {base['suite_serial_wall_s']:.3f}s")
+
+print(f"bench-gate: tick {cur['ticked_sim_per_wall']:.0f} sim-s/wall-s, "
+      f"fast-forward {cur['fastforward_sim_per_wall']:.0f} sim-s/wall-s, "
+      f"cache {cur['cache_maccesses_per_sec']:.1f} Maccess/s, "
+      f"serial suite {cur['suite_serial_wall_s']:.3f}s "
+      f"(baseline {base['suite_serial_wall_s']:.3f}s)")
+for failure in failures:
+    print(f"bench-gate: {failure}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+EOF
+    then
+        bench_gate_ok=1
+        break
+    fi
+    echo "bench-gate: attempt ${attempt}/3 missed the baseline; retrying" >&2
+done
+rm -f results/BENCH_machine.current.json
+if [ "${bench_gate_ok}" -ne 1 ]; then
+    echo "bench-gate FAIL: three consecutive attempts below baseline" >&2
+    exit 1
+fi
+
 echo "check.sh: all gates passed"

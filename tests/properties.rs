@@ -11,7 +11,6 @@ use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
 use aapm_platform::config::MachineConfig;
 use aapm_platform::program::PhaseProgram;
-use aapm_platform::units::Seconds;
 use aapm_workloads::synth::random_program;
 use proptest::prelude::*;
 
@@ -157,7 +156,7 @@ proptest! {
                 },
                 program.clone(),
             );
-            t.push(machine.run_to_completion(Seconds::from_millis(10.0)));
+            t.push(machine.run_to_completion());
         }
         prop_assert!(t[0] >= t[1], "600 MHz ({}) beat 2 GHz ({})", t[0], t[1]);
     }
