@@ -17,12 +17,12 @@
 //! guardband).
 
 use aapm_platform::events::HardwareEvent;
-use aapm_platform::pstate::PStateId;
 use aapm_platform::throttle::ThrottleLevel;
 use aapm_platform::units::Watts;
 use aapm_models::power_model::PowerModel;
 
-use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::governor::{Governor, SampleContext};
+use crate::layer::GovernorLayer;
 use crate::limits::PowerLimit;
 use crate::pm::{PerformanceMaximizer, PmConfig};
 
@@ -65,20 +65,24 @@ impl CombinedPm {
     }
 }
 
-impl Governor for CombinedPm {
-    fn name(&self) -> &str {
+impl GovernorLayer for CombinedPm {
+    fn layer_name(&self) -> &str {
         "pm-combined"
     }
 
-    fn events(&self) -> Vec<HardwareEvent> {
+    fn inner_governor(&self) -> &dyn Governor {
+        &self.inner
+    }
+
+    fn inner_governor_mut(&mut self) -> &mut dyn Governor {
+        &mut self.inner
+    }
+
+    fn layer_events(&self) -> Vec<HardwareEvent> {
         vec![HardwareEvent::InstructionsDecoded]
     }
 
-    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
-        self.inner.decide(ctx)
-    }
-
-    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
+    fn layer_throttle(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
         let dpc = ctx.counters.dpc().unwrap_or(0.0);
         // DVFS headroom? Leave the clock alone.
         if let Some(p0_estimate) = self.inner.estimate_at(ctx, dpc, ctx.table.lowest()) {
@@ -96,20 +100,13 @@ impl Governor for CombinedPm {
         }
         choice
     }
-
-    fn command(&mut self, command: GovernorCommand) {
-        self.inner.command(command);
-    }
-
-    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
-        self.inner.install_metrics(metrics);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aapm_platform::pstate::PStateTable;
+    use crate::governor::GovernorCommand;
+    use aapm_platform::pstate::{PStateId, PStateTable};
     use aapm_platform::units::Seconds;
     use aapm_telemetry::pmc::CounterSample;
 

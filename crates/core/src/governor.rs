@@ -82,6 +82,48 @@ pub trait Governor {
     fn install_metrics(&mut self, _metrics: Metrics) {}
 }
 
+/// A heap-allocated governor forwarding the whole trait surface.
+///
+/// Decorators are generic over their inner governor, so nesting governors
+/// built at runtime (e.g. from a [`crate::spec::GovernorSpec`]) needs a
+/// *concrete* type wrapping `Box<dyn Governor>`. A blanket
+/// `impl Governor for Box<G>` would risk a coherence conflict with the
+/// [`crate::layer::GovernorLayer`] blanket impl (`Box` is a fundamental
+/// type), hence this newtype.
+pub struct BoxedGovernor(pub Box<dyn Governor>);
+
+impl std::fmt::Debug for BoxedGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("BoxedGovernor").field(&self.0.name()).finish()
+    }
+}
+
+impl Governor for BoxedGovernor {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn events(&self) -> Vec<HardwareEvent> {
+        self.0.events()
+    }
+
+    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+        self.0.decide(ctx)
+    }
+
+    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
+        self.0.throttle_decision(ctx)
+    }
+
+    fn command(&mut self, command: GovernorCommand) {
+        self.0.command(command);
+    }
+
+    fn install_metrics(&mut self, metrics: Metrics) {
+        self.0.install_metrics(metrics);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

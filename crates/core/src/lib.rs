@@ -12,9 +12,11 @@
 //!   floor, even at 100 % load.
 //!
 //! Baselines ([`baselines`]), the measured-power-feedback extension the
-//! paper sketches as future work ([`feedback`]), and the simulation runtime
-//! that wires governors to the simulated Pentium M platform ([`runtime`])
-//! round out the crate.
+//! paper sketches as future work ([`feedback`]), decorator layers built on
+//! [`layer::GovernorLayer`], a data-driven governor registry
+//! ([`spec::GovernorSpec`]), and the [`runtime::Session`] builder that
+//! wires governors to the simulated Pentium M platform round out the
+//! crate.
 //!
 //! # Quickstart
 //!
@@ -23,7 +25,7 @@
 //! ```
 //! use aapm::limits::PowerLimit;
 //! use aapm::pm::PerformanceMaximizer;
-//! use aapm::runtime::{run, SimulationConfig};
+//! use aapm::runtime::Session;
 //! use aapm_models::power_model::PowerModel;
 //! use aapm_platform::config::MachineConfig;
 //! use aapm_workloads::spec;
@@ -33,14 +35,34 @@
 //!     PowerModel::paper_table_ii(),
 //!     PowerLimit::new(14.5)?,
 //! );
-//! let report = run(
-//!     &mut pm,
+//! let (report, _faults) = Session::builder(
 //!     MachineConfig::pentium_m_755(42),
 //!     ammp.program().scaled(0.02), // shortened for the doc test
-//!     SimulationConfig::default(),
-//!     &[],
-//! )?;
+//! )
+//! .governor(&mut pm)
+//! .run()?;
 //! assert!(report.completed);
+//! # Ok::<(), aapm_platform::error::PlatformError>(())
+//! ```
+//!
+//! The same run from a serializable spec (the registry path the
+//! experiment harness uses):
+//!
+//! ```
+//! use aapm::runtime::Session;
+//! use aapm::spec::{GovernorSpec, SpecModels};
+//! use aapm_platform::config::MachineConfig;
+//! use aapm_workloads::spec;
+//!
+//! let ammp = spec::by_name("ammp").expect("ammp is in the suite");
+//! let spec = GovernorSpec::from_json(r#"{"kind":"pm","limit_w":14.5}"#)?;
+//! let (report, _faults) = Session::builder(
+//!     MachineConfig::pentium_m_755(42),
+//!     ammp.program().scaled(0.02),
+//! )
+//! .governor_spec(&spec, &SpecModels::default())?
+//! .run()?;
+//! assert_eq!(report.governor, "pm");
 //! # Ok::<(), aapm_platform::error::PlatformError>(())
 //! ```
 
@@ -48,6 +70,7 @@ pub mod baselines;
 pub mod combined_pm;
 pub mod feedback;
 pub mod governor;
+pub mod layer;
 pub mod limits;
 pub mod phase_pm;
 pub mod pm;
@@ -55,6 +78,7 @@ pub mod ps;
 pub mod report;
 pub mod runtime;
 pub mod session;
+pub mod spec;
 pub mod thermal_guard;
 pub mod throttle_save;
 pub mod watchdog;
@@ -62,14 +86,18 @@ pub mod watchdog;
 pub use baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
 pub use combined_pm::CombinedPm;
 pub use feedback::FeedbackPm;
-pub use governor::{Governor, GovernorCommand, SampleContext};
+pub use governor::{BoxedGovernor, Governor, GovernorCommand, SampleContext};
+pub use layer::GovernorLayer;
 pub use limits::{PerformanceFloor, PowerLimit};
 pub use phase_pm::PhasePm;
 pub use pm::{PerformanceMaximizer, PmConfig};
 pub use ps::PowerSave;
 pub use report::RunReport;
-pub use runtime::{run, run_with_faults, ScheduledCommand, SimulationConfig};
+pub use runtime::{ScheduledCommand, Session, SessionBuilder, SessionStatus, SimulationConfig};
+#[allow(deprecated)]
+pub use runtime::{run, run_with_faults};
 pub use session::{run_session, SessionReport};
+pub use spec::{GovernorSpec, RegistryEntry, SpecModels, REGISTRY};
 pub use thermal_guard::{ThermalGuard, ThermalGuardConfig};
 pub use throttle_save::ThrottleSave;
 pub use watchdog::{Watchdog, WatchdogConfig};

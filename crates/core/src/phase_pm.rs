@@ -18,6 +18,7 @@ use aapm_models::phase_detect::PhaseDetector;
 use aapm_models::power_model::PowerModel;
 
 use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::layer::GovernorLayer;
 use crate::limits::PowerLimit;
 use crate::pm::{PerformanceMaximizer, PmConfig};
 
@@ -66,16 +67,24 @@ impl PhasePm {
     }
 }
 
-impl Governor for PhasePm {
-    fn name(&self) -> &str {
+impl GovernorLayer for PhasePm {
+    fn layer_name(&self) -> &str {
         "pm-phase"
     }
 
-    fn events(&self) -> Vec<HardwareEvent> {
+    fn inner_governor(&self) -> &dyn Governor {
+        &self.inner
+    }
+
+    fn inner_governor_mut(&mut self) -> &mut dyn Governor {
+        &mut self.inner
+    }
+
+    fn layer_events(&self) -> Vec<HardwareEvent> {
         vec![HardwareEvent::InstructionsDecoded]
     }
 
-    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+    fn layer_decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
         let dpc = ctx.counters.dpc().unwrap_or(0.0);
         let phase_changed = self.detector.observe(dpc);
         let candidate = self.candidate(ctx, dpc);
@@ -101,14 +110,10 @@ impl Governor for PhasePm {
         }
     }
 
-    fn command(&mut self, command: GovernorCommand) {
+    fn layer_command(&mut self, command: GovernorCommand) {
         self.inner.command(command);
         self.detector.reset();
         self.raise_streak = 0;
-    }
-
-    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
-        self.inner.install_metrics(metrics);
     }
 }
 

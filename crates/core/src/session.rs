@@ -7,25 +7,24 @@
 //! on one machine timeline, a [`SyncChannel`] records the boundaries, and
 //! per-workload reports are sliced out of the shared trace.
 //!
-//! Compared with [`crate::runtime::run`] (one fresh machine per workload),
-//! a session preserves cross-benchmark state: the governor's windows and
-//! streaks, the die temperature, and the p-state all carry over — exactly
-//! what a long bench run on real hardware does.
+//! Compared with a single [`crate::runtime::Session`] (one fresh machine
+//! per workload), a measurement session preserves cross-benchmark state:
+//! the governor's windows and streaks, the die temperature, and the
+//! p-state all carry over — exactly what a long bench run on real hardware
+//! does. Internally each workload *is* a [`crate::runtime::Session`],
+//! advanced with [`Session::step`] so boundary state can be read off
+//! between workloads.
 
 use aapm_platform::config::MachineConfig;
 use aapm_platform::error::Result;
-use aapm_platform::machine::Machine;
 use aapm_platform::program::PhaseProgram;
 use aapm_platform::units::{Joules, Seconds};
-use aapm_telemetry::daq::PowerDaq;
 use aapm_telemetry::gpio::SyncChannel;
-use aapm_telemetry::pmc::PmcDriver;
-use aapm_telemetry::sensor::ThermalSensor;
 use aapm_telemetry::trace::RunTrace;
 
-use crate::governor::{Governor, SampleContext};
+use crate::governor::Governor;
 use crate::report::RunReport;
-use crate::runtime::SimulationConfig;
+use crate::runtime::{Session, SimulationConfig};
 
 /// The result of a measurement session.
 #[derive(Debug, Clone)]
@@ -59,11 +58,13 @@ impl SessionReport {
 
 /// Runs `programs` back-to-back under one governor on one machine timeline.
 ///
-/// Each program runs on a fresh machine program counter but the governor,
-/// DAQ, sensors, and p-state persist across boundaries (machines are
-/// re-created per program because a [`Machine`] owns its program; the
-/// outgoing p-state and throttle are carried into the next machine, and
-/// elapsed session time keeps accumulating in the trace).
+/// Each program runs on a fresh machine program counter but the governor
+/// and p-state persist across boundaries (machines are re-created per
+/// program because a machine owns its program; the outgoing p-state is
+/// carried into the next machine, and elapsed session time keeps
+/// accumulating in the trace). Per-workload telemetry seeds are derived
+/// from `config.seed` plus the workload's index, so a session is
+/// reproducible workload by workload.
 ///
 /// # Errors
 ///
@@ -94,57 +95,36 @@ pub fn run_session(
                 .execution_variation(machine_config.execution_variation());
             b.build()?
         };
-        let mut machine = Machine::new(per_run_config, program.clone());
-        let mut daq = PowerDaq::new(config.daq, config.seed.wrapping_add(index as u64));
-        let mut pmc = PmcDriver::new(governor.events());
-        let mut thermal =
-            ThermalSensor::new(config.thermal_sensor, config.seed.wrapping_add(index as u64));
-        let mut run_trace = RunTrace::new(config.sample_interval);
+        let per_run_sim = SimulationConfig {
+            seed: config.seed.wrapping_add(index as u64),
+            ..config
+        };
+        let mut run =
+            Session::builder(per_run_config, program.clone()).config(per_run_sim).governor(governor).build()?;
 
         markers.rise(session_offset, workload.clone());
-        let mut samples = 0usize;
-        while !machine.finished() && samples < config.max_samples {
-            let interval_pstate = machine.pstate();
-            machine.tick(config.sample_interval);
-            let power = daq.sample(&machine);
-            let counters = pmc.sample(&machine);
-            let temperature = thermal.read(&machine);
-            let ctx = SampleContext {
-                counters: &counters,
-                power: Some(&power),
-                temperature: Some(temperature),
-                current: interval_pstate,
-                table: &table,
-            };
-            let target = governor.decide(&ctx);
-            let throttle = governor.throttle_decision(&ctx);
-            machine.set_pstate(target)?;
-            machine.set_throttle(throttle);
-
-            run_trace.push_sample(&power, interval_pstate, counters.ipc(), counters.dpc());
-            // The session trace carries absolute session time.
-            let mut record = *run_trace.records().last().expect("just pushed");
-            record.time = session_offset + record.time;
-            session_trace.push(record);
-            samples += 1;
+        let mut copied = 0usize;
+        loop {
+            let status = run.step()?;
+            // Mirror freshly traced samples into the continuous session
+            // trace, shifted to absolute session time.
+            let records = run.trace().records();
+            while copied < records.len() {
+                let mut record = records[copied];
+                record.time = session_offset + record.time;
+                session_trace.push(record);
+                copied += 1;
+            }
+            if status.is_finished() {
+                break;
+            }
         }
-        let completed = machine.finished();
-        let execution_time = machine.completion_time().unwrap_or_else(|| machine.elapsed());
-        markers.fall(session_offset + execution_time, workload.clone());
-        session_offset += machine.elapsed();
-        carried_pstate = machine.pstate();
-
-        runs.push(RunReport {
-            workload,
-            governor: governor.name().to_owned(),
-            execution_time,
-            measured_energy: run_trace.measured_energy(),
-            true_energy: machine.true_energy(),
-            transitions: machine.transitions_performed(),
-            completed,
-            trace: run_trace,
-            metrics: aapm_telemetry::metrics::MetricsSnapshot::default(),
-        });
+        let elapsed = run.elapsed();
+        carried_pstate = run.pstate();
+        let (report, _faults) = run.finish();
+        markers.fall(session_offset + report.execution_time, workload.clone());
+        session_offset += elapsed;
+        runs.push(report);
     }
 
     Ok(SessionReport { runs, trace: session_trace, markers })

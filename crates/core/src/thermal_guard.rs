@@ -10,12 +10,12 @@
 //! constant); once the die cools below `cap − hysteresis` the ceiling
 //! relaxes one state per raise window.
 
-use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::PStateId;
 use aapm_platform::thermal::Celsius;
-use aapm_platform::throttle::ThrottleLevel;
+use aapm_telemetry::metrics::{EventKind, Metrics};
 
-use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::governor::{Governor, SampleContext};
+use crate::layer::GovernorLayer;
 
 /// Configuration of the thermal envelope.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,8 @@ pub struct ThermalGuard<G> {
     /// Consecutive sensor reads that returned no temperature.
     miss_streak: usize,
     name: String,
+    /// Observability handle (disabled unless the runtime installs one).
+    metrics: Metrics,
 }
 
 impl<G: Governor> ThermalGuard<G> {
@@ -65,7 +67,15 @@ impl<G: Governor> ThermalGuard<G> {
     /// Wraps `inner` with an explicit envelope configuration.
     pub fn with_config(inner: G, config: ThermalGuardConfig) -> Self {
         let name = format!("thermal<{}>", inner.name());
-        ThermalGuard { inner, config, ceiling: None, relax_streak: 0, miss_streak: 0, name }
+        ThermalGuard {
+            inner,
+            config,
+            ceiling: None,
+            relax_streak: 0,
+            miss_streak: 0,
+            name,
+            metrics: Metrics::disabled(),
+        }
     }
 
     /// The wrapped governor.
@@ -83,6 +93,19 @@ impl<G: Governor> ThermalGuard<G> {
         &self.config
     }
 
+    /// Records and applies a lowered ceiling (no event when the ratchet is
+    /// already pinned at the same state, to bound trace volume).
+    fn lower_ceiling(&mut self, ctx: &SampleContext<'_>, lowered: PStateId) {
+        if self.ceiling != Some(lowered) {
+            self.metrics.inc("thermal_guard.ceiling_lowered");
+            self.metrics.event(
+                ctx.counters.end,
+                EventKind::ThermalCeilingLowered { ceiling: lowered.index() },
+            );
+        }
+        self.ceiling = Some(lowered);
+    }
+
     fn update_ceiling(&mut self, ctx: &SampleContext<'_>) {
         let Some(temperature) = ctx.temperature else {
             // Sensor dropout. Brief gaps are harmless (temperature moves on
@@ -97,7 +120,7 @@ impl<G: Governor> ThermalGuard<G> {
                     .table
                     .next_lower(current_ceiling.min(ctx.current))
                     .unwrap_or(ctx.table.lowest());
-                self.ceiling = Some(lowered);
+                self.lower_ceiling(ctx, lowered);
             }
             return;
         };
@@ -108,14 +131,22 @@ impl<G: Governor> ThermalGuard<G> {
             let current_ceiling = self.ceiling.unwrap_or_else(|| ctx.table.highest());
             let lowered =
                 ctx.table.next_lower(current_ceiling.min(ctx.current)).unwrap_or(ctx.table.lowest());
-            self.ceiling = Some(lowered);
+            self.lower_ceiling(ctx, lowered);
         } else if temperature.degrees() < self.config.cap.degrees() - self.config.hysteresis_c {
             // Comfortably cool: relax slowly.
             if let Some(ceiling) = self.ceiling {
                 self.relax_streak += 1;
                 if self.relax_streak >= self.config.relax_samples {
                     self.relax_streak = 0;
-                    self.ceiling = ctx.table.next_higher(ceiling);
+                    let raised = ctx.table.next_higher(ceiling);
+                    self.ceiling = raised;
+                    self.metrics.inc("thermal_guard.ceiling_raised");
+                    self.metrics.event(
+                        ctx.counters.end,
+                        EventKind::ThermalCeilingRaised {
+                            ceiling: raised.unwrap_or_else(|| ctx.table.highest()).index(),
+                        },
+                    );
                 }
             }
         } else {
@@ -124,16 +155,20 @@ impl<G: Governor> ThermalGuard<G> {
     }
 }
 
-impl<G: Governor> Governor for ThermalGuard<G> {
-    fn name(&self) -> &str {
+impl<G: Governor> GovernorLayer for ThermalGuard<G> {
+    fn layer_name(&self) -> &str {
         &self.name
     }
 
-    fn events(&self) -> Vec<HardwareEvent> {
-        self.inner.events()
+    fn inner_governor(&self) -> &dyn Governor {
+        &self.inner
     }
 
-    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+    fn inner_governor_mut(&mut self) -> &mut dyn Governor {
+        &mut self.inner
+    }
+
+    fn layer_decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
         self.update_ceiling(ctx);
         let wanted = self.inner.decide(ctx);
         match self.ceiling {
@@ -142,16 +177,8 @@ impl<G: Governor> Governor for ThermalGuard<G> {
         }
     }
 
-    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
-        self.inner.throttle_decision(ctx)
-    }
-
-    fn command(&mut self, command: GovernorCommand) {
-        self.inner.command(command);
-    }
-
-    fn install_metrics(&mut self, metrics: aapm_telemetry::metrics::Metrics) {
-        self.inner.install_metrics(metrics);
+    fn layer_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 }
 

@@ -11,12 +11,11 @@
 //! is consistent when control returns.
 
 use aapm_platform::error::PlatformError;
-use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::PStateId;
-use aapm_platform::throttle::ThrottleLevel;
 use aapm_telemetry::metrics::{EventKind, Metrics};
 
-use crate::governor::{Governor, GovernorCommand, SampleContext};
+use crate::governor::{Governor, SampleContext};
+use crate::layer::GovernorLayer;
 
 /// Tunables of the telemetry watchdog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,16 +121,20 @@ impl<G: Governor> Watchdog<G> {
     }
 }
 
-impl<G: Governor> Governor for Watchdog<G> {
-    fn name(&self) -> &str {
+impl<G: Governor> GovernorLayer for Watchdog<G> {
+    fn layer_name(&self) -> &str {
         &self.name
     }
 
-    fn events(&self) -> Vec<HardwareEvent> {
-        self.inner.events()
+    fn inner_governor(&self) -> &dyn Governor {
+        &self.inner
     }
 
-    fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+    fn inner_governor_mut(&mut self) -> &mut dyn Governor {
+        &mut self.inner
+    }
+
+    fn layer_decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
         if Watchdog::<G>::is_blind(ctx) {
             self.loss_streak += 1;
             self.healthy_streak = 0;
@@ -168,16 +171,7 @@ impl<G: Governor> Governor for Watchdog<G> {
         }
     }
 
-    fn throttle_decision(&mut self, ctx: &SampleContext<'_>) -> ThrottleLevel {
-        self.inner.throttle_decision(ctx)
-    }
-
-    fn command(&mut self, command: GovernorCommand) {
-        self.inner.command(command);
-    }
-
-    fn install_metrics(&mut self, metrics: Metrics) {
-        self.inner.install_metrics(metrics.clone());
+    fn layer_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
     }
 }
@@ -188,6 +182,7 @@ mod tests {
     use crate::limits::PowerLimit;
     use crate::pm::PerformanceMaximizer;
     use aapm_models::power_model::PowerModel;
+    use aapm_platform::events::HardwareEvent;
     use aapm_platform::pstate::PStateTable;
     use aapm_platform::units::{Seconds, Watts};
     use aapm_telemetry::daq::PowerSample;

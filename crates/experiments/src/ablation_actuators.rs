@@ -11,10 +11,8 @@
 
 use aapm::baselines::Unconstrained;
 use aapm::governor::Governor;
-use aapm::limits::PerformanceFloor;
-use aapm::ps::PowerSave;
+use aapm::spec::GovernorSpec;
 use aapm::thermal_guard::{ThermalGuard, ThermalGuardConfig};
-use aapm::throttle_save::ThrottleSave;
 use aapm_platform::error::Result;
 use aapm_platform::thermal::Celsius;
 use aapm_workloads::spec;
@@ -22,7 +20,9 @@ use aapm_workloads::spec;
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+// The thermal-envelope cell tunes `ThermalGuardConfig::cap`, which the spec
+// grammar does not expose, so it keeps the closure-based `median_run`.
+use crate::runner::{median_run, median_run_spec};
 use crate::table::{f3, pct, TextTable};
 
 /// DVFS vs clock throttling at matched performance floors.
@@ -48,30 +48,39 @@ pub fn throttle_vs_dvfs(ctx: &ExperimentContext, pool: &Pool) -> Result<Experime
     // unconstrained reference.
     type FloorRow = (f64, f64, f64, f64, f64);
     let names = ["sixtrack", "gzip", "swim"];
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = names
         .into_iter()
         .map(|name| {
             move || -> Result<Vec<FloorRow>> {
                 let bench = spec::by_name(name).expect("known benchmark");
-                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-                let reference =
-                    median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
+                let reference = median_run_spec(
+                    pool,
+                    &GovernorSpec::Unconstrained,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 let mut rows = Vec::new();
                 for floor in [0.75, 0.5] {
-                    let ps_factory = || {
-                        Box::new(PowerSave::new(
-                            ctx.perf_model_paper(),
-                            PerformanceFloor::new(floor).expect("valid floor"),
-                        )) as Box<dyn Governor>
-                    };
-                    let ps = median_run(pool, &ps_factory, bench.program(), ctx.table(), &[])?;
-                    let th_factory = || {
-                        Box::new(ThrottleSave::new(
-                            PerformanceFloor::new(floor).expect("valid floor"),
-                        )) as Box<dyn Governor>
-                    };
-                    let throttled =
-                        median_run(pool, &th_factory, bench.program(), ctx.table(), &[])?;
+                    let ps = median_run_spec(
+                        pool,
+                        &GovernorSpec::Ps { floor },
+                        models_ref,
+                        bench.program(),
+                        ctx.table(),
+                        &[],
+                    )?;
+                    let throttled = median_run_spec(
+                        pool,
+                        &GovernorSpec::ThrottleSave { floor },
+                        models_ref,
+                        bench.program(),
+                        ctx.table(),
+                        &[],
+                    )?;
                     rows.push((
                         floor,
                         ps.energy_savings_vs(&reference),
@@ -124,9 +133,17 @@ pub fn thermal_envelope(ctx: &ExperimentContext, pool: &Pool) -> Result<Experime
     let cap = Celsius::new(72.0);
 
     let program_ref = &program;
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let free_cell = move || {
-        let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-        median_run(pool, &un_factory, program_ref, ctx.table(), &[])
+        median_run_spec(
+            pool,
+            &GovernorSpec::Unconstrained,
+            models_ref,
+            program_ref,
+            ctx.table(),
+            &[],
+        )
     };
     let guarded_cell = move || {
         let config = ThermalGuardConfig { cap, ..ThermalGuardConfig::default() };
@@ -189,9 +206,7 @@ pub fn thermal_envelope(ctx: &ExperimentContext, pool: &Pool) -> Result<Experime
 ///
 /// Propagates platform errors.
 pub fn deep_caps(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
-    use aapm::combined_pm::CombinedPm;
     use aapm::limits::PowerLimit;
-    use aapm::pm::PerformanceMaximizer;
 
     let mut out = ExperimentOutput::new(
         "ablation-deepcap",
@@ -207,25 +222,37 @@ pub fn deep_caps(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutpu
         "combined_slowdown",
     ]);
     let gzip_ref = &gzip;
-    let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let reference = median_run(pool, &un_factory, gzip.program(), ctx.table(), &[])?;
+    let models = ctx.spec_models();
+    let models_ref = &models;
+    let reference = median_run_spec(
+        pool,
+        &GovernorSpec::Unconstrained,
+        models_ref,
+        gzip.program(),
+        ctx.table(),
+        &[],
+    )?;
     let limits_w = [5.5, 4.5, 3.5, 2.5];
     let cells: Vec<_> = limits_w
         .into_iter()
         .map(|watts| {
             move || -> Result<(aapm::report::RunReport, aapm::report::RunReport)> {
-                let limit = PowerLimit::new(watts).expect("valid limit");
-                let pm_factory = || {
-                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let pm = median_run(pool, &pm_factory, gzip_ref.program(), ctx.table(), &[])?;
-                let combined_factory = || {
-                    Box::new(CombinedPm::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let combined =
-                    median_run(pool, &combined_factory, gzip_ref.program(), ctx.table(), &[])?;
+                let pm = median_run_spec(
+                    pool,
+                    &GovernorSpec::Pm { limit_w: watts },
+                    models_ref,
+                    gzip_ref.program(),
+                    ctx.table(),
+                    &[],
+                )?;
+                let combined = median_run_spec(
+                    pool,
+                    &GovernorSpec::CombinedPm { limit_w: watts },
+                    models_ref,
+                    gzip_ref.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok((pm, combined))
             }
         })
@@ -258,8 +285,6 @@ pub fn deep_caps(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutpu
 /// Propagates platform errors.
 pub fn phase_pm(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     use aapm::limits::PowerLimit;
-    use aapm::phase_pm::PhasePm;
-    use aapm::pm::PerformanceMaximizer;
 
     let mut out = ExperimentOutput::new(
         "ablation-phase",
@@ -276,23 +301,29 @@ pub fn phase_pm(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput
     // ammp's phase alternation is where the detector helps; galgel's bursts
     // are where eager raising risks violations.
     let cases = [("ammp", 10.5), ("ammp", 12.5), ("galgel", 13.5), ("galgel", 15.5)];
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = cases
         .into_iter()
         .map(|(name, watts)| {
             move || -> Result<(aapm::report::RunReport, aapm::report::RunReport)> {
                 let bench = spec::by_name(name).expect("known benchmark");
-                let limit = PowerLimit::new(watts).expect("valid limit");
-                let pm_factory = || {
-                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let pm = median_run(pool, &pm_factory, bench.program(), ctx.table(), &[])?;
-                let phase_factory = || {
-                    Box::new(PhasePm::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let phased =
-                    median_run(pool, &phase_factory, bench.program(), ctx.table(), &[])?;
+                let pm = median_run_spec(
+                    pool,
+                    &GovernorSpec::Pm { limit_w: watts },
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
+                let phased = median_run_spec(
+                    pool,
+                    &GovernorSpec::PhasePm { limit_w: watts },
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok((pm, phased))
             }
         })

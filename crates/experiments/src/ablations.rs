@@ -9,11 +9,10 @@
 //! * **Demand-based switching**: the related-work baseline saves nothing at
 //!   full load, motivating PS.
 
-use aapm::baselines::{DemandBasedSwitching, Unconstrained};
-use aapm::feedback::FeedbackPm;
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
 use aapm::pm::{PerformanceMaximizer, PmConfig};
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_platform::units::Watts;
 use aapm_workloads::spec;
@@ -21,7 +20,10 @@ use aapm_workloads::spec;
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+// The guardband and raise-window sweeps tune `PmConfig` fields the spec
+// grammar deliberately does not expose, so they keep the closure-based
+// `median_run`; everything spec-expressible goes through `median_run_spec`.
+use crate::runner::{median_run, median_run_spec};
 use crate::table::{f3, pct, TextTable};
 
 /// The limit used by the galgel-focused ablations: the paper's worst case.
@@ -145,21 +147,31 @@ pub fn feedback(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput
     let mut compared = 0usize;
     let limits_w = [17.5, 15.5, 13.5, 11.5];
     let galgel_ref = &galgel;
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = limits_w
         .into_iter()
         .map(|watts| {
             move || -> Result<(f64, f64, f64, f64)> {
                 let limit = PowerLimit::new(watts).expect("valid limit");
-                let pm_factory = || {
-                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let pm = median_run(pool, &pm_factory, galgel_ref.program(), ctx.table(), &[])?;
-                let fb_factory = || {
-                    Box::new(FeedbackPm::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let fb = median_run(pool, &fb_factory, galgel_ref.program(), ctx.table(), &[])?;
+                let pm_spec = GovernorSpec::Pm { limit_w: watts };
+                let pm = median_run_spec(
+                    pool,
+                    &pm_spec,
+                    models_ref,
+                    galgel_ref.program(),
+                    ctx.table(),
+                    &[],
+                )?;
+                let fb_spec = GovernorSpec::FeedbackPm { limit_w: watts };
+                let fb = median_run_spec(
+                    pool,
+                    &fb_spec,
+                    models_ref,
+                    galgel_ref.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok((
                     pm.violation_fraction(limit.watts(), 10),
                     fb.violation_fraction(limit.watts(), 10),
@@ -208,17 +220,30 @@ pub fn dbs(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut table = TextTable::new(vec!["benchmark", "dbs_energy_savings", "dbs_slowdown"]);
     let mut worst_saving = 0.0f64;
     let benches: Vec<_> = spec::suite().into_iter().take(8).collect();
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = benches
         .iter()
         .map(|bench| {
             move || -> Result<(f64, f64)> {
-                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-                let reference =
-                    median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
-                let dbs_factory =
-                    || Box::new(DemandBasedSwitching::new()) as Box<dyn Governor>;
-                let dbs_run =
-                    median_run(pool, &dbs_factory, bench.program(), ctx.table(), &[])?;
+                let reference = median_run_spec(
+                    pool,
+                    &GovernorSpec::Unconstrained,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
+                // Matches `DemandBasedSwitching::new()`'s 0.8 default.
+                let dbs_spec = GovernorSpec::Dbs { target_utilization: 0.8 };
+                let dbs_run = median_run_spec(
+                    pool,
+                    &dbs_spec,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok((
                     dbs_run.energy_savings_vs(&reference),
                     dbs_run.execution_time / reference.execution_time,

@@ -5,6 +5,7 @@
 //!                       [--trace-out <dir>] [--metrics-out <path>]
 //! aapm-experiments all --csv results/ --jobs 4
 //! aapm-experiments --list
+//! aapm-experiments --list-governors
 //! ```
 //!
 //! `--jobs 1` forces the serial path (the determinism reference); the
@@ -30,6 +31,7 @@ fn usage() {
     );
     eprintln!("       aapm-experiments --bench-machine [--out <path>]");
     eprintln!("       aapm-experiments --list");
+    eprintln!("       aapm-experiments --list-governors");
 }
 
 /// Runs the machine throughput benchmark and writes the report.
@@ -118,6 +120,16 @@ fn main() -> ExitCode {
     if args[0] == "--list" {
         for id in ALL_IDS {
             println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "--list-governors" {
+        let width =
+            aapm::spec::REGISTRY.iter().map(|e| e.kind.len()).max().unwrap_or(0);
+        for entry in aapm::spec::REGISTRY {
+            let params =
+                if entry.params.is_empty() { String::new() } else { format!(" {{{}}}", entry.params) };
+            println!("{:width$}{params}  — {}", entry.kind, entry.description);
         }
         return ExitCode::SUCCESS;
     }

@@ -4,6 +4,7 @@
 //! (characterize 12 loops, run them at 8 p-states, fit). The context does it
 //! once and is shared by reference across all experiment modules.
 
+use aapm::spec::SpecModels;
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
 use aapm_models::training::{
@@ -99,5 +100,14 @@ impl ExperimentContext {
     /// The raw training data (for the Table II experiment's error columns).
     pub fn training(&self) -> &TrainingData {
         &self.training
+    }
+
+    /// The model set governor specs are built against in this context:
+    /// the *trained* power model plus the paper's primary performance
+    /// parameters — the same pair the factory-based experiments always
+    /// used, as opposed to [`SpecModels::default`]'s published Table II
+    /// coefficients.
+    pub fn spec_models(&self) -> SpecModels {
+        SpecModels { power: self.power_model.clone(), perf: self.perf_model_paper() }
     }
 }

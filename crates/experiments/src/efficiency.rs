@@ -7,19 +7,14 @@
 //! dominates), and PM sits between — it spends energy only where the limit
 //! allows performance to buy something.
 
-use aapm::baselines::{StaticClock, Unconstrained};
-use aapm::governor::Governor;
-use aapm::limits::{PerformanceFloor, PowerLimit};
-use aapm::pm::PerformanceMaximizer;
-use aapm::ps::PowerSave;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
-use aapm_platform::pstate::PStateId;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+use crate::runner::median_run_spec;
 use crate::table::{f3, TextTable};
 
 /// The representative mix: one memory-bound, one phased, one hot.
@@ -43,55 +38,33 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
         "ed2p_js2",
     ]);
 
-    type Factory<'a> = Box<dyn Fn() -> Box<dyn Governor> + Send + Sync + 'a>;
-    let power_model = ctx.power_model().clone();
-    let perf_model = ctx.perf_model_paper();
-    let governors: Vec<(&str, Factory<'_>)> = vec![
-        ("unconstrained", Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>)),
-        (
-            "static-1400",
-            Box::new(|| Box::new(StaticClock::new(PStateId::new(4))) as Box<dyn Governor>),
-        ),
-        (
-            "pm-13.5W",
-            Box::new(move || {
-                Box::new(PerformanceMaximizer::new(
-                    power_model.clone(),
-                    PowerLimit::new(13.5).expect("valid limit"),
-                )) as Box<dyn Governor>
-            }),
-        ),
-        (
-            "ps-80%",
-            Box::new(move || {
-                Box::new(PowerSave::new(
-                    perf_model,
-                    PerformanceFloor::new(0.8).expect("valid floor"),
-                )) as Box<dyn Governor>
-            }),
-        ),
-        (
-            "ps-60%",
-            Box::new(move || {
-                Box::new(PowerSave::new(
-                    perf_model,
-                    PerformanceFloor::new(0.6).expect("valid floor"),
-                )) as Box<dyn Governor>
-            }),
-        ),
+    let governors: Vec<(&str, GovernorSpec)> = vec![
+        ("unconstrained", GovernorSpec::Unconstrained),
+        ("static-1400", GovernorSpec::StaticClock { pstate: 4 }),
+        ("pm-13.5W", GovernorSpec::Pm { limit_w: 13.5 }),
+        ("ps-80%", GovernorSpec::Ps { floor: 0.8 }),
+        ("ps-60%", GovernorSpec::Ps { floor: 0.6 }),
     ];
 
+    let models = ctx.spec_models();
+    let models_ref = &models;
     // One cell per governor, covering its three-benchmark mix.
     let cells: Vec<_> = governors
         .iter()
-        .map(|(_, factory)| {
+        .map(|(_, governor)| {
             move || -> Result<(f64, f64)> {
                 let mut time = 0.0;
                 let mut energy = 0.0;
                 for name in MIX {
                     let bench = spec::by_name(name).expect("mix is in the suite");
-                    let report =
-                        median_run(pool, factory.as_ref(), bench.program(), ctx.table(), &[])?;
+                    let report = median_run_spec(
+                        pool,
+                        governor,
+                        models_ref,
+                        bench.program(),
+                        ctx.table(),
+                        &[],
+                    )?;
                     time += report.execution_time.seconds();
                     energy += report.measured_energy.joules();
                 }

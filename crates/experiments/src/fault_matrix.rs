@@ -9,13 +9,10 @@
 //! hold adherence close to the fault-free baseline up to ~10 % dropout,
 //! trading a bounded amount of performance instead.
 
-use aapm::governor::Governor;
-use aapm::limits::{PerformanceFloor, PowerLimit};
-use aapm::pm::PerformanceMaximizer;
-use aapm::ps::PowerSave;
+use aapm::limits::PowerLimit;
 use aapm::report::RunReport;
-use aapm::runtime::{run_observed, SimulationConfig};
-use aapm::watchdog::Watchdog;
+use aapm::runtime::{Session, SimulationConfig};
+use aapm::spec::{GovernorSpec, SpecModels};
 use aapm_platform::error::Result;
 use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::PStateTable;
@@ -52,15 +49,18 @@ fn fault_config(rate: f64, seed: u64) -> FaultConfig {
 }
 
 /// Median-execution-time faulted run over the paper's three seeds, fanned
-/// out over the pool.
+/// out over the pool. The governor is built fresh per seed from `spec`.
 fn median_faulted_run(
     pool: &Pool,
-    make_governor: &(dyn Fn() -> Box<dyn Governor> + Sync),
+    spec: &GovernorSpec,
+    models: &SpecModels,
     program: &PhaseProgram,
     table: &PStateTable,
     rate: f64,
 ) -> Result<(RunReport, FaultStats)> {
     let observer = pool.observer().cloned();
+    let spec_json = spec.to_json();
+    let spec_json = spec_json.as_str();
     let cells: Vec<_> = RUN_SEEDS
         .into_iter()
         .map(|seed| {
@@ -76,24 +76,20 @@ fn median_faulted_run(
                     faults: fault_config(rate, seed ^ 0xFA17),
                     ..SimulationConfig::default()
                 };
-                let mut governor = make_governor();
+                let mut governor = spec.build(models)?;
                 let metrics =
                     if observer.is_some() { Metrics::enabled() } else { Metrics::disabled() };
-                let (report, stats) = run_observed(
-                    governor.as_mut(),
-                    machine,
-                    program.clone(),
-                    sim,
-                    &[],
-                    &[],
-                    &metrics,
-                )?;
+                let (report, stats) = Session::builder(machine, program.clone())
+                    .config(sim)
+                    .governor(governor.as_mut())
+                    .observer(&metrics)
+                    .run()?;
                 if let Some(observer) = &observer {
                     let label = format!(
                         "{}-{}-r{:.2}-s{seed}",
                         report.workload, report.governor, rate
                     );
-                    observer.observe_run(&label, &metrics);
+                    observer.observe_run_with_spec(&label, &metrics, Some(spec_json));
                 }
                 Ok((report, stats))
             }
@@ -118,32 +114,30 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     );
     let ammp = spec::by_name("ammp").expect("ammp is in the suite");
     let limit = PowerLimit::new(PM_LIMIT_W).expect("valid limit");
-    let floor = PerformanceFloor::new(PS_FLOOR).expect("valid floor");
 
     let mut table =
         TextTable::new(vec!["governor", "dropout", "violations", "slowdown", "telemetry_losses"]);
     // One cell per (governor, rate); per-governor baselines (rate 0.0) are
     // resolved at merge time, so the cells stay independent.
-    let governor_names = ["pm", "ps", "watchdog<pm>"];
-    let ammp_ref = &ammp;
+    let governor_specs = [
+        GovernorSpec::Pm { limit_w: PM_LIMIT_W },
+        GovernorSpec::Ps { floor: PS_FLOOR },
+        GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::Pm { limit_w: PM_LIMIT_W }) },
+    ];
+    let models = ctx.spec_models();
+    let (ammp_ref, specs_ref, models_ref) = (&ammp, &governor_specs, &models);
     let mut cells = Vec::new();
-    for governor_name in governor_names {
+    for governor_spec in specs_ref {
         for rate in DROPOUT_RATES {
             cells.push(move || -> Result<(f64, f64, u64)> {
-                let factory = move || -> Box<dyn Governor> {
-                    match governor_name {
-                        "pm" => {
-                            Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        }
-                        "ps" => Box::new(PowerSave::new(ctx.perf_model_paper(), floor)),
-                        _ => Box::new(Watchdog::new(PerformanceMaximizer::new(
-                            ctx.power_model().clone(),
-                            limit,
-                        ))),
-                    }
-                };
-                let (report, stats) =
-                    median_faulted_run(pool, &factory, ammp_ref.program(), ctx.table(), rate)?;
+                let (report, stats) = median_faulted_run(
+                    pool,
+                    governor_spec,
+                    models_ref,
+                    ammp_ref.program(),
+                    ctx.table(),
+                    rate,
+                )?;
                 Ok((
                     report.execution_time.seconds(),
                     report.violation_fraction(limit.watts(), 10),
@@ -153,13 +147,14 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
         }
     }
     let results = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;
-    for (g, governor_name) in governor_names.into_iter().enumerate() {
+    for (g, governor_spec) in governor_specs.iter().enumerate() {
+        let governor_name = governor_spec.governor_name();
         let per_rate = &results[g * DROPOUT_RATES.len()..(g + 1) * DROPOUT_RATES.len()];
         let baseline = per_rate[0].0;
         for (rate, &(time, violations, losses)) in DROPOUT_RATES.into_iter().zip(per_rate) {
             let slowdown = time / baseline - 1.0;
             table.row(vec![
-                governor_name.into(),
+                governor_name.clone(),
                 pct(rate),
                 pct(violations),
                 pct(slowdown),

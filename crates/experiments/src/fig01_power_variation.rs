@@ -7,15 +7,14 @@
 //! power and the suite-wide range, plus a downsampled sample trace suitable
 //! for plotting.
 
-use aapm::baselines::Unconstrained;
-use aapm::governor::Governor;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+use crate::runner::median_run_spec;
 use crate::table::{f3, pct, TextTable};
 
 /// Peak operating power used to normalize the range (the Pentium M 755's
@@ -38,12 +37,20 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut suite_min = f64::INFINITY;
     let mut suite_max = f64::NEG_INFINITY;
     let benches = spec::suite();
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = benches
         .iter()
         .map(|bench| {
             move || {
-                let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-                median_run(pool, &factory, bench.program(), ctx.table(), &[])
+                median_run_spec(
+                    pool,
+                    &GovernorSpec::Unconstrained,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )
             }
         })
         .collect();

@@ -4,8 +4,7 @@
 //! workloads spanning the spectrum: memory-bound `swim` (flat), in-between
 //! `gap`, and core-bound `sixtrack` (linear in frequency).
 
-use aapm::baselines::StaticClock;
-use aapm::governor::Governor;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_platform::units::MegaHertz;
 use aapm_workloads::spec;
@@ -13,7 +12,7 @@ use aapm_workloads::spec;
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+use crate::runner::median_run_spec;
 use crate::table::{f3, TextTable};
 
 /// The three workloads of the paper's figure.
@@ -37,6 +36,8 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut swim_range = 0.0f64;
     let mut sixtrack_range = 0.0f64;
     // One cell per (workload, frequency), merged back in submission order.
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let mut cells = Vec::new();
     for name in WORKLOADS {
         let bench = spec::by_name(name).expect("figure workloads are in the suite");
@@ -44,8 +45,15 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
             let bench = bench.clone();
             cells.push(move || {
                 let id = ctx.table().id_of_frequency(MegaHertz::new(mhz))?;
-                let factory = || Box::new(StaticClock::new(id)) as Box<dyn Governor>;
-                let report = median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                let static_clock = GovernorSpec::StaticClock { pstate: id.index() };
+                let report = median_run_spec(
+                    pool,
+                    &static_clock,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok(report.execution_time.seconds())
             });
         }

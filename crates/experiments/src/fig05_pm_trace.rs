@@ -6,23 +6,18 @@
 //! runs, emits downsampled power/frequency traces, and summarizes p-state
 //! residency and completion times.
 
-use aapm::baselines::Unconstrained;
-use aapm::governor::Governor;
-use aapm::limits::PowerLimit;
-use aapm::pm::PerformanceMaximizer;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+use crate::runner::median_run_spec;
 use crate::table::{f3, pct, TextTable};
 
 /// The two PM limits of the paper's figure.
 pub const LIMITS_W: [f64; 2] = [14.5, 10.5];
-
-type GovernorFactory = Box<dyn Fn() -> Box<dyn Governor> + Send + Sync>;
 
 /// Runs the experiment.
 ///
@@ -46,28 +41,20 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     ]);
     let mut trace = TextTable::new(vec!["configuration", "t_ms", "power_w", "freq_mhz"]);
 
-    let mut configs: Vec<(String, GovernorFactory)> = vec![(
-        "unconstrained".to_owned(),
-        Box::new(|| Box::new(Unconstrained::new()) as Box<dyn Governor>),
-    )];
+    let mut configs: Vec<(String, GovernorSpec)> =
+        vec![("unconstrained".to_owned(), GovernorSpec::Unconstrained)];
     for watts in LIMITS_W {
-        let model = ctx.power_model().clone();
-        configs.push((
-            format!("pm-{watts}W"),
-            Box::new(move || {
-                Box::new(PerformanceMaximizer::new(
-                    model.clone(),
-                    PowerLimit::new(watts).expect("limits are positive"),
-                )) as Box<dyn Governor>
-            }),
-        ));
+        configs.push((format!("pm-{watts}W"), GovernorSpec::Pm { limit_w: watts }));
     }
 
-    let ammp_ref = &ammp;
+    let models = ctx.spec_models();
+    let (ammp_ref, models_ref) = (&ammp, &models);
     let cells: Vec<_> = configs
         .iter()
-        .map(|(_, factory)| {
-            move || median_run(pool, factory.as_ref(), ammp_ref.program(), ctx.table(), &[])
+        .map(|(_, governor)| {
+            move || {
+                median_run_spec(pool, governor, models_ref, ammp_ref.program(), ctx.table(), &[])
+            }
         })
         .collect();
     let reports = pool.run(cells).into_iter().collect::<Result<Vec<_>>>()?;

@@ -8,9 +8,7 @@
 //! PM only where the limit sits just above a fixed frequency's own
 //! worst-case power.
 
-use aapm::baselines::{StaticClock, Unconstrained};
-use aapm::governor::Governor;
-use aapm::pm::PerformanceMaximizer;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_platform::pstate::PStateId;
 use aapm_workloads::spec;
@@ -18,22 +16,23 @@ use aapm_workloads::spec;
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::{median_run, pm_power_limits, static_frequency_for_limit, worst_case_power_curve};
+use crate::runner::{
+    median_run_spec, pm_power_limits, static_frequency_for_limit, worst_case_power_curve,
+};
 use crate::table::{f3, TextTable};
 
-/// Suite execution time under a governor factory, with one pool cell per
-/// benchmark.
-fn suite_time(
-    ctx: &ExperimentContext,
-    pool: &Pool,
-    factory: &(dyn Fn() -> Box<dyn Governor> + Sync),
-) -> Result<f64> {
+/// Suite execution time under a registry-described governor, with one pool
+/// cell per benchmark.
+fn suite_time(ctx: &ExperimentContext, pool: &Pool, governor: &GovernorSpec) -> Result<f64> {
     let benches = spec::suite();
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = benches
         .iter()
         .map(|bench| {
             move || {
-                let report = median_run(pool, factory, bench.program(), ctx.table(), &[])?;
+                let report =
+                    median_run_spec(pool, governor, models_ref, bench.program(), ctx.table(), &[])?;
                 Ok(report.execution_time.seconds())
             }
         })
@@ -53,8 +52,7 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
         "Suite performance vs power limit: PM vs static clocking (paper Figure 6)",
     );
     let curve = worst_case_power_curve(pool, ctx.table())?;
-    let unconstrained_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-    let t_unconstrained = suite_time(ctx, pool, &unconstrained_factory)?;
+    let t_unconstrained = suite_time(ctx, pool, &GovernorSpec::Unconstrained)?;
 
     let mut table = TextTable::new(vec![
         "limit_w",
@@ -69,16 +67,12 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
         .iter()
         .map(|&limit| {
             move || -> Result<(f64, PStateId, f64)> {
-                let pm_factory = || {
-                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let t_pm = suite_time(ctx, pool, &pm_factory)?;
+                let pm = GovernorSpec::Pm { limit_w: limit.watts().watts() };
+                let t_pm = suite_time(ctx, pool, &pm)?;
 
                 let static_id = static_frequency_for_limit(curve_ref, ctx.table(), limit);
-                let static_factory =
-                    || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
-                let t_static = suite_time(ctx, pool, &static_factory)?;
+                let static_clock = GovernorSpec::StaticClock { pstate: static_id.index() };
+                let t_static = suite_time(ctx, pool, &static_clock)?;
                 Ok((t_pm, static_id, t_static))
             }
         })

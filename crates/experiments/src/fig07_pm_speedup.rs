@@ -6,17 +6,15 @@
 //! clocking, sorted — as in the paper — by the unconstrained speedup. The
 //! headline: PM reaches ≈86 % of the possible suite speedup.
 
-use aapm::baselines::{StaticClock, Unconstrained};
-use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
-use aapm::pm::PerformanceMaximizer;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::{median_run, static_frequency_for_limit, worst_case_power_curve};
+use crate::runner::{median_run_spec, static_frequency_for_limit, worst_case_power_curve};
 use crate::table::{f3, pct, TextTable};
 
 /// The figure's power limit.
@@ -48,21 +46,33 @@ pub fn compute(ctx: &ExperimentContext, pool: &Pool) -> Result<(Vec<Fig7Row>, f6
     let limit = PowerLimit::new(LIMIT_W).expect("limit is positive");
     let curve = worst_case_power_curve(pool, ctx.table())?;
     let static_id = static_frequency_for_limit(&curve, ctx.table(), limit);
+    let models = ctx.spec_models();
+    let models_ref = &models;
 
     let cells: Vec<_> = spec::suite()
         .into_iter()
         .map(|bench| {
             move || -> Result<Fig7Row> {
-                let pm_factory = || {
-                    Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                        as Box<dyn Governor>
-                };
-                let pm = median_run(pool, &pm_factory, bench.program(), ctx.table(), &[])?;
-                let static_factory =
-                    || Box::new(StaticClock::new(static_id)) as Box<dyn Governor>;
-                let st = median_run(pool, &static_factory, bench.program(), ctx.table(), &[])?;
-                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-                let un = median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?;
+                let pm_spec = GovernorSpec::Pm { limit_w: LIMIT_W };
+                let pm =
+                    median_run_spec(pool, &pm_spec, models_ref, bench.program(), ctx.table(), &[])?;
+                let static_spec = GovernorSpec::StaticClock { pstate: static_id.index() };
+                let st = median_run_spec(
+                    pool,
+                    &static_spec,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
+                let un = median_run_spec(
+                    pool,
+                    &GovernorSpec::Unconstrained,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?;
                 Ok(Fig7Row {
                     benchmark: bench.name().to_owned(),
                     pm_speedup: st.execution_time / pm.execution_time,

@@ -5,17 +5,14 @@
 //! requirement. This experiment reproduces the run and reports the
 //! frequency/power trace, residency, and the realized performance.
 
-use aapm::baselines::Unconstrained;
-use aapm::governor::Governor;
-use aapm::limits::PerformanceFloor;
-use aapm::ps::PowerSave;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::median_run;
+use crate::runner::median_run_spec;
 use crate::table::{f3, pct, TextTable};
 
 /// The figure's performance floor.
@@ -36,21 +33,27 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let reference_cell = {
         let ammp = ammp.clone();
         move || {
-            let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-            median_run(pool, &un_factory, ammp.program(), ctx.table(), &[])
+            median_run_spec(
+                pool,
+                &GovernorSpec::Unconstrained,
+                &ctx.spec_models(),
+                ammp.program(),
+                ctx.table(),
+                &[],
+            )
         }
     };
     let ps_cell = {
         let ammp = ammp.clone();
         move || {
-            let model = ctx.perf_model_paper();
-            let ps_factory = || {
-                Box::new(PowerSave::new(
-                    model,
-                    PerformanceFloor::new(FLOOR).expect("valid floor"),
-                )) as Box<dyn Governor>
-            };
-            median_run(pool, &ps_factory, ammp.program(), ctx.table(), &[])
+            median_run_spec(
+                pool,
+                &GovernorSpec::Ps { floor: FLOOR },
+                &ctx.spec_models(),
+                ammp.program(),
+                ctx.table(),
+                &[],
+            )
         }
     };
     let cells: Vec<Box<dyn FnOnce() -> Result<_> + Send>> =

@@ -49,11 +49,27 @@ impl RunObserver {
     /// Labels need not be unique; duplicates are disambiguated with a
     /// numeric suffix at write time.
     pub fn observe_run(&self, label: &str, metrics: &Metrics) {
-        let record = RunRecord {
-            label: label.to_owned(),
-            jsonl: metrics.events_jsonl(),
-            snapshot: metrics.snapshot(),
-        };
+        self.observe_run_with_spec(label, metrics, None);
+    }
+
+    /// Like [`observe_run`], but when the run's governor was built from a
+    /// [`GovernorSpec`](aapm::spec::GovernorSpec), its JSON form is
+    /// recorded as a `run_spec` header line ahead of the event stream, so
+    /// a trace file is self-describing: the exact governor configuration
+    /// travels with the events it produced.
+    ///
+    /// [`observe_run`]: RunObserver::observe_run
+    pub fn observe_run_with_spec(&self, label: &str, metrics: &Metrics, spec_json: Option<&str>) {
+        let mut jsonl = String::new();
+        if let Some(spec) = spec_json {
+            // Same line shape as every event record: a "t" key first, an
+            // "event" tag second (downstream line-oriented consumers key
+            // on both).
+            jsonl.push_str(&format!("{{\"t\":0.000000,\"event\":\"run_spec\",\"spec\":{spec}}}\n"));
+        }
+        jsonl.push_str(&metrics.events_jsonl());
+        let record =
+            RunRecord { label: label.to_owned(), jsonl, snapshot: metrics.snapshot() };
         self.runs.lock().expect("observer mutex is never poisoned").push(record);
     }
 
@@ -249,6 +265,31 @@ mod tests {
         );
         assert!(json_a.contains("\"runs\": 3"));
         assert!(json_a.contains("\"c.hit\": 3"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_header_precedes_the_event_stream() {
+        let dir = temp_dir("spec");
+        let observer = RunObserver::new(Some(dir.clone()));
+        observer.observe_run_with_spec(
+            "ammp-pm-s11",
+            &instrumented("c.hit", 1.0),
+            Some(r#"{"kind":"pm","limit_w":12.5}"#),
+        );
+        observer.finish(None).unwrap();
+        let trace = fs::read_to_string(dir.join("ammp-pm-s11.jsonl")).unwrap();
+        let mut lines = trace.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(
+            header,
+            r#"{"t":0.000000,"event":"run_spec","spec":{"kind":"pm","limit_w":12.5}}"#
+        );
+        // Every line, header included, keeps the event-record line shape.
+        for line in trace.lines() {
+            assert!(line.starts_with("{\"t\":") && line.ends_with('}'), "{line}");
+        }
+        assert!(lines.next().unwrap().contains("hold_entered"));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -6,15 +6,14 @@
 //! spends approximately 10% of run-time over the power limit". This
 //! experiment reproduces that sweep.
 
-use aapm::governor::Governor;
-use aapm::pm::PerformanceMaximizer;
+use aapm::spec::GovernorSpec;
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::output::ExperimentOutput;
 use crate::pool::Pool;
-use crate::runner::{median_run, pm_power_limits};
+use crate::runner::{median_run_spec, pm_power_limits};
 use crate::table::{pct, TextTable};
 
 /// Violation threshold below which adherence counts as "enforced" (one
@@ -34,6 +33,8 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
     let mut table = TextTable::new(vec!["benchmark", "worst_violation", "worst_limit_w"]);
     let mut offenders = Vec::new();
     let benches = spec::suite();
+    let models = ctx.spec_models();
+    let models_ref = &models;
     let cells: Vec<_> = benches
         .iter()
         .map(|bench| {
@@ -41,11 +42,15 @@ pub fn run(ctx: &ExperimentContext, pool: &Pool) -> Result<ExperimentOutput> {
                 let mut worst = 0.0f64;
                 let mut worst_limit = 0.0;
                 for limit in pm_power_limits() {
-                    let factory = || {
-                        Box::new(PerformanceMaximizer::new(ctx.power_model().clone(), limit))
-                            as Box<dyn Governor>
-                    };
-                    let report = median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                    let pm = GovernorSpec::Pm { limit_w: limit.watts().watts() };
+                    let report = median_run_spec(
+                        pool,
+                        &pm,
+                        models_ref,
+                        bench.program(),
+                        ctx.table(),
+                        &[],
+                    )?;
                     let violation = report.violation_fraction(limit.watts(), 10);
                     if violation > worst {
                         worst = violation;

@@ -5,17 +5,14 @@
 //! performance/energy reference) and at 600 MHz (the upper bound on DVFS
 //! savings the paper sorts Figures 10/11 by).
 
-use aapm::baselines::{StaticClock, Unconstrained};
-use aapm::governor::Governor;
-use aapm::limits::PerformanceFloor;
-use aapm::ps::PowerSave;
+use aapm::spec::{GovernorSpec, SpecModels};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_platform::error::Result;
 use aapm_workloads::spec;
 
 use crate::context::ExperimentContext;
 use crate::pool::Pool;
-use crate::runner::{median_run, ps_floors};
+use crate::runner::{median_run_spec, ps_floors};
 
 /// Which eq.-3 exponent a PS run used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -142,30 +139,47 @@ fn measure_of(report: &aapm::report::RunReport) -> Measure {
 ///
 /// Propagates platform errors.
 pub fn compute(ctx: &ExperimentContext, pool: &Pool) -> Result<PsSweep> {
+    let models = ctx.spec_models();
+    let models_ref = &models;
     // One cell per benchmark; each cell runs its whole 2+8-point grid so
     // the merged sweep keeps the suite's benchmark order.
     let cells: Vec<_> = spec::suite()
         .into_iter()
         .map(|bench| {
             move || -> Result<BenchmarkSweep> {
-                let un_factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
-                let unconstrained =
-                    measure_of(&median_run(pool, &un_factory, bench.program(), ctx.table(), &[])?);
-                let low_factory =
-                    || Box::new(StaticClock::new(ctx.table().lowest())) as Box<dyn Governor>;
-                let at_600mhz =
-                    measure_of(&median_run(pool, &low_factory, bench.program(), ctx.table(), &[])?);
+                let unconstrained = measure_of(&median_run_spec(
+                    pool,
+                    &GovernorSpec::Unconstrained,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?);
+                let low = GovernorSpec::StaticClock { pstate: ctx.table().lowest().index() };
+                let at_600mhz = measure_of(&median_run_spec(
+                    pool,
+                    &low,
+                    models_ref,
+                    bench.program(),
+                    ctx.table(),
+                    &[],
+                )?);
                 let mut ps_runs = Vec::new();
                 for exponent in Exponent::BOTH {
+                    // The exponent under test rides in through the model
+                    // set; the spec itself stays the plain PS entry.
+                    let exp_models =
+                        SpecModels { power: models_ref.power.clone(), perf: exponent.model() };
                     for floor in ps_floors() {
-                        let factory = || {
-                            Box::new(PowerSave::new(
-                                exponent.model(),
-                                PerformanceFloor::new(floor).expect("floors are valid"),
-                            )) as Box<dyn Governor>
-                        };
-                        let report =
-                            median_run(pool, &factory, bench.program(), ctx.table(), &[])?;
+                        let ps = GovernorSpec::Ps { floor };
+                        let report = median_run_spec(
+                            pool,
+                            &ps,
+                            &exp_models,
+                            bench.program(),
+                            ctx.table(),
+                            &[],
+                        )?;
                         ps_runs.push((exponent, floor, measure_of(&report)));
                     }
                 }

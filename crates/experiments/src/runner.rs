@@ -13,7 +13,8 @@
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
 use aapm::report::RunReport;
-use aapm::runtime::{run_observed, ScheduledCommand, SimulationConfig};
+use aapm::runtime::{ScheduledCommand, Session, SimulationConfig};
+use aapm::spec::{GovernorSpec, SpecModels};
 use aapm_telemetry::metrics::Metrics;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
@@ -64,6 +65,39 @@ pub fn median_run(
     table: &PStateTable,
     commands: &[ScheduledCommand],
 ) -> Result<RunReport> {
+    median_run_impl(pool, &|| Ok(make_governor()), None, program, table, commands)
+}
+
+/// [`median_run`] for a registry-described governor: the fresh governor
+/// per seed is built from `spec` against `models`, and the spec's JSON
+/// form is recorded as a `run_spec` header in each run's `--trace-out`
+/// stream. Experiments should prefer this entry point; the closure-based
+/// [`median_run`] remains for configurations the spec grammar cannot
+/// express (ablation-specific tunables).
+///
+/// # Errors
+///
+/// As [`median_run`], plus spec parameter validation.
+pub fn median_run_spec(
+    pool: &Pool,
+    spec: &GovernorSpec,
+    models: &SpecModels,
+    program: &PhaseProgram,
+    table: &PStateTable,
+    commands: &[ScheduledCommand],
+) -> Result<RunReport> {
+    let spec_json = spec.to_json();
+    median_run_impl(pool, &|| spec.build(models), Some(&spec_json), program, table, commands)
+}
+
+fn median_run_impl(
+    pool: &Pool,
+    make_governor: &(dyn Fn() -> Result<Box<dyn Governor>> + Sync),
+    spec_json: Option<&str>,
+    program: &PhaseProgram,
+    table: &PStateTable,
+    commands: &[ScheduledCommand],
+) -> Result<RunReport> {
     let observer = pool.observer().cloned();
     let cells: Vec<_> = RUN_SEEDS
         .into_iter()
@@ -77,24 +111,21 @@ pub fn median_run(
                 };
                 let sim =
                     SimulationConfig { seed: sim_seed(seed), ..SimulationConfig::default() };
-                let mut governor = make_governor();
+                let mut governor = make_governor()?;
                 // Metrics are enabled only when an observer is attached, so
                 // un-observed suites pay nothing.
                 let metrics =
                     if observer.is_some() { Metrics::enabled() } else { Metrics::disabled() };
-                let (report, _stats) = run_observed(
-                    governor.as_mut(),
-                    machine,
-                    program.clone(),
-                    sim,
-                    commands,
-                    &[],
-                    &metrics,
-                )?;
+                let (report, _stats) = Session::builder(machine, program.clone())
+                    .config(sim)
+                    .governor(governor.as_mut())
+                    .commands(commands)
+                    .observer(&metrics)
+                    .run()?;
                 if let Some(observer) = &observer {
                     let label =
                         format!("{}-{}-s{seed}", report.workload, report.governor);
-                    observer.observe_run(&label, &metrics);
+                    observer.observe_run_with_spec(&label, &metrics, spec_json);
                 }
                 Ok(report)
             }
@@ -233,6 +264,26 @@ mod tests {
         assert_eq!(serial.execution_time, parallel.execution_time);
         assert_eq!(serial.measured_energy, parallel.measured_energy);
         assert_eq!(serial.transitions, parallel.transitions);
+    }
+
+    #[test]
+    fn spec_runs_match_factory_runs() {
+        let table = PStateTable::pentium_m_755();
+        let factory = || Box::new(Unconstrained::new()) as Box<dyn Governor>;
+        let pool = Pool::serial();
+        let a = median_run(&pool, &factory, &program(), &table, &[]).unwrap();
+        let b = median_run_spec(
+            &pool,
+            &GovernorSpec::Unconstrained,
+            &SpecModels::default(),
+            &program(),
+            &table,
+            &[],
+        )
+        .unwrap();
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.measured_energy, b.measured_energy);
+        assert_eq!(a.governor, b.governor);
     }
 
     #[test]

@@ -159,6 +159,18 @@ pub enum EventKind {
     },
     /// The watchdog released control back to the inner governor.
     WatchdogReleased,
+    /// A thermal guard lowered its p-state ceiling (hot die or a sustained
+    /// sensor outage forcing the fail-safe ratchet).
+    ThermalCeilingLowered {
+        /// P-state index of the new ceiling.
+        ceiling: usize,
+    },
+    /// A thermal guard relaxed its ceiling one state upward, or dropped it
+    /// entirely (then `ceiling` is the table's highest state).
+    ThermalCeilingRaised {
+        /// P-state index of the new ceiling.
+        ceiling: usize,
+    },
 }
 
 impl EventKind {
@@ -177,6 +189,8 @@ impl EventKind {
             EventKind::CommandDelivered { .. } => "command_delivered",
             EventKind::WatchdogEngaged { .. } => "watchdog_engaged",
             EventKind::WatchdogReleased => "watchdog_released",
+            EventKind::ThermalCeilingLowered { .. } => "thermal_ceiling_lowered",
+            EventKind::ThermalCeilingRaised { .. } => "thermal_ceiling_raised",
         }
     }
 }
@@ -233,6 +247,10 @@ impl Event {
                 let _ = write!(line, ",\"blind_intervals\":{blind_intervals}");
             }
             EventKind::WatchdogReleased => {}
+            EventKind::ThermalCeilingLowered { ceiling }
+            | EventKind::ThermalCeilingRaised { ceiling } => {
+                let _ = write!(line, ",\"ceiling\":{ceiling}");
+            }
         }
         line.push('}');
         line
@@ -470,6 +488,8 @@ mod tests {
             EventKind::CommandDelivered { command: "set_power_limit" },
             EventKind::WatchdogEngaged { blind_intervals: 10 },
             EventKind::WatchdogReleased,
+            EventKind::ThermalCeilingLowered { ceiling: 4 },
+            EventKind::ThermalCeilingRaised { ceiling: 5 },
         ];
         for kind in kinds {
             metrics.event(t, kind);

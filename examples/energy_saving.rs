@@ -13,7 +13,7 @@
 use aapm::baselines::Unconstrained;
 use aapm::limits::PerformanceFloor;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_platform::config::MachineConfig;
 use aapm_workloads::spec;
@@ -27,16 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["swim", "gap", "sixtrack"] {
         let bench = spec::by_name(name).expect("example workloads are in the suite");
         let machine = MachineConfig::pentium_m_755(3);
-        let reference = run(
-            &mut Unconstrained::new(),
-            machine.clone(),
-            bench.program().clone(),
-            sim,
-            &[],
-        )?;
+        let mut unconstrained = Unconstrained::new();
+        let (reference, _) = Session::builder(machine.clone(), bench.program().clone())
+            .config(sim)
+            .governor(&mut unconstrained)
+            .run()?;
         for floor in [0.9, 0.8, 0.6, 0.4] {
             let mut ps = PowerSave::new(model, PerformanceFloor::new(floor)?);
-            let report = run(&mut ps, machine.clone(), bench.program().clone(), sim, &[])?;
+            let (report, _) = Session::builder(machine.clone(), bench.program().clone())
+                .config(sim)
+                .governor(&mut ps)
+                .run()?;
             println!(
                 "{name:<10} {floor:>4.0}%  {:>12.1}%  {:>11.1}%",
                 100.0 * (reference.execution_time / report.execution_time),

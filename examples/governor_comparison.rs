@@ -13,7 +13,7 @@ use aapm::governor::Governor;
 use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
 use aapm_platform::config::MachineConfig;
@@ -63,13 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for bench_name in mix {
             let bench = spec::by_name(bench_name).expect("mix is in the suite");
             let mut governor = factory();
-            let report = run(
-                governor.as_mut(),
-                MachineConfig::pentium_m_755(11),
-                bench.program().clone(),
-                SimulationConfig::default(),
-                &[],
-            )?;
+            let (report, _) =
+                Session::builder(MachineConfig::pentium_m_755(11), bench.program().clone())
+                    .config(SimulationConfig::default())
+                    .governor(governor.as_mut())
+                    .run()?;
             time += report.execution_time.seconds();
             energy += report.measured_energy.joules();
             power_time += report.trace.len() as f64 * 0.01;

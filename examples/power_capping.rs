@@ -15,7 +15,7 @@
 use aapm::governor::GovernorCommand;
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm::runtime::{ScheduledCommand, Session};
 use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
 use aapm_platform::config::MachineConfig;
 use aapm_platform::pstate::PStateTable;
@@ -43,13 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             command: GovernorCommand::SetPowerLimit(PowerLimit::new(9.5)?),
         },
     ];
-    let report = run(
-        &mut pm,
-        MachineConfig::pentium_m_755(7),
-        program,
-        SimulationConfig::default(),
-        &commands,
-    )?;
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(7), program)
+        .governor(&mut pm)
+        .commands(&commands)
+        .run()?;
 
     println!("crafty under a failing power supply:");
     println!("  completed: {} in {:.2} s", report.completed, report.execution_time.seconds());

@@ -12,7 +12,7 @@ use aapm::baselines::Unconstrained;
 use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
 use aapm_platform::config::MachineConfig;
@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = SimulationConfig::default();
 
     // 3. Reference: unconstrained 2 GHz.
-    let reference = run(&mut Unconstrained::new(), machine.clone(), ammp.program().clone(), sim, &[])?;
+    let mut unconstrained = Unconstrained::new();
+    let (reference, _) = Session::builder(machine.clone(), ammp.program().clone())
+        .config(sim)
+        .governor(&mut unconstrained)
+        .run()?;
     println!(
         "unconstrained: {:.2} s, {:.1} J, mean {:.2} W",
         reference.execution_time.seconds(),
@@ -45,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. PerformanceMaximizer under a 14.5 W limit.
     let mut pm = PerformanceMaximizer::new(power_model, PowerLimit::new(14.5)?);
-    let pm_run = run(&mut pm, machine.clone(), ammp.program().clone(), sim, &[])?;
+    let (pm_run, _) = Session::builder(machine.clone(), ammp.program().clone())
+        .config(sim)
+        .governor(&mut pm)
+        .run()?;
     println!(
         "pm @14.5 W:    {:.2} s ({:.1}% of peak perf), max 100 ms window {:.2} W",
         pm_run.execution_time.seconds(),
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PerfModel::new(PerfModelParams::paper()),
         PerformanceFloor::new(0.8)?,
     );
-    let ps_run = run(&mut ps, machine, ammp.program().clone(), sim, &[])?;
+    let (ps_run, _) = Session::builder(machine, ammp.program().clone())
+        .config(sim)
+        .governor(&mut ps)
+        .run()?;
     println!(
         "ps @80% floor: {:.2} s ({:.1}% of peak perf), energy saved {:.1}%",
         ps_run.execution_time.seconds(),

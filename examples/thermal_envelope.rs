@@ -11,7 +11,7 @@ use aapm::baselines::Unconstrained;
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm::thermal_guard::{ThermalGuard, ThermalGuardConfig};
 use aapm_models::power_model::PowerModel;
 use aapm_platform::config::MachineConfig;
@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<26} {:>8} {:>10} {:>8}", "configuration", "time_s", "peak_die_C", "mean_W");
     println!("{}", "-".repeat(56));
     let run_one = |label: &str, governor: &mut dyn Governor| -> Result<(), Box<dyn std::error::Error>> {
-        let report = run(governor, machine.clone(), program.clone(), sim, &[])?;
+        let (report, _) = Session::builder(machine.clone(), program.clone())
+            .config(sim)
+            .governor(governor)
+            .run()?;
         println!(
             "{label:<26} {:>8.2} {:>10.1} {:>8.2}",
             report.execution_time.seconds(),

@@ -9,6 +9,18 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
 cargo bench --no-run --offline
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --offline
+
+# Deprecation gate: the run/run_with_faults/run_observed shims survive only
+# inside aapm-core (as two-line Session::builder calls). Everything else —
+# the binaries, examples, integration tests, and the other crates — must go
+# through the builder. A hit here means a call site regressed.
+if grep -rnE '\b(run_with_faults|run_observed|runtime::run)\s*\(' \
+    --include='*.rs' src examples tests crates \
+    | grep -v '^crates/core/'; then
+    echo "deprecation gate FAIL: deprecated run_* entry points called outside crates/core" >&2
+    exit 1
+fi
 
 # Parallel-harness smoke: the full suite on a 2-wide pool must complete and
 # leave the wall-clock/speedup report behind.

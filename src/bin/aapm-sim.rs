@@ -22,7 +22,7 @@ use aapm::governor::Governor;
 use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm::thermal_guard::{ThermalGuard, ThermalGuardConfig};
 use aapm::throttle_save::ThrottleSave;
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
@@ -220,14 +220,12 @@ fn main() -> ExitCode {
     };
 
     let program = base_program.scaled(args.scale);
-    let report = match run(
-        governor.as_mut(),
-        MachineConfig::pentium_m_755(args.seed),
-        program,
-        SimulationConfig { seed: args.seed ^ 0x51_0b, ..SimulationConfig::default() },
-        &[],
-    ) {
-        Ok(report) => report,
+    let report = match Session::builder(MachineConfig::pentium_m_755(args.seed), program)
+        .config(SimulationConfig { seed: args.seed ^ 0x51_0b, ..SimulationConfig::default() })
+        .governor(governor.as_mut())
+        .run()
+    {
+        Ok((report, _faults)) => report,
         Err(e) => {
             eprintln!("run failed: {e}");
             return ExitCode::FAILURE;

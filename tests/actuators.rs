@@ -4,26 +4,29 @@
 use aapm::baselines::Unconstrained;
 use aapm::combined_pm::CombinedPm;
 
+use aapm::governor::Governor;
 use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::Session;
 use aapm::thermal_guard::{ThermalGuard, ThermalGuardConfig};
 use aapm::throttle_save::ThrottleSave;
 use aapm_models::power_model::PowerModel;
 use aapm_platform::config::MachineConfig;
+use aapm_platform::program::PhaseProgram;
 use aapm_platform::thermal::{Celsius, ThermalModel};
 use aapm_workloads::spec;
 
+fn run_under(governor: &mut dyn Governor, program: PhaseProgram) -> aapm::report::RunReport {
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(3), program)
+        .governor(governor)
+        .run()
+        .expect("session run");
+    report
+}
+
 fn reference(name: &str, scale: f64) -> aapm::report::RunReport {
     let bench = spec::by_name(name).expect("known benchmark");
-    run(
-        &mut Unconstrained::new(),
-        MachineConfig::pentium_m_755(3),
-        bench.program().scaled(scale),
-        SimulationConfig::default(),
-        &[],
-    )
-    .expect("reference run")
+    run_under(&mut Unconstrained::new(), bench.program().scaled(scale))
 }
 
 #[test]
@@ -31,14 +34,7 @@ fn throttle_save_meets_floor_but_saves_nothing() {
     let reference = reference("gzip", 0.5);
     let bench = spec::by_name("gzip").unwrap();
     let mut governor = ThrottleSave::new(PerformanceFloor::new(0.75).unwrap());
-    let report = run(
-        &mut governor,
-        MachineConfig::pentium_m_755(3),
-        bench.program().scaled(0.5),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let report = run_under(&mut governor, bench.program().scaled(0.5));
     let realized = reference.execution_time / report.execution_time;
     assert!(realized >= 0.73, "floor respected: {realized}");
     // Average power drops…
@@ -54,23 +50,9 @@ fn combined_pm_holds_a_cap_below_p0_power() {
     let model = PowerModel::paper_table_ii();
 
     let mut plain = PerformanceMaximizer::new(model.clone(), limit);
-    let plain_run = run(
-        &mut plain,
-        MachineConfig::pentium_m_755(3),
-        bench.program().scaled(0.3),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let plain_run = run_under(&mut plain, bench.program().scaled(0.3));
     let mut combined = CombinedPm::new(model, limit);
-    let combined_run = run(
-        &mut combined,
-        MachineConfig::pentium_m_755(3),
-        bench.program().scaled(0.3),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let combined_run = run_under(&mut combined, bench.program().scaled(0.3));
 
     assert!(
         plain_run.violation_fraction(limit.watts(), 10) > 0.9,
@@ -96,14 +78,7 @@ fn thermal_guard_composes_over_pm() {
         PerformanceMaximizer::new(PowerModel::paper_table_ii(), limit),
         config,
     );
-    let report = run(
-        &mut governor,
-        MachineConfig::pentium_m_755(3),
-        program,
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let report = run_under(&mut governor, program);
     assert!(report.completed);
     // Replay the power trace through the package model: the die must stay
     // within ~1.5 °C of the cap (sensor quantization + one-sample lag).
@@ -124,14 +99,7 @@ fn governor_trait_defaults_keep_clock_ungated() {
     let bench = spec::by_name("swim").unwrap();
     let mut pm =
         PerformanceMaximizer::new(PowerModel::paper_table_ii(), PowerLimit::new(10.5).unwrap());
-    let report = run(
-        &mut pm,
-        MachineConfig::pentium_m_755(3),
-        bench.program().scaled(0.3),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let report = run_under(&mut pm, bench.program().scaled(0.3));
     // swim at 10.5 W barely throttles DVFS; if the clock had been gated the
     // run would stretch far beyond the unconstrained time.
     let reference = reference("swim", 0.3);

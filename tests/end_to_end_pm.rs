@@ -5,10 +5,12 @@ use aapm::baselines::{StaticClock, Unconstrained};
 use aapm::governor::GovernorCommand;
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm::governor::Governor;
+use aapm::runtime::{ScheduledCommand, Session};
 use aapm_models::power_model::PowerModel;
 use aapm_models::training::{collect_training_data, train_power_model, TrainingConfig};
 use aapm_platform::config::MachineConfig;
+use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::{PStateId, PStateTable};
 use aapm_platform::units::Seconds;
 use aapm_workloads::spec;
@@ -20,6 +22,14 @@ fn trained_model() -> PowerModel {
     train_power_model(&data).expect("power model")
 }
 
+fn run_under(governor: &mut dyn Governor, program: PhaseProgram) -> aapm::report::RunReport {
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(5), program)
+        .governor(governor)
+        .run()
+        .expect("run succeeds");
+    report
+}
+
 #[test]
 fn pm_meets_limits_across_representative_workloads() {
     let model = trained_model();
@@ -29,14 +39,7 @@ fn pm_meets_limits_across_representative_workloads() {
         for watts in [16.5, 13.5, 11.5] {
             let limit = PowerLimit::new(watts).unwrap();
             let mut pm = PerformanceMaximizer::new(model.clone(), limit);
-            let report = run(
-                &mut pm,
-                MachineConfig::pentium_m_755(5),
-                bench.program().scaled(0.5),
-                SimulationConfig::default(),
-                &[],
-            )
-            .expect("run succeeds");
+            let report = run_under(&mut pm, bench.program().scaled(0.5));
             assert!(report.completed, "{name} at {watts} W did not finish");
             let violations = report.violation_fraction(limit.watts(), 10);
             assert!(
@@ -57,22 +60,8 @@ fn pm_is_never_slower_than_worst_case_static_clocking() {
         let program = bench.program().scaled(0.5);
         let mut pm =
             PerformanceMaximizer::new(model.clone(), PowerLimit::new(13.5).unwrap());
-        let pm_run = run(
-            &mut pm,
-            MachineConfig::pentium_m_755(5),
-            program.clone(),
-            SimulationConfig::default(),
-            &[],
-        )
-        .unwrap();
-        let static_run = run(
-            &mut StaticClock::new(static_id),
-            MachineConfig::pentium_m_755(5),
-            program,
-            SimulationConfig::default(),
-            &[],
-        )
-        .unwrap();
+        let pm_run = run_under(&mut pm, program.clone());
+        let static_run = run_under(&mut StaticClock::new(static_id), program);
         assert!(
             pm_run.execution_time.seconds() <= static_run.execution_time.seconds() * 1.02,
             "{name}: PM {} vs static {}",
@@ -91,14 +80,11 @@ fn pm_adapts_to_runtime_limit_changes_within_a_sample() {
         at: Seconds::new(1.0),
         command: GovernorCommand::SetPowerLimit(PowerLimit::new(8.5).unwrap()),
     }];
-    let report = run(
-        &mut pm,
-        MachineConfig::pentium_m_755(5),
-        bench.program().clone(),
-        SimulationConfig::default(),
-        &commands,
-    )
-    .unwrap();
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(5), bench.program().clone())
+        .governor(&mut pm)
+        .commands(&commands)
+        .run()
+        .unwrap();
     // Within two samples of the change the p-state must have dropped.
     let after: Vec<_> = report
         .trace
@@ -129,22 +115,8 @@ fn pm_exploits_power_slack_of_cool_workloads() {
     let model = trained_model();
     let bench = spec::by_name("swim").expect("swim exists");
     let mut pm = PerformanceMaximizer::new(model, PowerLimit::new(12.5).unwrap());
-    let pm_run = run(
-        &mut pm,
-        MachineConfig::pentium_m_755(5),
-        bench.program().scaled(0.5),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
-    let unconstrained = run(
-        &mut Unconstrained::new(),
-        MachineConfig::pentium_m_755(5),
-        bench.program().scaled(0.5),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let pm_run = run_under(&mut pm, bench.program().scaled(0.5));
+    let unconstrained = run_under(&mut Unconstrained::new(), bench.program().scaled(0.5));
     let slowdown = pm_run.execution_time / unconstrained.execution_time;
     assert!(
         slowdown < 1.05,

@@ -4,35 +4,29 @@ use aapm::baselines::Unconstrained;
 use aapm::governor::GovernorCommand;
 use aapm::limits::PerformanceFloor;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, ScheduledCommand, SimulationConfig};
+use aapm::governor::Governor;
+use aapm::runtime::{ScheduledCommand, Session};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_platform::config::MachineConfig;
-use aapm_platform::units::Seconds;
 use aapm_workloads::spec;
+use aapm_platform::units::Seconds;
+
+fn run_under(governor: &mut dyn Governor, name: &str, scale: f64) -> aapm::report::RunReport {
+    let bench = spec::by_name(name).expect("known benchmark");
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(5), bench.program().scaled(scale))
+        .governor(governor)
+        .run()
+        .expect("session run");
+    report
+}
 
 fn reference(name: &str, scale: f64) -> aapm::report::RunReport {
-    let bench = spec::by_name(name).expect("known benchmark");
-    run(
-        &mut Unconstrained::new(),
-        MachineConfig::pentium_m_755(5),
-        bench.program().scaled(scale),
-        SimulationConfig::default(),
-        &[],
-    )
-    .expect("reference run")
+    run_under(&mut Unconstrained::new(), name, scale)
 }
 
 fn ps_run(name: &str, scale: f64, floor: f64, params: PerfModelParams) -> aapm::report::RunReport {
-    let bench = spec::by_name(name).expect("known benchmark");
     let mut ps = PowerSave::new(PerfModel::new(params), PerformanceFloor::new(floor).unwrap());
-    run(
-        &mut ps,
-        MachineConfig::pentium_m_755(5),
-        bench.program().scaled(scale),
-        SimulationConfig::default(),
-        &[],
-    )
-    .expect("ps run")
+    run_under(&mut ps, name, scale)
 }
 
 #[test]
@@ -90,14 +84,11 @@ fn ps_adapts_to_floor_changes_at_runtime() {
         at: Seconds::new(1.0),
         command: GovernorCommand::SetPerformanceFloor(PerformanceFloor::new(0.4).unwrap()),
     }];
-    let report = run(
-        &mut ps,
-        MachineConfig::pentium_m_755(5),
-        bench.program().clone(),
-        SimulationConfig::default(),
-        &commands,
-    )
-    .unwrap();
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(5), bench.program().clone())
+        .governor(&mut ps)
+        .commands(&commands)
+        .run()
+        .unwrap();
     let early: Vec<_> =
         report.trace.records().iter().filter(|r| r.time.seconds() < 0.9).collect();
     let late: Vec<_> =

@@ -5,7 +5,7 @@
 
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run, run_with_faults, ScheduledCommand, SimulationConfig};
+use aapm::runtime::{ScheduledCommand, Session, SimulationConfig};
 use aapm::watchdog::{Watchdog, WatchdogConfig};
 use aapm::GovernorCommand;
 use aapm_models::power_model::PowerModel;
@@ -44,28 +44,23 @@ fn dropout_faults(seed: u64, rate: f64) -> FaultConfig {
     }
 }
 
-/// The all-zero fault config must be provably inert: a `run_with_faults`
-/// call produces a bit-identical report to plain `run` and zero stats.
+/// The all-zero fault config must be provably inert: a session built with
+/// an explicit (empty) fault plan produces a bit-identical report to one
+/// built without, and zero stats.
 #[test]
 fn zero_fault_config_is_bit_identical_to_plain_run() {
     let program = short_program(3);
-    let baseline = run(
-        &mut pm(12.5),
-        MachineConfig::pentium_m_755(3),
-        program.clone(),
-        quick_sim(),
-        &[],
-    )
-    .unwrap();
-    let (faulted, stats) = run_with_faults(
-        &mut pm(12.5),
-        MachineConfig::pentium_m_755(3),
-        program,
-        quick_sim(),
-        &[],
-        &[],
-    )
-    .unwrap();
+    let (baseline, _) = Session::builder(MachineConfig::pentium_m_755(3), program.clone())
+        .config(quick_sim())
+        .governor(&mut pm(12.5))
+        .run()
+        .unwrap();
+    let (faulted, stats) = Session::builder(MachineConfig::pentium_m_755(3), program)
+        .config(quick_sim())
+        .governor(&mut pm(12.5))
+        .faults(&[])
+        .run()
+        .unwrap();
     assert!(stats.is_clean(), "inert config must inject nothing: {stats:?}");
     assert_eq!(baseline.execution_time, faulted.execution_time);
     assert_eq!(baseline.measured_energy, faulted.measured_energy);
@@ -90,13 +85,11 @@ fn non_finite_command_times_are_rejected() {
                 command: GovernorCommand::SetPowerLimit(PowerLimit::new(8.0).unwrap()),
             },
         ];
-        let result = run(
-            &mut pm(12.5),
-            MachineConfig::pentium_m_755(1),
-            short_program(1),
-            quick_sim(),
-            &commands,
-        );
+        let result = Session::builder(MachineConfig::pentium_m_755(1), short_program(1))
+            .config(quick_sim())
+            .governor(&mut pm(12.5))
+            .commands(&commands)
+            .run();
         assert!(
             matches!(result, Err(PlatformError::InvalidConfig { parameter: "commands", .. })),
             "time {bad} must be rejected, got {result:?}"
@@ -117,15 +110,12 @@ fn watchdog_forces_safe_pstate_through_blackout_and_recovers() {
     let mut dog = Watchdog::with_config(pm(30.0), config);
     // A long program so the run spans well past the window.
     let program = short_program(7).scaled(10.0);
-    let (report, stats) = run_with_faults(
-        &mut dog,
-        MachineConfig::pentium_m_755(7),
-        program,
-        quick_sim(),
-        &[],
-        &[window],
-    )
-    .unwrap();
+    let (report, stats) = Session::builder(MachineConfig::pentium_m_755(7), program)
+        .config(quick_sim())
+        .governor(&mut dog)
+        .faults(&[window])
+        .run()
+        .unwrap();
     assert!(stats.power_dropouts >= 90, "the window covers ~100 samples");
     let records = report.trace.records();
     let interval = report.trace.interval().seconds();
@@ -156,15 +146,11 @@ fn watchdog_forces_safe_pstate_through_blackout_and_recovers() {
 fn pm_adherence_degrades_gracefully_under_dropout() {
     let limit = 12.5;
     let program = short_program(11);
-    let (clean, _) = run_with_faults(
-        &mut pm(limit),
-        MachineConfig::pentium_m_755(11),
-        program.clone(),
-        quick_sim(),
-        &[],
-        &[],
-    )
-    .unwrap();
+    let (clean, _) = Session::builder(MachineConfig::pentium_m_755(11), program.clone())
+        .config(quick_sim())
+        .governor(&mut pm(limit))
+        .run()
+        .unwrap();
     let clean_violation =
         clean.violation_fraction(PowerLimit::new(limit).unwrap().watts(), 10);
     for rate in [0.02, 0.05, 0.10] {
@@ -172,15 +158,11 @@ fn pm_adherence_degrades_gracefully_under_dropout() {
             faults: dropout_faults(0xD0_11 ^ (rate * 1000.0) as u64, rate),
             ..quick_sim()
         };
-        let (faulted, stats) = run_with_faults(
-            &mut pm(limit),
-            MachineConfig::pentium_m_755(11),
-            program.clone(),
-            sim,
-            &[],
-            &[],
-        )
-        .unwrap();
+        let (faulted, stats) = Session::builder(MachineConfig::pentium_m_755(11), program.clone())
+            .config(sim)
+            .governor(&mut pm(limit))
+            .run()
+            .unwrap();
         assert!(stats.telemetry_losses() > 0, "rate {rate} must inject faults");
         let violation =
             faulted.violation_fraction(PowerLimit::new(limit).unwrap().watts(), 10);
@@ -205,14 +187,11 @@ proptest! {
             ..quick_sim()
         };
         let make = || {
-            run_with_faults(
-                &mut pm(12.5),
-                MachineConfig::pentium_m_755(seed),
-                program.clone(),
-                sim,
-                &[],
-                &[],
-            ).expect("run succeeds")
+            Session::builder(MachineConfig::pentium_m_755(seed), program.clone())
+                .config(sim)
+                .governor(&mut pm(12.5))
+                .run()
+                .expect("run succeeds")
         };
         let (a, stats_a) = make();
         let (b, stats_b) = make();
@@ -239,14 +218,11 @@ proptest! {
             ..FaultConfig::default()
         };
         let sim = SimulationConfig { faults, ..quick_sim() };
-        let (report, stats) = run_with_faults(
-            &mut Watchdog::new(pm(12.5)),
-            MachineConfig::pentium_m_755(seed),
-            program,
-            sim,
-            &[],
-            &[],
-        ).expect("run succeeds");
+        let (report, stats) = Session::builder(MachineConfig::pentium_m_755(seed), program)
+            .config(sim)
+            .governor(&mut Watchdog::new(pm(12.5)))
+            .run()
+            .expect("run succeeds");
         prop_assert!(report.completed, "run must complete despite faults");
         prop_assert!(stats.telemetry_losses() > 0);
         prop_assert!(stats.actuation_faults() > 0);

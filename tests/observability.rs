@@ -6,7 +6,7 @@
 
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
-use aapm::runtime::{run_observed, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm_models::power_model::PowerModel;
 use aapm_platform::config::MachineConfig;
 use aapm_platform::program::PhaseProgram;
@@ -45,16 +45,12 @@ fn faulted_sim() -> SimulationConfig {
 #[test]
 fn event_and_counter_totals_match_fault_stats() {
     let metrics = Metrics::enabled();
-    let (report, stats) = run_observed(
-        &mut pm(12.5),
-        MachineConfig::pentium_m_755(5),
-        short_program(5),
-        faulted_sim(),
-        &[],
-        &[],
-        &metrics,
-    )
-    .unwrap();
+    let (report, stats) = Session::builder(MachineConfig::pentium_m_755(5), short_program(5))
+        .config(faulted_sim())
+        .governor(&mut pm(12.5))
+        .observer(&metrics)
+        .run()
+        .unwrap();
     assert!(stats.pmc_missed > 0 && stats.power_dropouts > 0, "faults must fire: {stats:?}");
     assert!(stats.actuations_ignored > 0, "actuator faults must fire: {stats:?}");
 
@@ -113,16 +109,12 @@ fn event_and_counter_totals_match_fault_stats() {
 #[test]
 fn event_stream_is_simulated_time_ordered_jsonl() {
     let metrics = Metrics::enabled();
-    let (report, _stats) = run_observed(
-        &mut pm(12.5),
-        MachineConfig::pentium_m_755(9),
-        short_program(9),
-        faulted_sim(),
-        &[],
-        &[],
-        &metrics,
-    )
-    .unwrap();
+    let (report, _stats) = Session::builder(MachineConfig::pentium_m_755(9), short_program(9))
+        .config(faulted_sim())
+        .governor(&mut pm(12.5))
+        .observer(&metrics)
+        .run()
+        .unwrap();
     let events = metrics.events();
     assert!(!events.is_empty());
     // The final interval's events are stamped at its boundary, which may
@@ -149,16 +141,12 @@ fn event_stream_is_simulated_time_ordered_jsonl() {
 #[test]
 fn metrics_do_not_perturb_faulted_runs() {
     let run_with = |metrics: &Metrics| {
-        run_observed(
-            &mut pm(12.5),
-            MachineConfig::pentium_m_755(13),
-            short_program(13),
-            faulted_sim(),
-            &[],
-            &[],
-            metrics,
-        )
-        .unwrap()
+        Session::builder(MachineConfig::pentium_m_755(13), short_program(13))
+            .config(faulted_sim())
+            .governor(&mut pm(12.5))
+            .observer(metrics)
+            .run()
+            .unwrap()
     };
     let (plain, plain_stats) = run_with(&Metrics::disabled());
     let (observed, observed_stats) = run_with(&Metrics::enabled());

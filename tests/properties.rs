@@ -6,7 +6,7 @@ use aapm::governor::Governor;
 use aapm::limits::{PerformanceFloor, PowerLimit};
 use aapm::pm::PerformanceMaximizer;
 use aapm::ps::PowerSave;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::{Session, SimulationConfig};
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
 use aapm_platform::config::MachineConfig;
@@ -25,6 +25,15 @@ fn short_program(seed: u64) -> PhaseProgram {
 
 fn quick_sim() -> SimulationConfig {
     SimulationConfig { max_samples: 30_000, ..SimulationConfig::default() }
+}
+
+fn quick_run(governor: &mut dyn Governor, seed: u64, program: PhaseProgram) -> aapm::report::RunReport {
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(seed), program)
+        .config(quick_sim())
+        .governor(governor)
+        .run()
+        .expect("run succeeds");
+    report
 }
 
 proptest! {
@@ -48,13 +57,7 @@ proptest! {
         ];
         let table = aapm_platform::pstate::PStateTable::pentium_m_755();
         for governor in &mut governors {
-            let report = run(
-                governor.as_mut(),
-                MachineConfig::pentium_m_755(seed),
-                program.clone(),
-                quick_sim(),
-                &[],
-            ).expect("run succeeds");
+            let report = quick_run(governor.as_mut(), seed, program.clone());
             prop_assert!(report.completed, "{} did not complete", report.governor);
             for record in report.trace.records() {
                 prop_assert!(table.contains(record.pstate));
@@ -70,13 +73,7 @@ proptest! {
         let mut previous_power = f64::INFINITY;
         for watts in [17.5, 13.5, 9.5] {
             let mut pm = PerformanceMaximizer::new(model.clone(), PowerLimit::new(watts).unwrap());
-            let report = run(
-                &mut pm,
-                MachineConfig::pentium_m_755(seed),
-                program.clone(),
-                quick_sim(),
-                &[],
-            ).expect("run succeeds");
+            let report = quick_run(&mut pm, seed, program.clone());
             let mean = report.mean_power().map_or(0.0, |w| w.watts());
             prop_assert!(
                 mean <= previous_power + 0.3,
@@ -96,13 +93,7 @@ proptest! {
                 PerfModel::new(PerfModelParams::paper()),
                 PerformanceFloor::new(floor).unwrap(),
             );
-            let report = run(
-                &mut ps,
-                MachineConfig::pentium_m_755(seed),
-                program.clone(),
-                quick_sim(),
-                &[],
-            ).expect("run succeeds");
+            let report = quick_run(&mut ps, seed, program.clone());
             let time = report.execution_time.seconds();
             prop_assert!(
                 time >= previous_time * 0.999,
@@ -117,15 +108,7 @@ proptest! {
     #[test]
     fn runs_reproducible_and_energy_positive(seed in 0u64..200) {
         let program = short_program(seed);
-        let make = || {
-            run(
-                &mut Unconstrained::new(),
-                MachineConfig::pentium_m_755(seed),
-                program.clone(),
-                quick_sim(),
-                &[],
-            ).expect("run succeeds")
-        };
+        let make = || quick_run(&mut Unconstrained::new(), seed, program.clone());
         let a = make();
         let b = make();
         prop_assert_eq!(a.execution_time, b.execution_time);

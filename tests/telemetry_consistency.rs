@@ -2,7 +2,7 @@
 //! with what the platform actually did.
 
 use aapm::baselines::Unconstrained;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::Session;
 use aapm_platform::config::MachineConfig;
 use aapm_platform::events::HardwareEvent;
 use aapm_platform::machine::Machine;
@@ -15,14 +15,10 @@ use aapm_workloads::spec;
 #[test]
 fn measured_energy_tracks_true_energy_within_noise() {
     let bench = spec::by_name("gzip").expect("gzip exists");
-    let report = run(
-        &mut Unconstrained::new(),
-        MachineConfig::pentium_m_755(9),
-        bench.program().clone(),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(9), bench.program().clone())
+        .governor(&mut Unconstrained::new())
+        .run()
+        .unwrap();
     let ratio = report.measured_energy.joules() / report.true_energy.joules();
     assert!((ratio - 1.0).abs() < 0.03, "measured/true energy ratio {ratio}");
 }
@@ -84,14 +80,10 @@ fn trace_residency_is_consistent_with_transition_count() {
         aapm_models::power_model::PowerModel::paper_table_ii(),
         aapm::limits::PowerLimit::new(11.5).unwrap(),
     );
-    let report = run(
-        &mut pm,
-        MachineConfig::pentium_m_755(9),
-        bench.program().clone(),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let (report, _) = Session::builder(MachineConfig::pentium_m_755(9), bench.program().clone())
+        .governor(&mut pm)
+        .run()
+        .unwrap();
     let residency = report.trace.pstate_residency();
     let total: f64 = residency.iter().map(|(_, f)| f).sum();
     assert!((total - 1.0).abs() < 1e-9);

@@ -1,7 +1,7 @@
 //! The shipped example workload files must parse and run.
 
 use aapm::baselines::Unconstrained;
-use aapm::runtime::{run, SimulationConfig};
+use aapm::runtime::Session;
 use aapm_platform::config::MachineConfig;
 use aapm_workloads::dsl::parse_program;
 
@@ -17,14 +17,10 @@ fn shipped_workload_files_parse_and_run() {
         let program = parse_program(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
         assert_eq!(program.name(), expected_name);
         // Run a shortened version end to end.
-        let report = run(
-            &mut Unconstrained::new(),
-            MachineConfig::pentium_m_755(1),
-            program.scaled(0.1),
-            SimulationConfig::default(),
-            &[],
-        )
-        .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let (report, _) = Session::builder(MachineConfig::pentium_m_755(1), program.scaled(0.1))
+            .governor(&mut Unconstrained::new())
+            .run()
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
         assert!(report.completed, "{file} must run to completion");
         assert!(report.measured_energy.joules() > 0.0);
     }
@@ -37,22 +33,14 @@ fn streaming_workload_is_nearly_flat_in_frequency() {
 
     let text = std::fs::read_to_string("workloads/streaming.workload").unwrap();
     let program = parse_program(&text).unwrap().scaled(0.1);
-    let fast = run(
-        &mut Unconstrained::new(),
-        MachineConfig::pentium_m_755(1),
-        program.clone(),
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
-    let slow = run(
-        &mut StaticClock::new(PStateId::new(2)), // 1000 MHz
-        MachineConfig::pentium_m_755(1),
-        program,
-        SimulationConfig::default(),
-        &[],
-    )
-    .unwrap();
+    let (fast, _) = Session::builder(MachineConfig::pentium_m_755(1), program.clone())
+        .governor(&mut Unconstrained::new())
+        .run()
+        .unwrap();
+    let (slow, _) = Session::builder(MachineConfig::pentium_m_755(1), program)
+        .governor(&mut StaticClock::new(PStateId::new(2))) // 1000 MHz
+        .run()
+        .unwrap();
     let slowdown = slow.execution_time / fast.execution_time;
     assert!(
         slowdown < 1.25,
