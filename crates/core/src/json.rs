@@ -1,0 +1,346 @@
+//! The minimal hand-rolled JSON layer shared by the serializable grammars.
+//!
+//! The workspace vendors no serde, so every serialized artifact — governor
+//! specs ([`crate::spec::GovernorSpec`]), and the adversarial-scenario
+//! fixtures the fuzz harness commits under `corpus/` — shares this one
+//! recursive-descent parser and [`Json`] value type. The subset is exactly
+//! what those grammars need: objects, arrays, strings, and finite numbers.
+//!
+//! Two rejections are deliberate and load-bearing for reproducibility:
+//!
+//! * **non-finite numbers** — a literal that overflows to infinity
+//!   (`1e999`) or any other non-finite value is an error, because every
+//!   downstream consumer (power limits, fault rates, phase parameters)
+//!   treats non-finite values as corruption;
+//! * **duplicate object keys** — last-one-wins parsing silently drops
+//!   data, so a repeated key is an error naming the key.
+
+/// The subset of JSON the workspace's codecs need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// An object, as key/value pairs in source order.
+    Object(Vec<(String, Json)>),
+    /// An array.
+    Array(Vec<Json>),
+    /// A string.
+    String(String),
+    /// A finite number.
+    Number(f64),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string's contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (trailing input is an error).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem: malformed
+/// syntax, a duplicate object key, a non-finite number, or trailing input.
+pub fn parse(text: &str) -> std::result::Result<Json, String> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing input at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Appends `text` to `out` as a JSON string literal, escaping quotes and
+/// backslashes (the only escapes the parser understands).
+pub fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal recursive-descent parser (the workspace vendors no serde).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> std::result::Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> std::result::Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!(
+                "expected a value at byte {}, found {:?}",
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!(
+                    "duplicate key \"{key}\" in object (each key may appear once)"
+                ));
+            }
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> std::result::Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> std::result::Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?} at byte {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Keys and kinds are ASCII; multi-byte UTF-8 passes
+                    // through byte-wise, which is fine for error text.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> std::result::Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_owned())?;
+        let value = text
+            .parse::<f64>()
+            .map_err(|e| format!("invalid number \"{text}\": {e}"))?;
+        if !value.is_finite() {
+            return Err(format!(
+                "non-finite number \"{text}\" (overflows f64; \
+                 finite values are required)"
+            ));
+        }
+        Ok(Json::Number(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_objects_arrays_strings_numbers() {
+        let value = parse(
+            r#"{"a":[1, -2.5, {"b":"text"}], "c":{"d":[]}, "e":3e2}"#,
+        )
+        .unwrap();
+        assert_eq!(value.get("e").and_then(Json::as_number), Some(300.0));
+        let items = value.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(items[0].as_number(), Some(1.0));
+        assert_eq!(items[1].as_number(), Some(-2.5));
+        assert_eq!(items[2].get("b").and_then(Json::as_str), Some("text"));
+        assert_eq!(value.get("c").and_then(|c| c.get("d")).and_then(Json::as_array), Some(&[][..]));
+        assert!(value.get("missing").is_none());
+        assert!(value.as_object().is_some());
+    }
+
+    /// Literals that overflow to ±inf must be rejected with an explicit
+    /// message, not silently accepted as infinite values.
+    #[test]
+    fn non_finite_numbers_are_rejected_with_explicit_errors() {
+        for bad in ["1e999", "-1e999", "{\"x\":1e400}", "[2e308]"] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.contains("non-finite number"),
+                "{bad:?} must name the non-finite number, got: {err}"
+            );
+        }
+        // NaN/inf keywords are not numbers in this grammar at all.
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_naming_the_key() {
+        let err = parse(r#"{"rate":1,"rate":2}"#).unwrap_err();
+        assert!(
+            err.contains("duplicate key \"rate\""),
+            "error must name the duplicated key, got: {err}"
+        );
+        // Duplicates are detected at any nesting depth.
+        assert!(parse(r#"{"a":{"k":1,"k":2}}"#).is_err());
+        // The same key in sibling objects is fine.
+        assert!(parse(r#"[{"k":1},{"k":2}]"#).is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "{\"a\":}", "1 2", "{}{}", "\"open", "[1]]"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_string(&mut out, r#"a"b\c"#);
+        assert_eq!(out, r#""a\"b\\c""#);
+        assert_eq!(parse(&out).unwrap().as_str(), Some(r#"a"b\c"#));
+    }
+}

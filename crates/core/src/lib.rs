@@ -70,6 +70,7 @@ pub mod baselines;
 pub mod combined_pm;
 pub mod feedback;
 pub mod governor;
+pub mod json;
 pub mod layer;
 pub mod limits;
 pub mod phase_pm;

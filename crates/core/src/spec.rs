@@ -11,8 +11,10 @@
 //! says exactly which policy produced it.
 //!
 //! The crate vendors no serde, so the JSON codec is hand-rolled: a fixed
-//! key order on output and a small recursive-descent parser on input,
-//! with the round-trip (`to_json` → `from_json` → `to_json`) an identity.
+//! key order on output and the shared [`crate::json`] recursive-descent
+//! parser on input, with the round-trip (`to_json` → `from_json` →
+//! `to_json`) an identity. The parser rejects duplicate keys and
+//! non-finite numeric literals outright (see [`crate::json`]).
 
 use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
@@ -20,6 +22,7 @@ use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::pstate::PStateId;
 
 use crate::baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
+use crate::json::Json;
 use crate::combined_pm::CombinedPm;
 use crate::feedback::FeedbackPm;
 use crate::governor::{BoxedGovernor, Governor};
@@ -314,22 +317,23 @@ impl GovernorSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`PlatformError::InvalidConfig`] on malformed JSON, an
-    /// unknown `"kind"`, or missing/extra keys.
+    /// Returns [`PlatformError::InvalidConfig`] on malformed JSON
+    /// (including duplicate keys and non-finite numbers — see
+    /// [`crate::json`]), an unknown `"kind"`, or missing/extra keys.
     pub fn from_json(text: &str) -> Result<Self> {
-        let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
-        let value = parser.parse_value().map_err(invalid)?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(invalid(format!(
-                "trailing input at byte {} of governor spec",
-                parser.pos
-            )));
-        }
+        let value = crate::json::parse(text).map_err(invalid)?;
         GovernorSpec::from_value(&value)
     }
 
-    fn from_value(value: &Json) -> Result<Self> {
+    /// Parses a spec from an already-parsed [`Json`] value — the hook the
+    /// fuzz harness's scenario grammar uses to embed specs in larger
+    /// documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidConfig`] on an unknown `"kind"` or
+    /// missing/extra keys.
+    pub fn from_value(value: &Json) -> Result<Self> {
         let Json::Object(fields) = value else {
             return Err(invalid("governor spec must be a JSON object".to_owned()));
         };
@@ -427,152 +431,6 @@ fn invalid(reason: String) -> PlatformError {
     PlatformError::InvalidConfig { parameter: "governor_spec", reason }
 }
 
-/// The subset of JSON the spec codec needs: objects, strings, numbers.
-#[derive(Debug)]
-enum Json {
-    Object(Vec<(String, Json)>),
-    String(String),
-    Number(f64),
-}
-
-/// Minimal recursive-descent parser (the workspace vendors no serde).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> std::result::Result<(), String> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
-                byte as char,
-                self.pos,
-                self.peek().map(|b| b as char)
-            ))
-        }
-    }
-
-    fn parse_value(&mut self) -> std::result::Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'"') => Ok(Json::String(self.parse_string()?)),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            other => Err(format!(
-                "expected a value at byte {}, found {:?}",
-                self.pos,
-                other.map(|b| b as char)
-            )),
-        }
-    }
-
-    fn parse_object(&mut self) -> std::result::Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            if fields.iter().any(|(k, _)| *k == key) {
-                return Err(format!("duplicate key \"{key}\""));
-            }
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
-                        other.map(|b| b as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> std::result::Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        other => {
-                            return Err(format!(
-                                "unsupported escape {:?} at byte {}",
-                                other.map(|b| b as char),
-                                self.pos
-                            ))
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Keys and kinds are ASCII; multi-byte UTF-8 passes
-                    // through byte-wise, which is fine for error text.
-                    let start = self.pos;
-                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
-                        self.pos += 1;
-                    }
-                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
-                }
-                None => return Err("unterminated string".to_owned()),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> std::result::Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "non-UTF-8 number".to_owned())?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|e| format!("invalid number \"{text}\": {e}"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,6 +515,46 @@ mod tests {
         ] {
             assert!(GovernorSpec::from_json(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    /// A numeric literal that overflows f64 (the JSON spelling of ±inf)
+    /// must be rejected with an error that names the problem; NaN has no
+    /// JSON spelling and the keyword forms must not parse either.
+    #[test]
+    fn non_finite_numerics_are_rejected_with_explicit_errors() {
+        for bad in [
+            "{\"kind\":\"pm\",\"limit_w\":1e999}",
+            "{\"kind\":\"pm\",\"limit_w\":-1e999}",
+            "{\"kind\":\"dbs\",\"target_utilization\":2e308}",
+        ] {
+            let err = GovernorSpec::from_json(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("non-finite number"),
+                "{bad:?} must be rejected as non-finite, got: {err}"
+            );
+        }
+        for bad in [
+            "{\"kind\":\"pm\",\"limit_w\":NaN}",
+            "{\"kind\":\"pm\",\"limit_w\":inf}",
+            "{\"kind\":\"pm\",\"limit_w\":-Infinity}",
+        ] {
+            assert!(GovernorSpec::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    /// Duplicate keys are rejected (not last-one-wins) and the error names
+    /// the offending key, at any nesting depth.
+    #[test]
+    fn duplicate_keys_are_rejected_with_explicit_errors() {
+        let err = GovernorSpec::from_json("{\"kind\":\"pm\",\"limit_w\":1,\"limit_w\":2}")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate key \"limit_w\""),
+            "error must name the duplicated key, got: {err}"
+        );
+        let nested = "{\"kind\":\"watchdog\",\"inner\":{\"kind\":\"ps\",\"floor\":0.8,\"floor\":0.9}}";
+        let err = GovernorSpec::from_json(nested).unwrap_err();
+        assert!(err.to_string().contains("duplicate key \"floor\""), "got: {err}");
     }
 
     /// Invalid parameter values surface at build time via the constructors'

@@ -115,9 +115,16 @@ impl<G: Governor> Watchdog<G> {
     }
 
     /// A blind interval: no power sample delivered and no exactly-measured
-    /// counter in the sample.
+    /// counter in the sample. Uses [`has_fresh_counts`] rather than
+    /// `is_fresh`: with an inner governor that monitors no PMC events the
+    /// counter sample is empty, which is *absence* of evidence, not
+    /// evidence of a live driver — power loss alone must then engage the
+    /// watchdog, or `watchdog<unconstrained>` would sleep through any
+    /// blackout (found by the fuzz harness; pinned by corpus fixture 011).
+    ///
+    /// [`has_fresh_counts`]: aapm_telemetry::pmc::CounterSample::has_fresh_counts
     fn is_blind(ctx: &SampleContext<'_>) -> bool {
-        ctx.power.is_none() && !ctx.counters.is_fresh()
+        ctx.power.is_none() && !ctx.counters.has_fresh_counts()
     }
 }
 
@@ -314,6 +321,45 @@ mod tests {
         };
         dog.decide(&healthy);
         assert!(!dog.engaged(), "full healthy window releases the watchdog");
+    }
+
+    /// An inner governor that monitors no PMC events yields empty counter
+    /// samples; an empty sample is not proof of a live driver, so power
+    /// loss alone must still engage the watchdog (corpus fixture 011).
+    #[test]
+    fn blackout_engages_with_no_monitored_counters() {
+        let table = PStateTable::pentium_m_755();
+        let mut dog = Watchdog::new(crate::baselines::Unconstrained::new());
+        let empty = CounterSample {
+            start: Seconds::ZERO,
+            end: Seconds::from_millis(10.0),
+            cycles: 20e6,
+            counts: Vec::new(),
+        };
+        for _ in 0..dog.config().loss_threshold {
+            let ctx = SampleContext {
+                counters: &empty,
+                power: None,
+                temperature: None,
+                current: PStateId::new(7),
+                table: &table,
+            };
+            dog.decide(&ctx);
+        }
+        assert!(dog.engaged(), "power loss alone must engage with empty counters");
+        // With power back, the same empty sample is healthy again.
+        let p = power(8.0);
+        for _ in 0..dog.config().recovery_samples {
+            let ctx = SampleContext {
+                counters: &empty,
+                power: Some(&p),
+                temperature: None,
+                current: PStateId::new(0),
+                table: &table,
+            };
+            dog.decide(&ctx);
+        }
+        assert!(!dog.engaged(), "power recovery must release the watchdog");
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The committed regression corpus: fixture files under `corpus/`.
+//!
+//! A fixture is one shrunk adversarial scenario plus the verdict line it
+//! produced when it was committed. The replay runner re-evaluates the
+//! scenario and byte-compares the fresh verdict against the recorded one,
+//! so any behavioral drift in a governor, the simulator, or the fault
+//! plumbing shows up as a one-line diff against the corpus. Fixture files
+//! are named `NNN-name.json` and replayed in filename order.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use aapm::json::{self, Json};
+
+use crate::oracle;
+use crate::scenario::Scenario;
+
+/// Fixture format version; bump on incompatible schema changes.
+pub const FORMAT: u64 = 1;
+
+/// One corpus fixture: a scenario and its recorded verdict line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fixture {
+    /// The verdict line recorded when the fixture was committed (see
+    /// [`oracle::Verdict::render`]).
+    pub verdict: String,
+    /// The scenario to replay.
+    pub scenario: Scenario,
+}
+
+impl Fixture {
+    /// Captures a scenario together with its freshly evaluated verdict.
+    pub fn record(scenario: Scenario) -> Fixture {
+        let verdict = oracle::evaluate(&scenario).render();
+        Fixture { verdict, scenario }
+    }
+
+    /// Re-evaluates the scenario; replay passes iff this equals
+    /// [`Fixture::verdict`] byte for byte.
+    pub fn replay(&self) -> String {
+        oracle::evaluate(&self.scenario).render()
+    }
+
+    /// Renders the fixture file contents.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = write!(out, "{{\n\"format\": {FORMAT},\n\"verdict\": ");
+        json::write_string(&mut out, &self.verdict);
+        let _ = write!(out, ",\n\"scenario\": {}\n}}\n", self.scenario.to_json());
+        out
+    }
+
+    /// Parses a fixture file.
+    ///
+    /// # Errors
+    ///
+    /// Reports malformed JSON, a wrong or missing format version, unknown
+    /// keys, or an invalid embedded scenario.
+    pub fn from_json(text: &str) -> Result<Fixture, String> {
+        let value = json::parse(text)?;
+        let fields =
+            value.as_object().ok_or_else(|| "fixture must be a JSON object".to_owned())?;
+        for (key, _) in fields {
+            if !matches!(key.as_str(), "format" | "verdict" | "scenario") {
+                return Err(format!("unexpected fixture key \"{key}\""));
+            }
+        }
+        let format = value
+            .get("format")
+            .and_then(Json::as_number)
+            .ok_or_else(|| "fixture requires number \"format\"".to_owned())?;
+        if format != FORMAT as f64 {
+            return Err(format!("unsupported fixture format {format} (expected {FORMAT})"));
+        }
+        let verdict = value
+            .get("verdict")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "fixture requires string \"verdict\"".to_owned())?
+            .to_owned();
+        let scenario = Scenario::from_value(
+            value.get("scenario").ok_or_else(|| "fixture requires \"scenario\"".to_owned())?,
+        )
+        .map_err(|error| error.to_string())?;
+        Ok(Fixture { verdict, scenario })
+    }
+}
+
+/// One corpus file: its filename (the replay ordering key) and fixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// The fixture's filename within the corpus directory.
+    pub file: String,
+    /// The parsed fixture.
+    pub fixture: Fixture,
+}
+
+/// Loads every `*.json` fixture in `dir`, sorted by filename.
+///
+/// # Errors
+///
+/// Reports an unreadable directory or file, or a fixture that fails to
+/// parse (with the offending filename).
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let entries = fs::read_dir(dir)
+        .map_err(|error| format!("cannot read corpus directory {}: {error}", dir.display()))?;
+    let mut files: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|error| format!("cannot list {}: {error}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") {
+            files.push(name);
+        }
+    }
+    files.sort();
+    files
+        .into_iter()
+        .map(|file| {
+            let path = dir.join(&file);
+            let text = fs::read_to_string(&path)
+                .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+            let fixture =
+                Fixture::from_json(&text).map_err(|error| format!("{file}: {error}"))?;
+            Ok(CorpusEntry { file, fixture })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::draw_scenarios;
+
+    /// Fixture render → parse → render is an identity and replay matches
+    /// the recorded verdict.
+    #[test]
+    fn fixture_round_trips_and_replays() {
+        let mut scenario = draw_scenarios(31, 1).remove(0);
+        scenario.max_samples = 1500;
+        let fixture = Fixture::record(scenario);
+        let rendered = fixture.to_json();
+        let parsed = Fixture::from_json(&rendered).unwrap();
+        assert_eq!(parsed, fixture);
+        assert_eq!(parsed.to_json(), rendered);
+        assert_eq!(parsed.replay(), fixture.verdict, "replay must be deterministic");
+    }
+
+    /// Corrupted fixtures are rejected with explicit reasons.
+    #[test]
+    fn malformed_fixtures_are_rejected() {
+        let fixture = Fixture::record(draw_scenarios(32, 1).remove(0));
+        let good = fixture.to_json();
+        for (bad, why) in [
+            (good.replace("\"format\": 1", "\"format\": 2"), "wrong format"),
+            (good.replace("\"format\": 1", "\"formats\": 1"), "unknown key"),
+            (good.replace("\"verdict\": ", "\"verdict\": 3, \"scenario2\": "), "non-string verdict"),
+        ] {
+            assert!(Fixture::from_json(&bad).is_err(), "accepted fixture with {why}");
+        }
+    }
+
+    /// `load_dir` parses every fixture in filename order.
+    #[test]
+    fn load_dir_sorts_by_filename() {
+        let dir = std::env::temp_dir()
+            .join(format!("aapm-fuzz-corpus-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let fixture = Fixture::record(draw_scenarios(33, 1).remove(0));
+        fs::write(dir.join("002-b.json"), fixture.to_json()).unwrap();
+        fs::write(dir.join("001-a.json"), fixture.to_json()).unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].file, "001-a.json");
+        assert_eq!(loaded[1].file, "002-b.json");
+        assert_eq!(loaded[0].fixture, fixture);
+    }
+}

@@ -1,0 +1,34 @@
+//! Property-based adversarial harness for the AAPM governor stack.
+//!
+//! The crate has four layers, each usable on its own:
+//!
+//! - [`scenario`] — the serializable adversarial scenario (governor spec +
+//!   phase program + fault plan + command stream + oracle thresholds) and
+//!   its JSON fixture codec.
+//! - [`generate`] — proptest [`Strategy`]s that draw random scenarios:
+//!   segment mixes through the full [`PhaseDescriptor`] validation
+//!   envelope, governor stacks from the spec registry (including nested
+//!   watchdog/thermal-guard wrappers), stochastic fault rates, scheduled
+//!   outage windows, and command streams.
+//! - [`oracle`] — runs a scenario through [`Session`] and judges it
+//!   against the properties: power-cap adherence over 100 ms windows,
+//!   performance-floor adherence, watchdog liveness through blackouts,
+//!   simulator conservation invariants, and no panic / no non-finite
+//!   metric. The result is a [`Verdict`] with a stable one-line rendering
+//!   that corpus fixtures record and the replay runner byte-compares.
+//! - [`minimize`] — a deterministic greedy shrinker that reduces a failing
+//!   scenario (fewer segments, fewer windows/commands, zeroed rates,
+//!   unwrapped layers) while a caller-supplied predicate keeps failing.
+//! - [`corpus`] — the committed fixture format (`corpus/*.json`): scenario
+//!   plus recorded verdict, replayed deterministically in CI.
+//!
+//! [`Strategy`]: proptest::strategy::Strategy
+//! [`PhaseDescriptor`]: aapm_platform::phase::PhaseDescriptor
+//! [`Session`]: aapm::runtime::Session
+//! [`Verdict`]: oracle::Verdict
+
+pub mod corpus;
+pub mod generate;
+pub mod minimize;
+pub mod oracle;
+pub mod scenario;

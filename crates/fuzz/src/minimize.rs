@@ -1,0 +1,265 @@
+//! Greedy deterministic scenario shrinking.
+//!
+//! The vendored proptest subset generates but does not shrink, so the
+//! harness shrinks at the scenario level instead: [`minimize`] applies a
+//! fixed sequence of reduction passes (drop segments, drop windows, drop
+//! commands, zero stochastic rates, unwrap governor layers, halve
+//! instruction budgets) and keeps any reduction under which the
+//! caller-supplied predicate still fails, repeating until a full sweep
+//! makes no progress. The passes and their order are deterministic, so
+//! the same failing scenario always shrinks to the same fixture — which
+//! is what makes "commit your shrunk failure" reproducible.
+
+use aapm::spec::GovernorSpec;
+
+use crate::scenario::Scenario;
+
+/// Smallest instruction budget the halving pass will produce.
+const MIN_INSTRUCTIONS: u64 = 2_000_000;
+
+/// Shrinks `scenario` while `still_fails` holds.
+///
+/// The input must itself fail the predicate; the result is the smallest
+/// scenario the greedy passes reach, and it still fails.
+pub fn minimize<F>(scenario: &Scenario, still_fails: F) -> Scenario
+where
+    F: Fn(&Scenario) -> bool,
+{
+    let mut current = scenario.clone();
+    debug_assert!(still_fails(&current), "minimize requires a failing scenario");
+    loop {
+        let mut progressed = false;
+        progressed |= drop_list_items(
+            &mut current,
+            &still_fails,
+            |s| s.program.segments.len(),
+            |s, i| {
+                if s.program.segments.len() > 1 {
+                    s.program.segments.remove(i);
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+        progressed |= drop_list_items(
+            &mut current,
+            &still_fails,
+            |s| s.faults.windows.len(),
+            |s, i| {
+                s.faults.windows.remove(i);
+                true
+            },
+        );
+        progressed |= drop_list_items(
+            &mut current,
+            &still_fails,
+            |s| s.commands.len(),
+            |s, i| {
+                s.commands.remove(i);
+                true
+            },
+        );
+        // Zero each nonzero stochastic rate independently.
+        for (name, value) in current.faults.config.rates() {
+            if value == 0.0 {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.faults.config.set_rate(name, 0.0);
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        // Peel wrapper layers off the governor stack.
+        while let Some(inner) = unwrap_governor(&current.governor) {
+            let mut candidate = current.clone();
+            candidate.governor = inner;
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        // Halve every segment's instruction budget while the failure
+        // survives (bounded: budgets only shrink, down to the floor).
+        loop {
+            let mut candidate = current.clone();
+            let mut changed = false;
+            for segment in &mut candidate.program.segments {
+                if segment.instructions >= 2 * MIN_INSTRUCTIONS {
+                    segment.instructions /= 2;
+                    changed = true;
+                }
+            }
+            if !changed || !still_fails(&candidate) {
+                break;
+            }
+            current = candidate;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+/// One element-dropping pass over a list-valued scenario field: tries to
+/// remove each index in turn, keeping removals the predicate survives.
+fn drop_list_items<F, L, R>(
+    current: &mut Scenario,
+    still_fails: &F,
+    len: L,
+    remove: R,
+) -> bool
+where
+    F: Fn(&Scenario) -> bool,
+    L: Fn(&Scenario) -> usize,
+    R: Fn(&mut Scenario, usize) -> bool,
+{
+    let mut progressed = false;
+    let mut index = 0;
+    while index < len(current) {
+        let mut candidate = current.clone();
+        if remove(&mut candidate, index) && still_fails(&candidate) {
+            *current = candidate;
+            progressed = true;
+        } else {
+            index += 1;
+        }
+    }
+    progressed
+}
+
+fn unwrap_governor(spec: &GovernorSpec) -> Option<GovernorSpec> {
+    match spec {
+        GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
+            Some((**inner).clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::draw_scenarios;
+    use crate::scenario::{CommandKind, CommandSpec, WindowSpec};
+    use aapm_telemetry::faults::FaultKind;
+
+    /// A synthetic predicate: fails while the scenario keeps at least one
+    /// hot segment (activity > 1.2) and at least one blackout window. The
+    /// minimizer must strip everything else.
+    #[test]
+    fn minimizer_reaches_the_predicate_core() {
+        let mut scenario = draw_scenarios(21, 1).remove(0);
+        // Force the trigger conditions in.
+        scenario.program.segments[0].activity = 1.3;
+        scenario
+            .faults
+            .windows
+            .push(WindowSpec { kind: FaultKind::Blackout, start: 0.1, end: 0.5 });
+        scenario
+            .commands
+            .push(CommandSpec { at: 0.2, set: CommandKind::PowerLimit, value: 10.0 });
+        let fails = |s: &Scenario| {
+            s.program.segments.iter().any(|seg| seg.activity > 1.2)
+                && s.faults.windows.iter().any(|w| w.kind == FaultKind::Blackout)
+        };
+        assert!(fails(&scenario));
+        let shrunk = minimize(&scenario, fails);
+        assert!(fails(&shrunk), "the shrunk scenario must still fail");
+        assert_eq!(shrunk.program.segments.len(), 1, "only the hot segment survives");
+        assert!(shrunk.program.segments[0].activity > 1.2);
+        assert_eq!(shrunk.faults.windows.len(), 1, "only one blackout survives");
+        assert!(shrunk.commands.is_empty(), "irrelevant commands are dropped");
+        assert!(
+            shrunk.faults.config.rates().iter().all(|(_, rate)| *rate == 0.0),
+            "irrelevant rates are zeroed"
+        );
+        assert!(
+            shrunk.program.segments[0].instructions < scenario.program.segments[0].instructions,
+            "instruction budgets are halved down"
+        );
+        assert_eq!(
+            minimize(&scenario, fails),
+            shrunk,
+            "shrinking is deterministic"
+        );
+    }
+
+    /// Acceptance: an intentionally broken governor (zero guardband) is
+    /// caught by the cap oracle, and the greedy shrinker reduces the
+    /// counterexample to a handful of segments (well under the 12-segment
+    /// budget) that still separates stock from sabotaged.
+    #[test]
+    fn sabotaged_governor_shrinks_to_a_small_counterexample() {
+        use crate::generate::{burst_segment, quiet_segment};
+        use crate::oracle::{build_zero_guardband, evaluate, evaluate_with};
+        use crate::scenario::{FaultSpec, OracleParams, ProgramSpec};
+
+        let mut segments: Vec<_> = (0..7)
+            .map(|i| {
+                let mut pad = quiet_segment();
+                pad.name = format!("pad{i}");
+                pad.instructions = 300_000_000;
+                pad
+            })
+            .collect();
+        segments.push(burst_segment(1.0));
+        let fails = |s: &Scenario| {
+            !evaluate(s).failures().contains(&"cap")
+                && evaluate_with(s, &build_zero_guardband).failures().contains(&"cap")
+        };
+        let mut found = None;
+        for step in 0..32 {
+            let limit_w = 12.0 + 0.25 * f64::from(step);
+            let candidate = Scenario {
+                name: "sabotage-hunt".to_owned(),
+                seed: 17,
+                max_samples: 3000,
+                governor: aapm::spec::GovernorSpec::Pm { limit_w },
+                program: ProgramSpec { name: "padded".to_owned(), segments: segments.clone() },
+                faults: FaultSpec::inert(),
+                commands: Vec::new(),
+                oracles: OracleParams::default(),
+            };
+            if fails(&candidate) {
+                found = Some(candidate);
+                break;
+            }
+        }
+        let scenario = found.expect("a limit separating stock from zero-guardband PM exists");
+        let shrunk = minimize(&scenario, fails);
+        assert!(fails(&shrunk), "the shrunk counterexample must still separate the builds");
+        assert!(
+            shrunk.program.segments.len() <= 12,
+            "counterexample must shrink to <= 12 segments, got {}",
+            shrunk.program.segments.len()
+        );
+        assert_eq!(
+            shrunk.program.segments.len(),
+            1,
+            "only the deceptive burst should survive shrinking"
+        );
+        assert_eq!(shrunk.program.segments[0].name, "burst");
+    }
+
+    /// Wrapper layers irrelevant to the failure are peeled off.
+    #[test]
+    fn minimizer_unwraps_irrelevant_layers() {
+        let mut scenario = draw_scenarios(22, 1).remove(0);
+        scenario.governor = aapm::spec::GovernorSpec::ThermalGuard {
+            inner: Box::new(aapm::spec::GovernorSpec::Watchdog {
+                inner: Box::new(aapm::spec::GovernorSpec::Pm { limit_w: 11.0 }),
+            }),
+        };
+        let fails =
+            |s: &Scenario| crate::oracle::initial_limit(&s.governor).is_some_and(|l| l < 12.0);
+        let shrunk = minimize(&scenario, fails);
+        assert_eq!(shrunk.governor, aapm::spec::GovernorSpec::Pm { limit_w: 11.0 });
+    }
+}

@@ -71,6 +71,37 @@ impl Default for FaultConfig {
 }
 
 impl FaultConfig {
+    /// The stochastic rates as stable `(name, value)` pairs, in the
+    /// declaration order above. This is the serialization surface: the
+    /// fuzz harness's scenario codec writes these names as JSON keys and
+    /// reads them back through [`FaultConfig::set_rate`].
+    pub fn rates(&self) -> [(&'static str, f64); 6] {
+        [
+            ("power_dropout_rate", self.power_dropout_rate),
+            ("power_stuck_rate", self.power_stuck_rate),
+            ("thermal_dropout_rate", self.thermal_dropout_rate),
+            ("pmc_missed_rate", self.pmc_missed_rate),
+            ("actuation_ignored_rate", self.actuation_ignored_rate),
+            ("actuation_stall_rate", self.actuation_stall_rate),
+        ]
+    }
+
+    /// Sets the rate named `name` (one of the [`FaultConfig::rates`]
+    /// names). Returns `false` when the name is unknown, so codecs can
+    /// report the bad key instead of silently dropping it.
+    pub fn set_rate(&mut self, name: &str, value: f64) -> bool {
+        match name {
+            "power_dropout_rate" => self.power_dropout_rate = value,
+            "power_stuck_rate" => self.power_stuck_rate = value,
+            "thermal_dropout_rate" => self.thermal_dropout_rate = value,
+            "pmc_missed_rate" => self.pmc_missed_rate = value,
+            "actuation_ignored_rate" => self.actuation_ignored_rate = value,
+            "actuation_stall_rate" => self.actuation_stall_rate = value,
+            _ => return false,
+        }
+        true
+    }
+
     /// Whether every stochastic rate is zero (no faults will ever fire from
     /// this config alone).
     pub fn is_inert(&self) -> bool {
@@ -130,6 +161,36 @@ pub enum FaultKind {
     /// Power, PMC, and thermal all lost at once (e.g. the measurement rig's
     /// sync GPIO line detached).
     Blackout,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable order (for generators and docs).
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::PowerDropout,
+        FaultKind::PowerStuck,
+        FaultKind::ThermalDropout,
+        FaultKind::PmcMissed,
+        FaultKind::ActuationIgnored,
+        FaultKind::Blackout,
+    ];
+
+    /// The kind's stable serialized name (kebab-case, mirroring the
+    /// governor registry's kind discriminators).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::PowerDropout => "power-dropout",
+            FaultKind::PowerStuck => "power-stuck",
+            FaultKind::ThermalDropout => "thermal-dropout",
+            FaultKind::PmcMissed => "pmc-missed",
+            FaultKind::ActuationIgnored => "actuation-ignored",
+            FaultKind::Blackout => "blackout",
+        }
+    }
+
+    /// Parses a serialized kind name; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|kind| kind.as_str() == name)
+    }
 }
 
 /// A deterministic outage over `[start, end)` of simulated time.
@@ -502,6 +563,34 @@ mod tests {
             kind: FaultKind::PowerDropout,
         };
         assert!(FaultPlan::with_windows(FaultConfig::default(), &[empty_window]).is_err());
+    }
+
+    /// The serialization surface round-trips: every kind name parses back
+    /// to itself, and every rate written through `rates()` is readable
+    /// through `set_rate`.
+    #[test]
+    fn serialization_helpers_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.as_str()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("gamma-rays"), None);
+
+        let source = FaultConfig {
+            seed: 11,
+            power_dropout_rate: 0.1,
+            power_stuck_rate: 0.2,
+            thermal_dropout_rate: 0.3,
+            pmc_missed_rate: 0.4,
+            actuation_ignored_rate: 0.5,
+            actuation_stall_rate: 0.6,
+            ..FaultConfig::default()
+        };
+        let mut rebuilt = FaultConfig { seed: 11, ..FaultConfig::default() };
+        for (name, value) in source.rates() {
+            assert!(rebuilt.set_rate(name, value), "unknown rate name {name}");
+        }
+        assert_eq!(rebuilt, source);
+        assert!(!rebuilt.set_rate("not_a_rate", 0.5));
     }
 
     #[test]

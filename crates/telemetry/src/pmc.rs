@@ -18,7 +18,7 @@ use aapm_platform::units::Seconds;
 pub const PROGRAMMABLE_COUNTERS: usize = 2;
 
 /// Pentium M performance counters are 40 bits wide; totals wrap modulo this.
-const COUNTER_WRAP: f64 = (1u64 << 40) as f64;
+pub const COUNTER_WRAP: f64 = (1u64 << 40) as f64;
 
 /// Count accumulated between two reads of a 40-bit register.
 ///
@@ -28,7 +28,10 @@ const COUNTER_WRAP: f64 = (1u64 << 40) as f64;
 /// gains < 2^28 counts per interval). When both totals sit in the same wrap
 /// epoch this is bit-identical to plain subtraction, because `f64 % 2^40`
 /// is exact for values below 2^53.
-fn wrapped_delta(now_total: f64, last_total: f64) -> f64 {
+///
+/// Public so boundary tests (and the fuzz harness's conservation oracle)
+/// can exercise the wrap arithmetic directly.
+pub fn wrapped_delta(now_total: f64, last_total: f64) -> f64 {
     let delta = now_total % COUNTER_WRAP - last_total % COUNTER_WRAP;
     if delta < 0.0 {
         delta + COUNTER_WRAP
@@ -104,6 +107,19 @@ impl CounterSample {
     /// vacuously fresh.
     pub fn is_fresh(&self) -> bool {
         self.counts.is_empty() || self.counts.iter().any(|(_, _, exact)| *exact)
+    }
+
+    /// Whether this sample carries positive evidence of a live counter
+    /// driver: at least one event was requested *and* measured exactly.
+    ///
+    /// Unlike [`CounterSample::is_fresh`] — which answers "is this data
+    /// usable?" and is therefore vacuously true with no events requested —
+    /// this answers "did the PMC channel demonstrably work this interval?".
+    /// Health monitors (the watchdog) must use this form: a governor that
+    /// monitors no counters provides no evidence either way, and treating
+    /// its empty sample as proof of life masks real outages.
+    pub fn has_fresh_counts(&self) -> bool {
+        self.counts.iter().any(|(_, _, exact)| *exact)
     }
 }
 

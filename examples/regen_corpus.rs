@@ -1,0 +1,189 @@
+//! Regenerates the committed adversarial regression corpus under `corpus/`.
+//!
+//! Each fixture pins one hand-picked adversarial scenario together with the
+//! verdict line the property oracles produced when it was committed
+//! (`aapm-experiments --replay-corpus` byte-compares fresh verdicts against
+//! these). Re-run this example after an *intentional* behavior change, eyeball
+//! the verdict diffs, and commit the updated fixtures — or use
+//! `--replay-corpus --bless`, which rewrites only the drifted verdicts.
+//!
+//! ```text
+//! cargo run --release --example regen_corpus
+//! ```
+
+use aapm::spec::GovernorSpec;
+use aapm_fuzz::corpus::Fixture;
+use aapm_fuzz::generate;
+use aapm_fuzz::scenario::{
+    CommandKind, CommandSpec, FaultSpec, OracleParams, ProgramSpec, Scenario, WindowSpec,
+};
+use aapm_telemetry::faults::FaultKind;
+
+/// A scenario skeleton with the corpus-wide defaults filled in.
+fn base(name: &str, governor: GovernorSpec, program: ProgramSpec) -> Scenario {
+    Scenario {
+        name: name.to_owned(),
+        seed: 42,
+        max_samples: 3000,
+        governor,
+        program,
+        faults: FaultSpec::inert(),
+        commands: Vec::new(),
+        oracles: OracleParams::default(),
+    }
+}
+
+/// A two-segment hot/cool program long enough to judge every property.
+fn mixed_program() -> ProgramSpec {
+    let mut hot = generate::burst_segment(1.1);
+    hot.name = "hot".to_owned();
+    hot.instructions = 900_000_000;
+    let mut cool = generate::quiet_segment();
+    cool.name = "cool".to_owned();
+    cool.instructions = 900_000_000;
+    ProgramSpec { name: "mixed".to_owned(), segments: vec![hot, cool] }
+}
+
+fn fixtures() -> Vec<(&'static str, Scenario)> {
+    let mut out: Vec<(&'static str, Scenario)> = Vec::new();
+
+    // 001 — the galgel-style deception: FP bursts whose true power overshoots
+    // the paper model by watts, so PM at 13.5 W violates its own cap. The
+    // recorded verdict is a deliberate cap=FAIL: it documents the model's
+    // blind spot and pins the violation fraction against drift.
+    out.push((
+        "001-galgel-cap-violation.json",
+        base(
+            "galgel-cap-violation",
+            GovernorSpec::Pm { limit_w: 13.5 },
+            generate::galgel_like_program(),
+        ),
+    ));
+
+    // 002 — the guardband edge: at burst activity 1.0 the model error is
+    // smaller than the stock 0.5 W guardband, so stock PM holds the cap that
+    // a zero-guardband build would break. Pins the guardband's protection.
+    out.push((
+        "002-zero-guardband-edge.json",
+        base(
+            "zero-guardband-edge",
+            GovernorSpec::Pm { limit_w: 13.5 },
+            ProgramSpec {
+                name: "burst-only".to_owned(),
+                segments: vec![generate::burst_segment(1.0)],
+            },
+        ),
+    ));
+
+    // 003 — PS floor adherence through a PMC outage window.
+    let mut ps = base("ps-floor-pmc-outage", GovernorSpec::Ps { floor: 0.8 }, mixed_program());
+    ps.faults.windows.push(WindowSpec { kind: FaultKind::PmcMissed, start: 0.2, end: 0.6 });
+    out.push(("003-ps-floor-pmc-outage.json", ps));
+
+    // 004 — watchdog liveness through a clean blackout: the safe p-state
+    // must appear within loss_threshold + slack intervals of the outage.
+    let mut dog = base(
+        "watchdog-blackout-liveness",
+        GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::Pm { limit_w: 30.0 }) },
+        mixed_program(),
+    );
+    dog.faults.windows.push(WindowSpec { kind: FaultKind::Blackout, start: 0.3, end: 0.9 });
+    out.push(("004-watchdog-blackout-liveness.json", dog));
+
+    // 005 — the full wrapper stack over a combined governor, with a thermal
+    // sensor outage (the thermal guard must fail safe without panicking).
+    let mut stack = base(
+        "thermal-guard-stack",
+        GovernorSpec::ThermalGuard {
+            inner: Box::new(GovernorSpec::Watchdog {
+                inner: Box::new(GovernorSpec::CombinedPm { limit_w: 16.0 }),
+            }),
+        },
+        mixed_program(),
+    );
+    stack
+        .faults
+        .windows
+        .push(WindowSpec { kind: FaultKind::ThermalDropout, start: 0.1, end: 1.2 });
+    out.push(("005-thermal-guard-stack.json", stack));
+
+    // 006 — scheduled power-limit steps: the cap oracle must respect the
+    // post-command grace window and then hold each new limit.
+    let mut steps =
+        base("command-limit-steps", GovernorSpec::Pm { limit_w: 20.0 }, mixed_program());
+    steps.commands.push(CommandSpec { at: 0.5, set: CommandKind::PowerLimit, value: 14.0 });
+    steps.commands.push(CommandSpec { at: 1.2, set: CommandKind::PowerLimit, value: 24.0 });
+    out.push(("006-command-limit-steps.json", steps));
+
+    // 007 — fault soup: every stochastic channel enabled at once under DBS,
+    // plus overlapping outage windows. Pins the fault plumbing end to end
+    // (conservation/finite must hold no matter what the channels do).
+    let mut soup = base(
+        "dbs-fault-soup",
+        GovernorSpec::Dbs { target_utilization: 0.7 },
+        mixed_program(),
+    );
+    soup.faults.config.power_dropout_rate = 0.08;
+    soup.faults.config.power_stuck_rate = 0.04;
+    soup.faults.config.thermal_dropout_rate = 0.05;
+    soup.faults.config.pmc_missed_rate = 0.1;
+    soup.faults.config.actuation_ignored_rate = 0.05;
+    soup.faults.config.actuation_stall_rate = 0.05;
+    soup.faults.windows.push(WindowSpec { kind: FaultKind::PowerDropout, start: 0.4, end: 0.8 });
+    soup.faults
+        .windows
+        .push(WindowSpec { kind: FaultKind::ActuationIgnored, start: 0.6, end: 1.0 });
+    out.push(("007-dbs-fault-soup.json", soup));
+
+    // 008 — a blackout opening at t = 0 (the boundary the fault layer
+    // handles specially) under a static clock.
+    let mut t0 = base("static-clock-blackout-t0", GovernorSpec::StaticClock { pstate: 3 }, {
+        let mut program = mixed_program();
+        program.name = "t0".to_owned();
+        program
+    });
+    t0.faults.windows.push(WindowSpec { kind: FaultKind::Blackout, start: 0.0, end: 0.5 });
+    out.push(("008-static-clock-blackout-t0.json", t0));
+
+    // 009 — a generator-drawn scenario that surfaced a floor finding during
+    // the seed-1 fuzz sweep (throttle-save under heavy faults misses its
+    // floor). Committed so the finding stays visible until it is resolved.
+    let mut drawn = generate::draw_scenarios(1, 9).remove(8);
+    drawn.name = "drawn-floor-finding".to_owned();
+    out.push(("009-drawn-floor-finding.json", drawn));
+
+    // 010 — watchdog over throttle-save with a floor command mid-run: the
+    // floor oracle takes the minimum of spec and commanded floors.
+    let mut ts = base(
+        "throttle-save-floor-command",
+        GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::ThrottleSave { floor: 0.9 }) },
+        mixed_program(),
+    );
+    ts.commands.push(CommandSpec { at: 0.4, set: CommandKind::PerformanceFloor, value: 0.7 });
+    out.push(("010-throttle-save-floor-command.json", ts));
+
+    // 011 — the fuzz-found watchdog bug, shrunk: a watchdog over a governor
+    // that monitors no PMC events saw only empty counter samples, which
+    // `is_fresh` treated as proof of a live driver, so a pure power
+    // blackout never engaged it (liveness FAIL(-1) before the fix). The
+    // fixture records the post-fix PASS; regressing `is_blind` flips it.
+    let mut blind = base(
+        "watchdog-empty-counters-blackout",
+        GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::Unconstrained) },
+        mixed_program(),
+    );
+    blind.faults.windows.push(WindowSpec { kind: FaultKind::Blackout, start: 0.4, end: 1.0 });
+    out.push(("011-watchdog-empty-counters-blackout.json", blind));
+
+    out
+}
+
+fn main() {
+    let dir = std::path::Path::new("corpus");
+    std::fs::create_dir_all(dir).expect("corpus directory must be writable");
+    for (file, scenario) in fixtures() {
+        let fixture = Fixture::record(scenario);
+        std::fs::write(dir.join(file), fixture.to_json()).expect("fixture must be writable");
+        println!("{file}: {}", fixture.verdict);
+    }
+}

@@ -60,6 +60,32 @@ EOF
 cargo test -q --offline -p aapm-experiments --test parallel_determinism \
     observer_outputs_are_byte_identical_across_widths
 
+# Adversarial corpus gate: every committed fixture must replay to its
+# recorded verdict (exit 0 means all matched), byte-identically across
+# pool widths, and the corpus must hold its 8-fixture floor.
+cargo run --release --offline -p aapm-experiments -- --replay-corpus --jobs 1 \
+    > results/corpus-replay.jobs1.txt
+for jobs in 2 8; do
+    cargo run --release --offline -p aapm-experiments -- --replay-corpus --jobs "$jobs" \
+        > "results/corpus-replay.jobs${jobs}.txt"
+    cmp "results/corpus-replay.jobs1.txt" "results/corpus-replay.jobs${jobs}.txt"
+done
+fixtures=$(wc -l < results/corpus-replay.jobs1.txt)
+if [ "$fixtures" -lt 8 ]; then
+    echo "corpus gate FAIL: only ${fixtures} fixture(s) replayed (floor is 8)" >&2
+    exit 1
+fi
+rm -f results/corpus-replay.jobs*.txt
+echo "corpus gate: ${fixtures} fixtures replayed byte-identically at --jobs 1/2/8"
+
+# Fuzz smoke: a fixed-seed sweep through the property oracles. Findings
+# (cap/floor, the paper-expected model-deception violations) are reported
+# but tolerated; any universal failure — panic, non-finite metric,
+# conservation or watchdog-liveness breach — fails the gate and prints a
+# shrunk counterexample to commit under corpus/.
+cargo run --release --offline -p aapm-experiments -- --fuzz \
+    --cases 512 --seed 20260807 > /dev/null
+
 # bench-gate: re-run the machine bench and compare against the committed
 # baseline. An attempt fails on a >20% throughput regression (or a >25%
 # slower serial suite) and prints the simulated-seconds-per-wall-second

@@ -15,6 +15,7 @@ use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::PStateId;
 use aapm_platform::units::Seconds;
 use aapm_telemetry::faults::{FaultConfig, FaultKind, FaultWindow};
+use aapm_telemetry::pmc::{wrapped_delta, COUNTER_WRAP};
 use aapm_workloads::synth::random_program;
 use proptest::prelude::*;
 
@@ -172,6 +173,58 @@ fn pm_adherence_degrades_gracefully_under_dropout() {
         );
         assert!(faulted.completed, "rate {rate}: run must still complete");
     }
+}
+
+/// Boundary behavior of the 40-bit counter arithmetic at exactly
+/// 2^40 − 1 → 0: the last representable value before the wrap, the wrap
+/// itself, and the first reads after it.
+#[test]
+fn pmc_wrap_boundary_at_exactly_top_of_range() {
+    let top = COUNTER_WRAP - 1.0; // 2^40 − 1, exactly representable in f64
+    assert_eq!(top as u64, (1u64 << 40) - 1);
+    // One count accumulated as the register ticks from 2^40−1 to 0 (the
+    // raw total reaches 2^40, which reads back as 0 modulo the width).
+    assert_eq!(wrapped_delta(COUNTER_WRAP, top), 1.0);
+    assert_eq!(wrapped_delta(0.0, top), 1.0, "a read of 0 right after the top is one count");
+    // Reading the same boundary value twice is zero counts, not a wrap.
+    assert_eq!(wrapped_delta(top, top), 0.0);
+    // A read that lands a few counts past the wrap reconstructs the full
+    // distance across the discontinuity.
+    assert_eq!(wrapped_delta(5.0, COUNTER_WRAP - 3.0), 8.0);
+    // And one count below the top stays a plain difference.
+    assert_eq!(wrapped_delta(top, top - 1.0), 1.0);
+}
+
+/// A fault window opening at t = 0 corrupts the very first control
+/// interval — before the governor has made any decision — and the runtime
+/// must start up blind without panicking or miscounting.
+#[test]
+fn fault_at_t_zero_precedes_the_first_governor_decision() {
+    let window = FaultWindow {
+        start: Seconds::ZERO,
+        end: Seconds::new(0.05),
+        kind: FaultKind::Blackout,
+    };
+    let (report, stats) = Session::builder(MachineConfig::pentium_m_755(5), short_program(5))
+        .config(quick_sim())
+        .governor(&mut pm(12.5))
+        .faults(&[window])
+        .run()
+        .unwrap();
+    assert!(report.completed, "a blind start must still complete");
+    assert!(
+        stats.power_dropouts >= 4,
+        "the [0, 0.05) window must cover the first intervals, got {stats:?}"
+    );
+    assert_eq!(
+        stats.power_dropouts, stats.pmc_missed,
+        "a blackout loses power and PMC reads together"
+    );
+    // The governor saw no telemetry in interval one; its first decision
+    // must still have been recorded (the trace starts at the beginning).
+    let records = report.trace.records();
+    assert!(!records.is_empty());
+    assert!(records[0].time.seconds() < 0.02, "trace must start at the first interval");
 }
 
 proptest! {

@@ -4,8 +4,10 @@
 //! reimplements the slice of proptest the workspace's property tests use:
 //! the `proptest!` macro with an optional `#![proptest_config(...)]` header,
 //! `ProptestConfig::with_cases`, the `Strategy` trait with `prop_map`,
-//! numeric-range and tuple strategies, `prop::collection::vec`,
-//! `prop::sample::select`, and the `prop_assert*` macros.
+//! `prop_flat_map`, `prop_filter`, and `boxed`, the `prop_oneof!` /
+//! `Union` choice combinators, numeric-range and tuple strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and the `prop_assert*`
+//! macros.
 //!
 //! Semantics differ from upstream in two deliberate ways: inputs are drawn
 //! from a deterministic per-test generator (seeded from the test's module
@@ -20,9 +22,9 @@ pub mod test_runner;
 pub mod prelude {
     //! The glob-importable API surface, mirroring `proptest::prelude`.
 
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
     pub mod prop {
         //! Namespaced strategy constructors (`prop::collection::vec`, …).
@@ -62,6 +64,24 @@ macro_rules! proptest {
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Chooses among strategies producing one value type. Arms are drawn
+/// uniformly, or per-arm `weight => strategy` when weights are given; every
+/// arm is boxed, so heterogeneous strategy types are fine as long as their
+/// `Value`s agree.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
     };
 }
 
@@ -123,6 +143,81 @@ mod tests {
         fn select_draws_from_options(v in prop::sample::select(vec![2u32, 4, 8])) {
             prop_assert!([2, 4, 8].contains(&v));
         }
+    }
+
+    #[test]
+    fn oneof_reaches_every_arm() {
+        let strategy = prop_oneof![Just(1u32), Just(2u32), (10u32..20).prop_map(|v| v)];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof_reaches_every_arm");
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            match strategy.generate(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                10..=19 => seen[2] = true,
+                other => panic!("value {other} outside every arm"),
+            }
+        }
+        assert_eq!(seen, [true; 3], "every arm must be drawn eventually");
+    }
+
+    #[test]
+    fn weighted_oneof_honors_weights() {
+        let strategy = prop_oneof![9 => Just(0u32), 1 => Just(1u32)];
+        let mut rng = crate::test_runner::TestRng::for_test("weighted_oneof_honors_weights");
+        let ones: u32 = (0..2000).map(|_| strategy.generate(&mut rng)).sum();
+        let rate = f64::from(ones) / 2000.0;
+        assert!((rate - 0.1).abs() < 0.05, "observed rate {rate} for weight 1/10");
+    }
+
+    #[test]
+    fn flat_map_generates_dependently() {
+        // Draw a length, then a vector of exactly that length.
+        let strategy = (1usize..6)
+            .prop_flat_map(|len| prop::collection::vec(0u8..10, len..len + 1));
+        let mut rng = crate::test_runner::TestRng::for_test("flat_map_generates_dependently");
+        for _ in 0..128 {
+            let items = strategy.generate(&mut rng);
+            assert!((1..6).contains(&items.len()));
+        }
+    }
+
+    #[test]
+    fn filter_redraws_until_accepted() {
+        let strategy = (0u64..100).prop_filter("must be even", |v| v % 2 == 0);
+        let mut rng = crate::test_runner::TestRng::for_test("filter_redraws_until_accepted");
+        for _ in 0..128 {
+            assert_eq!(strategy.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible predicate")]
+    fn filter_panics_when_nothing_is_accepted() {
+        let strategy = (0u64..100).prop_filter("impossible predicate", |_| false);
+        let mut rng =
+            crate::test_runner::TestRng::for_test("filter_panics_when_nothing_is_accepted");
+        let _ = strategy.generate(&mut rng);
+    }
+
+    #[test]
+    fn boxed_strategies_preserve_draws() {
+        let plain = 5u64..50;
+        let boxed = (5u64..50).boxed();
+        let mut a = crate::test_runner::TestRng::for_test("boxed_strategies_preserve_draws");
+        let mut b = crate::test_runner::TestRng::for_test("boxed_strategies_preserve_draws");
+        for _ in 0..64 {
+            assert_eq!(plain.generate(&mut a), boxed.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn union_new_is_uniform_choice() {
+        let union = Union::new(vec![Just(1u8), Just(2u8)]);
+        let mut rng = crate::test_runner::TestRng::for_test("union_new_is_uniform_choice");
+        let twos = (0..2000).filter(|_| union.generate(&mut rng) == 2).count();
+        let rate = twos as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "observed rate {rate} for a fair coin");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use core::ops::Range;
 use crate::test_runner::TestRng;
 
 /// A generator of test inputs (subset of upstream: generation only — no
-/// shrinking).
+/// shrinking; `aapm-fuzz` layers an explicit scenario minimizer on top).
 pub trait Strategy {
     /// The generated type.
     type Value;
@@ -21,6 +21,37 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O,
     {
         Map { source: self, map }
+    }
+
+    /// A strategy that draws from `self`, then from the strategy `flat`
+    /// returns for the drawn value — the dependent-generation combinator.
+    fn prop_flat_map<O, F>(self, flat: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { source: self, flat }
+    }
+
+    /// A strategy that redraws until `accept` holds. Panics (citing
+    /// `reason`) after 1000 consecutive rejections — upstream resolves this
+    /// with global rejection bookkeeping; the subset keeps it local.
+    fn prop_filter<F>(self, reason: &'static str, accept: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, reason, accept }
+    }
+
+    /// Erases the strategy's concrete type so heterogeneous strategies of
+    /// one value type can share a container (e.g. [`Union`] arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
     }
 }
 
@@ -48,6 +79,129 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.map)(self.source.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    flat: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        let seed = self.source.generate(rng);
+        (self.flat)(seed).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: &'static str,
+    accept: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.generate(rng);
+            if (self.accept)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive draws: {}", self.reason);
+    }
+}
+
+/// A type-erased strategy, produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> core::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Object-safe adapter behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// A weighted choice among strategies of one value type; the engine behind
+/// [`prop_oneof!`](crate::prop_oneof).
+#[derive(Debug)]
+pub struct Union<S> {
+    arms: Vec<(u32, S)>,
+    total_weight: u64,
+}
+
+impl<S: Strategy> Union<S> {
+    /// A uniform choice among `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<S>) -> Self {
+        Union::new_weighted(arms.into_iter().map(|arm| (1, arm)).collect())
+    }
+
+    /// A weighted choice: each arm is drawn with probability proportional
+    /// to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or every weight is zero.
+    pub fn new_weighted(arms: Vec<(u32, S)>) -> Self {
+        assert!(!arms.is_empty(), "Union needs at least one arm");
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "Union needs at least one positive weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut ticket = rng.next_below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return arm.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket was drawn below the total weight");
     }
 }
 
