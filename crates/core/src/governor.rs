@@ -11,6 +11,7 @@ use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::{PStateId, PStateTable};
 use aapm_platform::thermal::Celsius;
 use aapm_platform::throttle::ThrottleLevel;
+use aapm_models::power_model::PStateCoefficients;
 use aapm_telemetry::daq::PowerSample;
 use aapm_telemetry::metrics::Metrics;
 use aapm_telemetry::pmc::CounterSample;
@@ -42,6 +43,11 @@ pub enum GovernorCommand {
     SetPowerLimit(PowerLimit),
     /// Change the performance floor (PS).
     SetPerformanceFloor(PerformanceFloor),
+    /// Replace one p-state's power-model coefficients (the online refit
+    /// path: [`crate::adaptive::Adaptive`] sends this inward to whichever
+    /// model-driven governor it wraps). Governors without a power model
+    /// ignore it, like any other inapplicable command.
+    SetPowerCoefficients(PStateId, PStateCoefficients),
 }
 
 /// A p-state governor.

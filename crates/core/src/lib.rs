@@ -66,6 +66,7 @@
 //! # Ok::<(), aapm_platform::error::PlatformError>(())
 //! ```
 
+pub mod adaptive;
 pub mod baselines;
 pub mod combined_pm;
 pub mod feedback;

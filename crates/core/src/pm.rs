@@ -243,10 +243,22 @@ impl Governor for PerformanceMaximizer {
     }
 
     fn command(&mut self, command: GovernorCommand) {
-        if let GovernorCommand::SetPowerLimit(limit) = command {
-            self.limit = limit;
-            // A fresh limit invalidates the raise history.
-            self.raise_streak = 0;
+        match command {
+            GovernorCommand::SetPowerLimit(limit) => {
+                self.limit = limit;
+                // A fresh limit invalidates the raise history.
+                self.raise_streak = 0;
+            }
+            GovernorCommand::SetPowerCoefficients(id, coeffs) => {
+                // A rejected refit (out-of-range state, non-finite pair)
+                // leaves the installed model untouched — the adaptive
+                // layer validates before sending, so this is belt and
+                // braces.
+                if self.model.set_coefficients(id, coeffs).is_ok() {
+                    self.raise_streak = 0;
+                }
+            }
+            GovernorCommand::SetPerformanceFloor(_) => {}
         }
     }
 
@@ -350,6 +362,28 @@ mod tests {
         pm.command(GovernorCommand::SetPowerLimit(PowerLimit::new(10.0).unwrap()));
         let chosen = decide_at(&mut pm, &table, 7, 2.0);
         assert!(chosen < PStateId::new(7), "tighter limit lowers at once");
+    }
+
+    #[test]
+    fn coefficient_refit_changes_estimates_immediately() {
+        use aapm_models::power_model::PStateCoefficients;
+        let table = PStateTable::pentium_m_755();
+        // 16 W fits P7 at DPC 1.0 under Table II (15.04 + 0.5 guardband).
+        let mut pm = pm_with_limit(16.0);
+        assert_eq!(decide_at(&mut pm, &table, 7, 1.0), PStateId::new(7));
+        // A refit reporting a 3 W hotter floor at P7 pushes it over the
+        // limit; the very next decision lowers.
+        pm.command(GovernorCommand::SetPowerCoefficients(
+            PStateId::new(7),
+            PStateCoefficients { alpha: 2.93, beta: 15.11 },
+        ));
+        assert!(decide_at(&mut pm, &table, 7, 1.0) < PStateId::new(7));
+        // A non-finite refit is dropped and the (already refit) model kept.
+        pm.command(GovernorCommand::SetPowerCoefficients(
+            PStateId::new(7),
+            PStateCoefficients { alpha: f64::NAN, beta: 12.11 },
+        ));
+        assert_eq!(pm.model().coefficients(PStateId::new(7)).unwrap().beta, 15.11);
     }
 
     #[test]

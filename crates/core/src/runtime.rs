@@ -176,6 +176,7 @@ fn command_name(command: GovernorCommand) -> &'static str {
     match command {
         GovernorCommand::SetPowerLimit(_) => "set_power_limit",
         GovernorCommand::SetPerformanceFloor(_) => "set_performance_floor",
+        GovernorCommand::SetPowerCoefficients(..) => "set_power_coefficients",
     }
 }
 

@@ -21,6 +21,7 @@ use aapm_models::power_model::PowerModel;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::pstate::PStateId;
 
+use crate::adaptive::{Adaptive, AdaptiveConfig};
 use crate::baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
 use crate::json::Json;
 use crate::combined_pm::CombinedPm;
@@ -126,6 +127,18 @@ pub enum GovernorSpec {
         /// The wrapped governor's spec.
         inner: Box<GovernorSpec>,
     },
+    /// [`Adaptive`] online model refit wrapped around an inner spec.
+    Adaptive {
+        /// RLS forgetting factor in (0, 1].
+        forgetting: f64,
+        /// Accepted samples per p-state between refit pushes (also the
+        /// outage threshold).
+        window: usize,
+        /// Counter basis: 1 = DPC only (paper), 2 = DPC + DCU (Mazzola).
+        counters: usize,
+        /// The wrapped governor's spec.
+        inner: Box<GovernorSpec>,
+    },
 }
 
 /// One registry row: spec kind, JSON parameters, and what it builds.
@@ -196,6 +209,11 @@ pub const REGISTRY: &[RegistryEntry] = &[
         params: "inner",
         description: "die-temperature envelope wrapped around an inner spec",
     },
+    RegistryEntry {
+        kind: "adaptive",
+        params: "forgetting, window, counters, inner",
+        description: "online RLS refit of the power model around an inner spec",
+    },
 ];
 
 impl GovernorSpec {
@@ -213,6 +231,7 @@ impl GovernorSpec {
             GovernorSpec::ThrottleSave { .. } => "throttle-save",
             GovernorSpec::Watchdog { .. } => "watchdog",
             GovernorSpec::ThermalGuard { .. } => "thermal-guard",
+            GovernorSpec::Adaptive { .. } => "adaptive",
         }
     }
 
@@ -231,6 +250,7 @@ impl GovernorSpec {
             GovernorSpec::ThrottleSave { .. } => "throttle-save".to_owned(),
             GovernorSpec::Watchdog { inner } => format!("watchdog<{}>", inner.governor_name()),
             GovernorSpec::ThermalGuard { inner } => format!("thermal<{}>", inner.governor_name()),
+            GovernorSpec::Adaptive { inner, .. } => format!("adaptive<{}>", inner.governor_name()),
         }
     }
 
@@ -274,6 +294,23 @@ impl GovernorSpec {
             GovernorSpec::ThermalGuard { inner } => {
                 Box::new(ThermalGuard::new(BoxedGovernor(inner.build(models)?)))
             }
+            GovernorSpec::Adaptive { forgetting, window, counters, inner } => {
+                let multi_counter = match counters {
+                    1 => false,
+                    2 => true,
+                    other => {
+                        return Err(invalid(format!(
+                            "adaptive \"counters\" must be 1 or 2, got {other}"
+                        )))
+                    }
+                };
+                let config = AdaptiveConfig { forgetting: *forgetting, window: *window, multi_counter };
+                Box::new(Adaptive::with_config(
+                    BoxedGovernor(inner.build(models)?),
+                    models.power.clone(),
+                    config,
+                )?)
+            }
         })
     }
 
@@ -306,6 +343,14 @@ impl GovernorSpec {
                 let _ = write!(out, ",\"floor\":{floor}");
             }
             GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
+                out.push_str(",\"inner\":");
+                inner.write_json(out);
+            }
+            GovernorSpec::Adaptive { forgetting, window, counters, inner } => {
+                let _ = write!(
+                    out,
+                    ",\"forgetting\":{forgetting},\"window\":{window},\"counters\":{counters}"
+                );
                 out.push_str(",\"inner\":");
                 inner.write_json(out);
             }
@@ -415,6 +460,31 @@ impl GovernorSpec {
                     GovernorSpec::ThermalGuard { inner }
                 }
             }
+            "adaptive" => {
+                expect_keys(&["forgetting", "window", "counters", "inner"])?;
+                let expect_integer = |key: &str| -> Result<usize> {
+                    let raw = expect_number(key)?;
+                    if raw < 0.0 || raw.fract() != 0.0 || !raw.is_finite() {
+                        return Err(invalid(format!(
+                            "\"{key}\" must be a non-negative integer, got {raw}"
+                        )));
+                    }
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    Ok(raw as usize)
+                };
+                let inner = match fields.iter().find(|(k, _)| k == "inner") {
+                    Some((_, value)) => Box::new(GovernorSpec::from_value(value)?),
+                    None => {
+                        return Err(invalid(format!("kind \"{kind}\" requires \"inner\"")));
+                    }
+                };
+                GovernorSpec::Adaptive {
+                    forgetting: expect_number("forgetting")?,
+                    window: expect_integer("window")?,
+                    counters: expect_integer("counters")?,
+                    inner,
+                }
+            }
             other => {
                 let known: Vec<&str> = REGISTRY.iter().map(|e| e.kind).collect();
                 return Err(invalid(format!(
@@ -450,6 +520,20 @@ mod tests {
             GovernorSpec::ThermalGuard {
                 inner: Box::new(GovernorSpec::Watchdog {
                     inner: Box::new(GovernorSpec::Ps { floor: 0.8 }),
+                }),
+            },
+            GovernorSpec::Adaptive {
+                forgetting: 0.98,
+                window: 50,
+                counters: 1,
+                inner: Box::new(GovernorSpec::Pm { limit_w: 13.5 }),
+            },
+            GovernorSpec::Watchdog {
+                inner: Box::new(GovernorSpec::Adaptive {
+                    forgetting: 0.95,
+                    window: 40,
+                    counters: 2,
+                    inner: Box::new(GovernorSpec::FeedbackPm { limit_w: 12.5 }),
                 }),
             },
         ]
@@ -565,5 +649,45 @@ mod tests {
         assert!(GovernorSpec::Pm { limit_w: -1.0 }.build(&models).is_err());
         assert!(GovernorSpec::Ps { floor: 1.5 }.build(&models).is_err());
         assert!(GovernorSpec::Dbs { target_utilization: 0.0 }.build(&models).is_err());
+        let inner = Box::new(GovernorSpec::Pm { limit_w: 13.5 });
+        let bad_forgetting = GovernorSpec::Adaptive {
+            forgetting: 0.0,
+            window: 50,
+            counters: 1,
+            inner: inner.clone(),
+        };
+        assert!(bad_forgetting.build(&models).is_err());
+        let bad_window =
+            GovernorSpec::Adaptive { forgetting: 0.98, window: 0, counters: 1, inner: inner.clone() };
+        assert!(bad_window.build(&models).is_err());
+        let bad_counters =
+            GovernorSpec::Adaptive { forgetting: 0.98, window: 50, counters: 3, inner };
+        assert!(bad_counters.build(&models).is_err());
+    }
+
+    /// The adaptive kind round-trips with its full parameter set and
+    /// composes under and over the other wrappers.
+    #[test]
+    fn adaptive_spec_round_trips_and_builds() {
+        let json = r#"{"kind":"adaptive","forgetting":0.98,"window":50,"counters":2,"inner":{"kind":"pm","limit_w":13.5}}"#;
+        let spec = GovernorSpec::from_json(json).unwrap();
+        assert_eq!(spec.to_json(), json);
+        let governor = spec.build(&SpecModels::default()).unwrap();
+        assert_eq!(governor.name(), "adaptive<pm>");
+        // Under a watchdog, over a thermal guard.
+        let stacked = r#"{"kind":"watchdog","inner":{"kind":"adaptive","forgetting":0.95,"window":30,"counters":1,"inner":{"kind":"thermal-guard","inner":{"kind":"pm","limit_w":12.5}}}}"#;
+        let spec = GovernorSpec::from_json(stacked).unwrap();
+        assert_eq!(spec.to_json(), stacked);
+        let governor = spec.build(&SpecModels::default()).unwrap();
+        assert_eq!(governor.name(), "watchdog<adaptive<thermal<pm>>>");
+        // Malformed adaptive parameters are rejected at parse time.
+        for bad in [
+            r#"{"kind":"adaptive","forgetting":0.98,"window":50,"counters":1}"#,
+            r#"{"kind":"adaptive","forgetting":0.98,"window":1.5,"counters":1,"inner":{"kind":"pm","limit_w":13.5}}"#,
+            r#"{"kind":"adaptive","forgetting":0.98,"window":50,"counters":-1,"inner":{"kind":"pm","limit_w":13.5}}"#,
+            r#"{"kind":"adaptive","window":50,"counters":1,"inner":{"kind":"pm","limit_w":13.5}}"#,
+        ] {
+            assert!(GovernorSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
     }
 }

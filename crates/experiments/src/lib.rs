@@ -25,10 +25,12 @@
 //! | headline | paper-vs-reproduction claims | [`headline`] |
 //! | ablation-* | guardband/window/feedback/DBS | [`ablations`] |
 //! | ablation-throttle/-thermal | actuator studies | [`ablation_actuators`] |
+//! | adaptive | static vs online-refit power model | [`adaptive`] |
 //! | fault-matrix | robustness under injected faults | [`fault_matrix`] |
 
 pub mod ablation_actuators;
 pub mod ablations;
+pub mod adaptive;
 pub mod bench_machine;
 pub mod context;
 pub mod efficiency;
@@ -68,11 +70,11 @@ pub use pool::Pool;
 use aapm_platform::error::Result;
 
 /// Ids of all experiments, in presentation order.
-pub const ALL_IDS: [&str; 28] = [
+pub const ALL_IDS: [&str; 29] = [
     "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "pm-adherence", "headline", "ablation-guardband", "ablation-window",
-    "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "signatures", "model-error", "efficiency", "fault-matrix",
-    "all",
+    "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "adaptive", "signatures", "model-error", "efficiency",
+    "fault-matrix", "all",
 ];
 
 /// Runs one experiment by id (`"all"` is handled by callers).
@@ -106,6 +108,7 @@ pub fn run_by_id(ctx: &ExperimentContext, pool: &Pool, id: &str) -> Result<Vec<E
         "ablation-thermal" => single(ablation_actuators::thermal_envelope(ctx, pool)?),
         "ablation-deepcap" => single(ablation_actuators::deep_caps(ctx, pool)?),
         "ablation-phase" => single(ablation_actuators::phase_pm(ctx, pool)?),
+        "adaptive" => single(adaptive::run(ctx, pool)?),
         "signatures" => single(signatures::run(ctx, pool)?),
         "model-error" => single(model_error::run(ctx, pool)?),
         "efficiency" => single(efficiency::run(ctx, pool)?),
@@ -124,7 +127,7 @@ const SUITE_PRE: [&str; 10] =
 
 /// Experiments that run after the sweep-derived figures, in presentation
 /// order.
-const SUITE_POST: [&str; 12] = [
+const SUITE_POST: [&str; 13] = [
     "ablation-guardband",
     "ablation-window",
     "ablation-feedback",
@@ -133,6 +136,7 @@ const SUITE_POST: [&str; 12] = [
     "ablation-thermal",
     "ablation-deepcap",
     "ablation-phase",
+    "adaptive",
     "signatures",
     "model-error",
     "efficiency",

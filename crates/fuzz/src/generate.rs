@@ -110,16 +110,29 @@ pub fn base_governor() -> impl Strategy<Value = GovernorSpec> {
 }
 
 /// A governor stack: a base spec under zero, one, or two wrapper layers
-/// (watchdog, thermal guard, or thermal guard over watchdog).
+/// (watchdog, thermal guard, adaptive refit, or a wrapper pair). Adaptive
+/// parameters are drawn across both counter bases and the forgetting and
+/// window ranges the registry accepts.
 pub fn governor() -> impl Strategy<Value = GovernorSpec> {
-    (base_governor(), 0u64..4).prop_map(|(base, wrap)| match wrap {
-        0 => base,
-        1 => GovernorSpec::Watchdog { inner: Box::new(base) },
-        2 => GovernorSpec::ThermalGuard { inner: Box::new(base) },
-        _ => GovernorSpec::ThermalGuard {
-            inner: Box::new(GovernorSpec::Watchdog { inner: Box::new(base) }),
+    (base_governor(), 0u64..6, 0.9f64..0.999, 20usize..80, 1usize..3).prop_map(
+        |(base, wrap, forgetting, window, counters)| match wrap {
+            0 => base,
+            1 => GovernorSpec::Watchdog { inner: Box::new(base) },
+            2 => GovernorSpec::ThermalGuard { inner: Box::new(base) },
+            3 => GovernorSpec::ThermalGuard {
+                inner: Box::new(GovernorSpec::Watchdog { inner: Box::new(base) }),
+            },
+            4 => GovernorSpec::Adaptive { forgetting, window, counters, inner: Box::new(base) },
+            _ => GovernorSpec::Watchdog {
+                inner: Box::new(GovernorSpec::Adaptive {
+                    forgetting,
+                    window,
+                    counters,
+                    inner: Box::new(base),
+                }),
+            },
         },
-    })
+    )
 }
 
 /// One stochastic fault rate: usually zero (so most scenarios isolate one
@@ -313,20 +326,28 @@ mod tests {
         assert_ne!(a, c, "different seeds must draw different scenarios");
     }
 
-    /// The governor strategy reaches both bare and wrapped stacks.
+    /// The governor strategy reaches bare, wrapped, and adaptive stacks.
     #[test]
     fn governor_strategy_reaches_wrappers() {
         let mut rng = TestRng::for_test("governor-coverage");
         let strategy = governor();
         let mut wrapped = 0usize;
+        let mut adaptive = 0usize;
         let mut bare = 0usize;
-        for _ in 0..200 {
+        for _ in 0..300 {
             match strategy.generate(&mut rng) {
+                GovernorSpec::Adaptive { .. } => adaptive += 1,
+                GovernorSpec::Watchdog { inner, .. }
+                    if matches!(*inner, GovernorSpec::Adaptive { .. }) =>
+                {
+                    adaptive += 1;
+                }
                 GovernorSpec::Watchdog { .. } | GovernorSpec::ThermalGuard { .. } => wrapped += 1,
                 _ => bare += 1,
             }
         }
-        assert!(wrapped > 20, "wrappers must appear, got {wrapped}");
+        assert!(wrapped > 20, "plain wrappers must appear, got {wrapped}");
+        assert!(adaptive > 20, "adaptive stacks must appear, got {adaptive}");
         assert!(bare > 20, "bare stacks must appear, got {bare}");
     }
 }

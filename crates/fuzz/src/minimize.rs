@@ -136,9 +136,9 @@ where
 
 fn unwrap_governor(spec: &GovernorSpec) -> Option<GovernorSpec> {
     match spec {
-        GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
-            Some((**inner).clone())
-        }
+        GovernorSpec::Watchdog { inner }
+        | GovernorSpec::ThermalGuard { inner }
+        | GovernorSpec::Adaptive { inner, .. } => Some((**inner).clone()),
         _ => None,
     }
 }

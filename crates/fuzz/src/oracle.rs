@@ -285,9 +285,9 @@ pub fn initial_limit(spec: &GovernorSpec) -> Option<f64> {
         | GovernorSpec::FeedbackPm { limit_w }
         | GovernorSpec::CombinedPm { limit_w }
         | GovernorSpec::PhasePm { limit_w } => Some(*limit_w),
-        GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
-            initial_limit(inner)
-        }
+        GovernorSpec::Watchdog { inner }
+        | GovernorSpec::ThermalGuard { inner }
+        | GovernorSpec::Adaptive { inner, .. } => initial_limit(inner),
         _ => None,
     }
 }
@@ -296,9 +296,9 @@ pub fn initial_limit(spec: &GovernorSpec) -> Option<f64> {
 pub fn initial_floor(spec: &GovernorSpec) -> Option<f64> {
     match spec {
         GovernorSpec::Ps { floor } | GovernorSpec::ThrottleSave { floor } => Some(*floor),
-        GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
-            initial_floor(inner)
-        }
+        GovernorSpec::Watchdog { inner }
+        | GovernorSpec::ThermalGuard { inner }
+        | GovernorSpec::Adaptive { inner, .. } => initial_floor(inner),
         _ => None,
     }
 }
@@ -307,7 +307,9 @@ pub fn initial_floor(spec: &GovernorSpec) -> Option<f64> {
 pub fn has_watchdog(spec: &GovernorSpec) -> bool {
     match spec {
         GovernorSpec::Watchdog { .. } => true,
-        GovernorSpec::ThermalGuard { inner } => has_watchdog(inner),
+        GovernorSpec::ThermalGuard { inner } | GovernorSpec::Adaptive { inner, .. } => {
+            has_watchdog(inner)
+        }
         _ => false,
     }
 }

@@ -41,18 +41,33 @@ fn weighted_least_squares(points: &[(f64, f64)], weights: Option<&[f64]>) -> Opt
     let my = points.iter().enumerate().map(|(i, p)| w(i) * p.1).sum::<f64>() / sw;
     let sxx: f64 = points.iter().enumerate().map(|(i, p)| w(i) * (p.0 - mx) * (p.0 - mx)).sum();
     let sxy: f64 = points.iter().enumerate().map(|(i, p)| w(i) * (p.0 - mx) * (p.1 - my)).sum();
-    if sxx.abs() < 1e-12 {
+    // Degeneracy must be judged relative to the x magnitude: an x-spread
+    // below ~1e-12 of the raw x scale is indistinguishable from rounding
+    // noise, while an absolute cutoff misreads genuinely tiny scales as
+    // degenerate and (symmetrically) trusts spreads that huge scales cannot
+    // actually resolve. A non-finite moment means the inputs were unusable.
+    let sqx: f64 = points.iter().enumerate().map(|(i, p)| w(i) * p.0 * p.0).sum();
+    if !sxx.is_finite() || sxx <= sqx * 1e-24 {
         return None;
     }
     let slope = sxy / sxx;
     Some(LinearFit { slope, intercept: my - slope * mx })
 }
 
+/// Relative slope/intercept movement below which an IRLS step counts as
+/// converged. Tight enough that early exit cannot shift a trained model at
+/// any magnitude the fit reports.
+const IRLS_CONVERGENCE: f64 = 1e-12;
+
 /// Least-absolute-deviations fit via IRLS (the paper's fitting criterion).
 ///
 /// Starts from the L2 solution and reweights each point by the inverse of
-/// its current absolute residual. Returns `None` under the same conditions
-/// as [`least_squares`].
+/// its current absolute residual, stopping early once an iteration moves
+/// both coefficients by less than [`IRLS_CONVERGENCE`] (relative): from a
+/// fixed point the reweighting reproduces the same solution, so further
+/// iterations are pure waste. `iterations` is the cap for fits that keep
+/// oscillating. Returns `None` under the same conditions as
+/// [`least_squares`].
 pub fn least_absolute(points: &[(f64, f64)], iterations: usize) -> Option<LinearFit> {
     let mut fit = least_squares(points)?;
     let mut weights = vec![1.0; points.len()];
@@ -63,7 +78,16 @@ pub fn least_absolute(points: &[(f64, f64)], iterations: usize) -> Option<Linear
             weights[i] = 1.0 / residual.max(1e-6);
         }
         match weighted_least_squares(points, Some(&weights)) {
-            Some(next) => fit = next,
+            Some(next) => {
+                let slope_moved = (next.slope - fit.slope).abs()
+                    > IRLS_CONVERGENCE * fit.slope.abs().max(1.0);
+                let intercept_moved = (next.intercept - fit.intercept).abs()
+                    > IRLS_CONVERGENCE * fit.intercept.abs().max(1.0);
+                fit = next;
+                if !slope_moved && !intercept_moved {
+                    break;
+                }
+            }
             None => break,
         }
     }
@@ -79,8 +103,17 @@ pub fn mean_absolute_error(fit: &LinearFit, points: &[(f64, f64)]) -> f64 {
 }
 
 /// Largest absolute error of `fit` over `points`.
+///
+/// Ordered by `total_cmp` so a non-finite residual propagates to the
+/// result instead of being silently dropped (`f64::max` discards NaN):
+/// `NaN.abs()` is the positive NaN, which `total_cmp` places above every
+/// finite value and +∞.
 pub fn max_absolute_error(fit: &LinearFit, points: &[(f64, f64)]) -> f64 {
-    points.iter().map(|&(x, y)| (y - fit.predict(x)).abs()).fold(0.0, f64::max)
+    points
+        .iter()
+        .map(|&(x, y)| (y - fit.predict(x)).abs())
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -118,6 +151,60 @@ mod tests {
         assert!(least_squares(&[(1.0, 1.0)]).is_none());
         assert!(least_squares(&[(2.0, 1.0), (2.0, 3.0)]).is_none(), "zero x-variance");
         assert!(least_absolute(&[(2.0, 1.0), (2.0, 3.0)], 5).is_none());
+    }
+
+    #[test]
+    fn max_absolute_error_propagates_non_finite_residuals() {
+        let fit = LinearFit { slope: 1.0, intercept: 0.0 };
+        // A NaN observation must surface as NaN, not vanish under a
+        // finite competitor on either side of it.
+        assert!(max_absolute_error(&fit, &[(0.0, 5.0), (1.0, f64::NAN), (2.0, 9.0)]).is_nan());
+        assert!(max_absolute_error(&fit, &[(1.0, f64::NAN)]).is_nan());
+        // Infinite residuals dominate finite ones.
+        assert_eq!(max_absolute_error(&fit, &[(0.0, f64::INFINITY), (1.0, 2.0)]), f64::INFINITY);
+        // Finite data is unaffected by the total ordering.
+        assert_eq!(max_absolute_error(&fit, &[(0.0, 1.0), (3.0, 3.0)]), 1.0);
+        assert_eq!(max_absolute_error(&fit, &[]), 0.0);
+    }
+
+    #[test]
+    fn degeneracy_is_judged_relative_to_x_scale() {
+        // Tiny scale: an absolute 1e-12 cutoff would misread this genuine
+        // micro-scale spread (sxx ≈ 5e-13) as degenerate.
+        let tiny: Vec<(f64, f64)> =
+            (0..8).map(|i| (1e-6 + 5e-7 * i as f64, 3.0 * (1e-6 + 5e-7 * i as f64) + 2.0)).collect();
+        let fit = least_squares(&tiny).expect("micro-scale spread is a real fit");
+        assert!((fit.slope - 3.0).abs() < 1e-6);
+        // Huge scale: a unit spread at x ≈ 1e9 is far above rounding noise
+        // and must fit (large-DPC-window analogue).
+        let huge: Vec<(f64, f64)> =
+            (0..8).map(|i| (1e9 + i as f64, 2.0 * i as f64 + 7.0)).collect();
+        let fit = least_squares(&huge).expect("unit spread at 1e9 is a real fit");
+        assert!((fit.slope - 2.0).abs() < 1e-4);
+        // Zero spread stays degenerate at every magnitude.
+        assert!(least_squares(&[(1e-6, 1.0), (1e-6, 3.0)]).is_none());
+        assert!(least_squares(&[(1e9, 1.0), (1e9, 3.0)]).is_none());
+        // Spread below the representable resolution of the magnitude is
+        // rounding noise, not signal.
+        assert!(least_squares(&[(1e9, 1.0), (1e9 + 1e-7, 3.0), (1e9, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_degenerate() {
+        assert!(least_squares(&[(f64::NAN, 1.0), (2.0, 3.0)]).is_none());
+        assert!(least_squares(&[(f64::INFINITY, 1.0), (2.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn converged_irls_is_unchanged_by_extra_iterations() {
+        let mut points: Vec<(f64, f64)> = (1..12).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        points.push((11.0, 60.0));
+        let short = least_absolute(&points, 50).unwrap();
+        let long = least_absolute(&points, 5000).unwrap();
+        // Bit-identical, not merely close: after convergence the
+        // reweighting is a fixed point, so the iteration cap is inert.
+        assert_eq!(short.slope.to_bits(), long.slope.to_bits());
+        assert_eq!(short.intercept.to_bits(), long.intercept.to_bits());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`training`] — the microbenchmark training pipeline that produces both
 //!   models from simulated measurements (our analogue of Table II);
 //! * [`fit`] — least-absolute-error linear fitting;
+//! * [`online`] — recursive (forgetting-factor) refit of the power model
+//!   from the live counter stream, with a Mazzola-style multi-counter
+//!   basis (feeds the `adaptive` governor layer);
 //! * [`eval`] — per-sample accuracy scoring.
 //!
 //! # Examples
@@ -40,12 +43,14 @@
 pub mod dpc_projection;
 pub mod eval;
 pub mod fit;
+pub mod online;
 pub mod perf_model;
 pub mod phase_detect;
 pub mod power_model;
 pub mod training;
 
 pub use dpc_projection::project_dpc;
+pub use online::{OnlineModel, Rls, RunningMean};
 pub use perf_model::{PerfModel, PerfModelParams, WorkloadClass};
 pub use phase_detect::PhaseDetector;
 pub use power_model::{PowerModel, PStateCoefficients};

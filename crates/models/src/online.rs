@@ -1,0 +1,381 @@
+//! Online recursive refit of the power model (ROADMAP item 3).
+//!
+//! The paper trains its Table II coefficients once, offline, on MS-Loops;
+//! the model-error experiment shows exactly where that breaks (art/mcf
+//! miss-overlap). This module provides the estimator half of the fix: a
+//! recursive-least-squares fit with a forgetting factor, seeded from the
+//! offline coefficients, that tracks the live counter stream one sample at
+//! a time in O(D²) per update — cheap enough for the 10 ms loop.
+//!
+//! Two bases are supported:
+//!
+//! * [`OnlineModel::Dpc`] — the paper's own `Power = α·DPC + β` basis;
+//! * [`OnlineModel::DpcDcu`] — a multi-counter variant in the spirit of
+//!   Mazzola et al. (data-driven PMC power modeling): `Power = α·DPC +
+//!   γ·DCU + β`, which separates pipeline activity from memory-overlap
+//!   draw. Because the governor stack consumes two-coefficient
+//!   [`PStateCoefficients`], the three-term fit is *collapsed* around the
+//!   exponentially-weighted mean DCU before being pushed into the model —
+//!   the best local linear-in-DPC approximation for the current regime.
+//!
+//! Degeneracy policy: a non-finite observation is rejected without
+//! touching the state, and [`OnlineModel::coefficients`] returns `None`
+//! whenever the collapsed pair is not finite — callers (the `adaptive`
+//! governor layer) fall back to the offline seed in that case.
+
+use crate::power_model::PStateCoefficients;
+
+/// Recursive least squares over a `D`-dimensional regressor.
+///
+/// Standard exponentially-forgetting RLS: for each observation `(x, y)`
+///
+/// ```text
+/// k = P·x / (λ + xᵀ·P·x)
+/// θ ← θ + k·(y − xᵀ·θ)
+/// P ← (P − k·(xᵀP)) / λ
+/// ```
+///
+/// `λ ∈ (0, 1]` is the forgetting factor (1 = infinite memory, smaller =
+/// faster tracking of regime changes). The covariance `P` is kept
+/// symmetric after every update for numerical hygiene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rls<const D: usize> {
+    theta: [f64; D],
+    p: [[f64; D]; D],
+    forgetting: f64,
+    samples: u64,
+}
+
+impl<const D: usize> Rls<D> {
+    /// Creates an estimator seeded at `theta` with covariance `gain·I`.
+    ///
+    /// A large `gain` means low confidence in the seed (fast initial
+    /// adaptation); a small one anchors early updates near the seed.
+    pub fn seeded(theta: [f64; D], forgetting: f64, gain: f64) -> Self {
+        assert!(
+            forgetting > 0.0 && forgetting <= 1.0,
+            "forgetting factor must be in (0, 1], got {forgetting}"
+        );
+        assert!(gain.is_finite() && gain > 0.0, "covariance gain must be positive, got {gain}");
+        let mut p = [[0.0; D]; D];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = gain;
+        }
+        Rls { theta, p, forgetting, samples: 0 }
+    }
+
+    /// Incorporates one observation; returns whether it was accepted.
+    ///
+    /// Rejected (state untouched): non-finite inputs, or an update whose
+    /// innovation denominator is not positive and finite.
+    pub fn observe(&mut self, x: [f64; D], y: f64) -> bool {
+        if !y.is_finite() || x.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        // P is symmetric, so xᵀP = (P·x)ᵀ and one matrix-vector product
+        // serves both the gain and the covariance update.
+        let mut px = [0.0; D];
+        for (pxi, row) in px.iter_mut().zip(&self.p) {
+            *pxi = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+        }
+        let denom = self.forgetting + x.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>();
+        if !denom.is_finite() || denom <= 0.0 {
+            return false;
+        }
+        let mut k = [0.0; D];
+        for (ki, pxi) in k.iter_mut().zip(&px) {
+            *ki = pxi / denom;
+        }
+        let predicted: f64 = x.iter().zip(&self.theta).map(|(a, b)| a * b).sum();
+        let innovation = y - predicted;
+        let mut theta = self.theta;
+        let mut p = self.p;
+        for ((ti, row), ki) in theta.iter_mut().zip(&mut p).zip(&k) {
+            *ti += ki * innovation;
+            for (pij, pxj) in row.iter_mut().zip(&px) {
+                *pij = (*pij - ki * pxj) / self.forgetting;
+            }
+        }
+        // Re-symmetrize: floating-point drift would otherwise accumulate
+        // asymmetry across updates.
+        for i in 1..D {
+            let (head, tail) = p.split_at_mut(i);
+            let row_i = &mut tail[0];
+            for (j, row_j) in head.iter_mut().enumerate() {
+                let mean = 0.5 * (row_i[j] + row_j[i]);
+                row_i[j] = mean;
+                row_j[i] = mean;
+            }
+        }
+        if !theta.iter().all(|v| v.is_finite()) || !p.iter().flatten().all(|v| v.is_finite()) {
+            return false;
+        }
+        self.theta = theta;
+        self.p = p;
+        self.samples += 1;
+        true
+    }
+
+    /// Current coefficient estimate.
+    pub fn theta(&self) -> [f64; D] {
+        self.theta
+    }
+
+    /// Observations accepted since the last seed/reset.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Prediction at a regressor value.
+    pub fn predict(&self, x: [f64; D]) -> f64 {
+        x.iter().zip(&self.theta).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Exponentially-weighted running mean with the same forgetting factor as
+/// the estimator it accompanies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningMean {
+    mean: f64,
+    weight: f64,
+    forgetting: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean with forgetting factor `forgetting`.
+    pub fn new(forgetting: f64) -> Self {
+        RunningMean { mean: 0.0, weight: 0.0, forgetting }
+    }
+
+    /// Incorporates a value (non-finite values are ignored).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.weight = self.forgetting * self.weight + 1.0;
+        self.mean += (value - self.mean) / self.weight;
+    }
+
+    /// The current mean (0 when nothing has been observed).
+    pub fn value(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// One p-state's online power fit in either counter basis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineModel {
+    /// Paper basis: `Power = α·DPC + β`, regressor `[DPC, 1]`.
+    Dpc(Rls<2>),
+    /// Mazzola-style basis: `Power = α·DPC + γ·DCU + β`, regressor
+    /// `[DPC, DCU, 1]`, with the running DCU mean used to collapse back
+    /// to the two-coefficient interface.
+    DpcDcu(Rls<3>, RunningMean),
+}
+
+impl OnlineModel {
+    /// Seeds an estimator from offline coefficients.
+    ///
+    /// The multi-counter variant starts its DCU coefficient at zero —
+    /// until the stream demonstrates memory-overlap draw, the seed's
+    /// DPC-only shape is the best prior.
+    pub fn seeded(
+        seed: PStateCoefficients,
+        multi_counter: bool,
+        forgetting: f64,
+        gain: f64,
+    ) -> Self {
+        if multi_counter {
+            OnlineModel::DpcDcu(
+                Rls::seeded([seed.alpha, 0.0, seed.beta], forgetting, gain),
+                RunningMean::new(forgetting),
+            )
+        } else {
+            OnlineModel::Dpc(Rls::seeded([seed.alpha, seed.beta], forgetting, gain))
+        }
+    }
+
+    /// Incorporates one interval's observation; returns acceptance.
+    ///
+    /// `dcu` is only consulted in the multi-counter basis; a missing DCU
+    /// rate there rejects the sample (the regressor would be fabricated).
+    pub fn observe(&mut self, dpc: f64, dcu: Option<f64>, watts: f64) -> bool {
+        match self {
+            OnlineModel::Dpc(rls) => rls.observe([dpc, 1.0], watts),
+            OnlineModel::DpcDcu(rls, dcu_mean) => match dcu {
+                Some(dcu) => {
+                    let accepted = rls.observe([dpc, dcu, 1.0], watts);
+                    if accepted {
+                        dcu_mean.observe(dcu);
+                    }
+                    accepted
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Observations accepted since seeding.
+    pub fn samples(&self) -> u64 {
+        match self {
+            OnlineModel::Dpc(rls) => rls.samples(),
+            OnlineModel::DpcDcu(rls, _) => rls.samples(),
+        }
+    }
+
+    /// The current fit collapsed to the two-coefficient interface, or
+    /// `None` if the collapsed pair is not finite (degenerate estimator).
+    ///
+    /// The multi-counter fit folds its DCU term into the intercept at the
+    /// running mean DCU: `β' = γ·mean(DCU) + β` — exact for the average
+    /// regime, and the closest linear-in-DPC model available to a
+    /// two-coefficient consumer.
+    pub fn coefficients(&self) -> Option<PStateCoefficients> {
+        let (alpha, beta) = match self {
+            OnlineModel::Dpc(rls) => {
+                let [alpha, beta] = rls.theta();
+                (alpha, beta)
+            }
+            OnlineModel::DpcDcu(rls, dcu_mean) => {
+                let [alpha, gamma, beta] = rls.theta();
+                (alpha, gamma * dcu_mean.value() + beta)
+            }
+        };
+        if alpha.is_finite() && beta.is_finite() {
+            Some(PStateCoefficients { alpha, beta })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::least_squares;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rls_recovers_a_stationary_line() {
+        // Seed far from the truth (P7 is 2.93·DPC + 12.11, seed at P0).
+        let seed = PStateCoefficients { alpha: 0.34, beta: 2.58 };
+        let mut model = OnlineModel::seeded(seed, false, 0.98, 100.0);
+        for i in 0..400 {
+            let dpc = 0.3 + 0.01 * (i % 120) as f64;
+            model.observe(dpc, None, 2.93 * dpc + 12.11);
+        }
+        // The seed's weight decays as λⁿ, so convergence is asymptotic;
+        // 400 samples at λ = 0.98 leave a ~1e-5 residual.
+        let fit = model.coefficients().unwrap();
+        assert!((fit.alpha - 2.93).abs() < 1e-3, "alpha = {}", fit.alpha);
+        assert!((fit.beta - 12.11).abs() < 1e-3, "beta = {}", fit.beta);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_regime_change() {
+        let seed = PStateCoefficients { alpha: 2.93, beta: 12.11 };
+        let mut model = OnlineModel::seeded(seed, false, 0.95, 100.0);
+        // First regime matches the seed; second shifts the floor up 2 W
+        // (the art/mcf miss-overlap signature).
+        for i in 0..300 {
+            let dpc = 0.5 + 0.01 * (i % 80) as f64;
+            model.observe(dpc, None, 2.93 * dpc + 12.11);
+        }
+        for i in 0..300 {
+            let dpc = 0.5 + 0.01 * (i % 80) as f64;
+            model.observe(dpc, None, 2.93 * dpc + 14.11);
+        }
+        let fit = model.coefficients().unwrap();
+        assert!((fit.beta - 14.11).abs() < 0.05, "beta should track the shift, got {}", fit.beta);
+    }
+
+    #[test]
+    fn multi_counter_collapse_matches_the_mean_regime() {
+        let seed = PStateCoefficients { alpha: 1.0, beta: 1.0 };
+        let mut model = OnlineModel::seeded(seed, true, 1.0, 1000.0);
+        // Power = 2·DPC + 5·DCU + 3 with DCU varying around 0.4.
+        let mut dcu_sum = 0.0;
+        let mut n = 0.0;
+        for i in 0..500 {
+            let dpc = 0.4 + 0.013 * (i % 70) as f64;
+            let dcu = 0.2 + 0.004 * (i % 100) as f64;
+            dcu_sum += dcu;
+            n += 1.0;
+            assert!(model.observe(dpc, Some(dcu), 2.0 * dpc + 5.0 * dcu + 3.0));
+        }
+        let fit = model.coefficients().unwrap();
+        assert!((fit.alpha - 2.0).abs() < 1e-3, "alpha = {}", fit.alpha);
+        // λ = 1 makes the running mean the plain mean; the collapsed
+        // intercept is γ·mean(DCU) + β.
+        let expected_beta = 5.0 * (dcu_sum / n) + 3.0;
+        assert!((fit.beta - expected_beta).abs() < 1e-3, "beta = {}", fit.beta);
+    }
+
+    #[test]
+    fn multi_counter_rejects_missing_dcu() {
+        let seed = PStateCoefficients { alpha: 1.0, beta: 1.0 };
+        let mut model = OnlineModel::seeded(seed, true, 0.98, 100.0);
+        assert!(!model.observe(1.0, None, 10.0));
+        assert_eq!(model.samples(), 0);
+        assert_eq!(model.coefficients().unwrap(), seed);
+    }
+
+    #[test]
+    fn non_finite_observations_are_rejected_without_state_change() {
+        let seed = PStateCoefficients { alpha: 2.93, beta: 12.11 };
+        let mut model = OnlineModel::seeded(seed, false, 0.98, 100.0);
+        assert!(model.observe(1.0, None, 15.0));
+        let before = model.clone();
+        assert!(!model.observe(f64::NAN, None, 15.0));
+        assert!(!model.observe(1.0, None, f64::INFINITY));
+        assert_eq!(model, before);
+        assert_eq!(model.samples(), 1);
+    }
+
+    #[test]
+    fn seed_gain_anchors_early_estimates() {
+        let seed = PStateCoefficients { alpha: 2.93, beta: 12.11 };
+        // Tiny gain = high confidence in the seed: one contradictory
+        // sample barely moves the fit.
+        let mut model = OnlineModel::seeded(seed, false, 1.0, 1e-6);
+        model.observe(1.0, None, 30.0);
+        let fit = model.coefficients().unwrap();
+        assert!((fit.alpha - 2.93).abs() < 1e-3);
+        assert!((fit.beta - 12.11).abs() < 1e-3);
+    }
+
+    proptest! {
+        /// On stationary noiseless data the online refit converges to the
+        /// offline least-squares fit (which recovers the line exactly).
+        #[test]
+        fn stationary_refit_converges_to_offline_fit(
+            slope in 0.1f64..4.0,
+            intercept in 1.0f64..15.0,
+            seed_alpha in 0.1f64..4.0,
+            seed_beta in 1.0f64..15.0,
+            x0 in 0.1f64..1.0,
+            spread in 0.2f64..1.5,
+        ) {
+            let xs: Vec<f64> = (0..24).map(|i| x0 + spread * i as f64 / 23.0).collect();
+            let points: Vec<(f64, f64)> =
+                xs.iter().map(|&x| (x, slope * x + intercept)).collect();
+            let offline = least_squares(&points).unwrap();
+            let seed = PStateCoefficients { alpha: seed_alpha, beta: seed_beta };
+            let mut online = OnlineModel::seeded(seed, false, 0.99, 100.0);
+            for round in 0..40 {
+                for &x in &xs {
+                    prop_assert!(online.observe(x, None, slope * x + intercept), "round {round}");
+                }
+            }
+            let fit = online.coefficients().unwrap();
+            prop_assert!(
+                (fit.alpha - offline.slope).abs() < 1e-3,
+                "alpha {} vs offline {}", fit.alpha, offline.slope
+            );
+            prop_assert!(
+                (fit.beta - offline.intercept).abs() < 1e-3,
+                "beta {} vs offline {}", fit.beta, offline.intercept
+            );
+        }
+    }
+}

@@ -121,6 +121,33 @@ impl PowerModel {
         Ok(self.coefficients(id)?.estimate(dpc))
     }
 
+    /// Replaces one p-state's coefficients (online refit path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::UnknownPState`] for out-of-range ids and
+    /// [`PlatformError::InvalidConfig`] for non-finite coefficients — a
+    /// refit may be rejected, but the installed model must stay total.
+    pub fn set_coefficients(&mut self, id: PStateId, coeffs: PStateCoefficients) -> Result<()> {
+        if !coeffs.alpha.is_finite() || !coeffs.beta.is_finite() {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "coefficients",
+                reason: format!(
+                    "non-finite coefficients for {id}: alpha={}, beta={}",
+                    coeffs.alpha, coeffs.beta
+                ),
+            });
+        }
+        let table_len = self.coefficients.len();
+        match self.coefficients.get_mut(id.index()) {
+            Some(slot) => {
+                *slot = coeffs;
+                Ok(())
+            }
+            None => Err(PlatformError::UnknownPState { index: id.index(), table_len }),
+        }
+    }
+
     /// Iterates `(id, coefficients)` from the lowest p-state up.
     pub fn iter(&self) -> impl Iterator<Item = (PStateId, &PStateCoefficients)> {
         self.coefficients.iter().enumerate().map(|(i, c)| (PStateId::new(i), c))
@@ -182,6 +209,21 @@ mod tests {
     #[test]
     fn empty_model_rejected() {
         assert!(PowerModel::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn set_coefficients_replaces_one_state() {
+        let mut model = PowerModel::paper_table_ii();
+        let refit = PStateCoefficients { alpha: 3.1, beta: 12.5 };
+        model.set_coefficients(PStateId::new(7), refit).unwrap();
+        assert_eq!(*model.coefficients(PStateId::new(7)).unwrap(), refit);
+        // Neighbours untouched.
+        assert_eq!(model.coefficients(PStateId::new(6)).unwrap().alpha, 2.36);
+        // Out-of-range and non-finite refits are rejected without mutation.
+        assert!(model.set_coefficients(PStateId::new(8), refit).is_err());
+        let bad = PStateCoefficients { alpha: f64::NAN, beta: 1.0 };
+        assert!(model.set_coefficients(PStateId::new(0), bad).is_err());
+        assert_eq!(model.coefficients(PStateId::new(0)).unwrap().alpha, 0.34);
     }
 
     #[test]

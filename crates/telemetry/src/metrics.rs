@@ -171,6 +171,18 @@ pub enum EventKind {
         /// P-state index of the new ceiling.
         ceiling: usize,
     },
+    /// The adaptive layer pushed an online refit of one p-state's power
+    /// coefficients into its inner governor.
+    ModelRefit {
+        /// P-state index whose coefficients were replaced.
+        pstate: usize,
+    },
+    /// The adaptive layer abandoned its online fit and restored the
+    /// offline seed model.
+    ModelReseeded {
+        /// `"degenerate_window"` or `"telemetry_outage"`.
+        reason: &'static str,
+    },
 }
 
 impl EventKind {
@@ -191,6 +203,8 @@ impl EventKind {
             EventKind::WatchdogReleased => "watchdog_released",
             EventKind::ThermalCeilingLowered { .. } => "thermal_ceiling_lowered",
             EventKind::ThermalCeilingRaised { .. } => "thermal_ceiling_raised",
+            EventKind::ModelRefit { .. } => "model_refit",
+            EventKind::ModelReseeded { .. } => "model_reseeded",
         }
     }
 }
@@ -250,6 +264,12 @@ impl Event {
             EventKind::ThermalCeilingLowered { ceiling }
             | EventKind::ThermalCeilingRaised { ceiling } => {
                 let _ = write!(line, ",\"ceiling\":{ceiling}");
+            }
+            EventKind::ModelRefit { pstate } => {
+                let _ = write!(line, ",\"pstate\":{pstate}");
+            }
+            EventKind::ModelReseeded { reason } => {
+                let _ = write!(line, ",\"reason\":\"{reason}\"");
             }
         }
         line.push('}');

@@ -62,7 +62,7 @@ cargo test -q --offline -p aapm-experiments --test parallel_determinism \
 
 # Adversarial corpus gate: every committed fixture must replay to its
 # recorded verdict (exit 0 means all matched), byte-identically across
-# pool widths, and the corpus must hold its 8-fixture floor.
+# pool widths, and the corpus must hold its 12-fixture floor.
 cargo run --release --offline -p aapm-experiments -- --replay-corpus --jobs 1 \
     > results/corpus-replay.jobs1.txt
 for jobs in 2 8; do
@@ -71,12 +71,24 @@ for jobs in 2 8; do
     cmp "results/corpus-replay.jobs1.txt" "results/corpus-replay.jobs${jobs}.txt"
 done
 fixtures=$(wc -l < results/corpus-replay.jobs1.txt)
-if [ "$fixtures" -lt 8 ]; then
-    echo "corpus gate FAIL: only ${fixtures} fixture(s) replayed (floor is 8)" >&2
+if [ "$fixtures" -lt 12 ]; then
+    echo "corpus gate FAIL: only ${fixtures} fixture(s) replayed (floor is 12)" >&2
     exit 1
 fi
 rm -f results/corpus-replay.jobs*.txt
 echo "corpus gate: ${fixtures} fixtures replayed byte-identically at --jobs 1/2/8"
+
+# Adaptive-refit smoke: the static-vs-adaptive comparison must run on a
+# 2-wide pool and agree byte for byte with the serial run (the refit
+# layer's RLS state lives inside each cell, so pool width must not leak
+# into the results).
+cargo run --release --offline -p aapm-experiments -- adaptive --jobs 1 \
+    > results/adaptive.jobs1.txt
+cargo run --release --offline -p aapm-experiments -- adaptive --jobs 2 \
+    > results/adaptive.jobs2.txt
+cmp results/adaptive.jobs1.txt results/adaptive.jobs2.txt
+rm -f results/adaptive.jobs*.txt
+echo "adaptive gate: static-vs-adaptive experiment byte-identical at --jobs 1/2"
 
 # Fuzz smoke: a fixed-seed sweep through the property oracles. Findings
 # (cap/floor, the paper-expected model-deception violations) are reported
