@@ -35,7 +35,7 @@ fn bench_multi_phase(c: &mut Criterion) {
         b.iter(|| {
             let mut machine =
                 Machine::new(MachineConfig::pentium_m_755(1), galgel.program().clone());
-            machine.run_to_completion()
+            machine.run_to_completion().expect("galgel makes forward progress")
         })
     });
 }

@@ -1,8 +1,9 @@
 //! `--bench-machine`: machine/cache throughput regression harness.
 //!
-//! Measures the simulator's three hot paths — the governed tick loop, the
-//! segment-level fast-forward path, and the cache-hierarchy simulation that
-//! characterization drives — plus the wall-clock of the full serial suite.
+//! Measures the simulator's four hot paths — the governed tick loop, the
+//! batched SoA lockstep loop, the segment-level fast-forward path, and the
+//! cache-hierarchy simulation that characterization drives — plus the
+//! wall-clock of the full serial suite.
 //! The numbers land in `results/BENCH_machine.json`; `scripts/check.sh`
 //! compares each run against the committed baseline and fails the build on
 //! a >20% regression, so hot-path slowdowns surface as red CI instead of
@@ -11,6 +12,7 @@
 use std::path::Path;
 use std::time::Instant;
 
+use aapm_platform::batch::MachineBatch;
 use aapm_platform::config::MachineConfig;
 use aapm_platform::error::Result;
 use aapm_platform::hierarchy::{MemoryHierarchy, PrefetchConfig};
@@ -34,6 +36,10 @@ pub struct MachineBenchReport {
     /// Simulated seconds per wall second through the governed `tick` path,
     /// with a p-state change every 100 ticks (memo invalidation included).
     pub ticked_sim_per_wall: f64,
+    /// Simulated machine-seconds per wall second through the batched SoA
+    /// lockstep path (`MachineBatch`), summed over all lanes, with the same
+    /// every-100-ticks p-state cadence as the scalar tick bench.
+    pub batched_sim_per_wall: f64,
     /// Simulated seconds per wall second through `run_to_completion`'s
     /// segment-level fast-forward path (a full galgel phase program).
     pub fastforward_sim_per_wall: f64,
@@ -50,9 +56,11 @@ impl MachineBenchReport {
     /// One-line human summary (the check.sh bench-gate headline).
     pub fn headline(&self) -> String {
         format!(
-            "machine bench: tick {:.0} sim-s/wall-s, fast-forward {:.0} sim-s/wall-s, \
-             cache {:.1} Maccess/s, train {:.3}s, serial suite {:.3}s",
+            "machine bench: tick {:.0} sim-s/wall-s, batched {:.0} sim-s/wall-s, \
+             fast-forward {:.0} sim-s/wall-s, cache {:.1} Maccess/s, train {:.3}s, \
+             serial suite {:.3}s",
             self.ticked_sim_per_wall,
+            self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
@@ -67,10 +75,12 @@ impl MachineBenchReport {
     /// Propagates I/O errors from directory creation or the write.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
         let json = format!(
-            "{{\n  \"ticked_sim_per_wall\": {:.1},\n  \"fastforward_sim_per_wall\": {:.1},\n  \
+            "{{\n  \"ticked_sim_per_wall\": {:.1},\n  \"batched_sim_per_wall\": {:.1},\n  \
+             \"fastforward_sim_per_wall\": {:.1},\n  \
              \"cache_maccesses_per_sec\": {:.2},\n  \"train_wall_s\": {:.3},\n  \
              \"suite_serial_wall_s\": {:.3}\n}}\n",
             self.ticked_sim_per_wall,
+            self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
@@ -130,6 +140,36 @@ fn ticked_throughput() -> f64 {
     })
 }
 
+/// Simulated machine-seconds/wall-second through the batched SoA lockstep
+/// path: [`MachineBatch`] lanes running the same fixture workload from
+/// different seeds, under the same every-100-ticks DVFS cadence as the
+/// scalar tick bench (those ticks exercise the scalar fallback; the other
+/// 99% ride the vector path).
+fn batched_throughput() -> f64 {
+    const LANES: usize = 32;
+    const TICKS: u32 = 20_000;
+    let tick = Seconds::from_millis(10.0);
+    best_throughput(|| {
+        let machines: Vec<Machine> = (0..LANES)
+            .map(|lane| {
+                Machine::new(MachineConfig::pentium_m_755(1 + lane as u64), fixture_program())
+            })
+            .collect();
+        let mut batch = MachineBatch::new(machines);
+        let start = Instant::now();
+        for i in 0..TICKS {
+            if i % 100 == 0 {
+                let target = PStateId::new(((i / 100) % 8) as usize);
+                for lane in 0..LANES {
+                    batch.set_pstate(lane, target).expect("p-state 0..8 valid");
+                }
+            }
+            batch.tick_all(tick);
+        }
+        (LANES as f64 * f64::from(TICKS) * tick.seconds(), start.elapsed().as_secs_f64())
+    })
+}
+
 /// Simulated-seconds/wall-second through the fast-forward path.
 fn fastforward_throughput() -> f64 {
     let galgel = aapm_workloads::spec::by_name("galgel").expect("galgel exists");
@@ -137,7 +177,7 @@ fn fastforward_throughput() -> f64 {
         let mut machine =
             Machine::new(MachineConfig::pentium_m_755(1), galgel.program().clone());
         let start = Instant::now();
-        let simulated = machine.run_to_completion();
+        let simulated = machine.run_to_completion().expect("galgel makes forward progress");
         (simulated.seconds(), start.elapsed().as_secs_f64())
     })
 }
@@ -173,6 +213,7 @@ fn cache_throughput() -> Result<f64> {
 /// Propagates platform errors from training or the suite.
 pub fn run() -> Result<MachineBenchReport> {
     let ticked_sim_per_wall = ticked_throughput();
+    let batched_sim_per_wall = batched_throughput();
     let fastforward_sim_per_wall = fastforward_throughput();
     let cache_maccesses_per_sec = cache_throughput()?;
 
@@ -187,6 +228,7 @@ pub fn run() -> Result<MachineBenchReport> {
 
     Ok(MachineBenchReport {
         ticked_sim_per_wall,
+        batched_sim_per_wall,
         fastforward_sim_per_wall,
         cache_maccesses_per_sec,
         train_wall_s,
@@ -203,6 +245,7 @@ mod tests {
         // The micro benches alone (no train/suite) must produce sane
         // numbers; wall-clock magnitudes are environment-dependent.
         assert!(ticked_throughput() > 0.0);
+        assert!(batched_throughput() > 0.0);
         assert!(fastforward_throughput() > 0.0);
         assert!(cache_throughput().unwrap() > 0.0);
     }
@@ -211,6 +254,7 @@ mod tests {
     fn report_json_round_trips_fields() {
         let report = MachineBenchReport {
             ticked_sim_per_wall: 1234.5,
+            batched_sim_per_wall: 9876.5,
             fastforward_sim_per_wall: 67890.1,
             cache_maccesses_per_sec: 42.25,
             train_wall_s: 0.5,
@@ -222,6 +266,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         for key in [
             "ticked_sim_per_wall",
+            "batched_sim_per_wall",
             "fastforward_sim_per_wall",
             "cache_maccesses_per_sec",
             "train_wall_s",

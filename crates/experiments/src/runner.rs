@@ -5,10 +5,14 @@
 //! execution time is reported; static-clocking frequencies are derived from
 //! the worst-case FMA-256K power curve (Tables III/IV).
 //!
-//! Both [`median_run`] and [`worst_case_power_curve`] fan their inner loops
-//! out over a [`Pool`]: every seed (or p-state) builds a fresh `Machine`,
-//! DAQ, and governor, so the cells are fully isolated and their results are
-//! merged in deterministic submission order.
+//! [`median_run`] fans its seed runs out over a [`Pool`]: every seed builds
+//! a fresh `Machine`, DAQ, and governor, so the cells are fully isolated
+//! and their results are merged in deterministic submission order.
+//! [`worst_case_power_curve`] instead groups its eight ungoverned
+//! same-program/same-cadence p-state cells into a single [`MachineBatch`]
+//! and steps them in lockstep — governed runs cannot batch (the governor
+//! couples each lane's control decisions to its own observations), so only
+//! the ungoverned curve takes the batched path.
 
 use aapm::governor::Governor;
 use aapm::limits::PowerLimit;
@@ -16,6 +20,7 @@ use aapm::report::RunReport;
 use aapm::runtime::{ScheduledCommand, Session, SimulationConfig};
 use aapm::spec::{GovernorSpec, SpecModels};
 use aapm_telemetry::metrics::Metrics;
+use aapm_platform::batch::MachineBatch;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
 use aapm_platform::program::PhaseProgram;
@@ -157,8 +162,14 @@ fn select_median(mut reports: Vec<RunReport>) -> Result<RunReport> {
 }
 
 /// Measures the FMA-256K worst-case power at every p-state (our Table III):
-/// mean measured power over a window of settled 10 ms samples, with the
-/// per-p-state measurements fanned out over the pool.
+/// mean measured power over a window of settled 10 ms samples.
+///
+/// All eight p-state cells run the same program at the same 10 ms cadence
+/// with no governor, so they batch: one [`MachineBatch`] steps the lanes in
+/// lockstep as a single pool cell. Each lane's tick/sample sequence is
+/// exactly the scalar per-cell loop's (the batch is bit-identical to solo
+/// stepping, and each lane's DAQ draws from its own noise stream), so the
+/// curve matches the old fanned-out implementation byte for byte.
 ///
 /// # Errors
 ///
@@ -167,35 +178,44 @@ pub fn worst_case_power_curve(pool: &Pool, table: &PStateTable) -> Result<Vec<(M
     let fma: CharacterizedLoop =
         characterize_with_budget(MicroLoop::Fma, Footprint::L2, 4_000_000_000)?;
     let fma = &fma;
-    let cells: Vec<_> = table
-        .iter()
-        .map(|(pstate, state)| {
-            let frequency = state.frequency();
-            move || -> Result<(MegaHertz, Watts)> {
-                let machine_config = {
-                    let mut b = MachineConfig::builder();
-                    b.pstates(table.clone()).initial_pstate(pstate).seed(0xFA_256);
-                    b.build()?
-                };
-                let mut machine = Machine::new(machine_config, fma.program());
-                let mut daq =
-                    PowerDaq::new(DaqConfig::default(), 0xFA_256 ^ pstate.index() as u64);
-                // Settle, then average 50 samples.
-                for _ in 0..5 {
-                    machine.tick(Seconds::from_millis(10.0));
-                    let _ = daq.sample(&machine);
-                }
-                let mut sum = 0.0;
-                let samples = 50;
-                for _ in 0..samples {
-                    machine.tick(Seconds::from_millis(10.0));
-                    sum += daq.sample(&machine).power.watts();
-                }
-                Ok((frequency, Watts::new(sum / f64::from(samples))))
+    let cell = move || -> Result<Vec<(MegaHertz, Watts)>> {
+        let mut frequencies = Vec::new();
+        let mut machines = Vec::new();
+        let mut daqs = Vec::new();
+        for (pstate, state) in table.iter() {
+            frequencies.push(state.frequency());
+            let machine_config = {
+                let mut b = MachineConfig::builder();
+                b.pstates(table.clone()).initial_pstate(pstate).seed(0xFA_256);
+                b.build()?
+            };
+            machines.push(Machine::new(machine_config, fma.program()));
+            daqs.push(PowerDaq::new(DaqConfig::default(), 0xFA_256 ^ pstate.index() as u64));
+        }
+        let mut batch = MachineBatch::new(machines);
+        let tick = Seconds::from_millis(10.0);
+        // Settle, then average 50 samples per lane.
+        for _ in 0..5 {
+            batch.tick_all(tick);
+            for (lane, daq) in daqs.iter_mut().enumerate() {
+                let _ = daq.sample(batch.lane(lane));
             }
-        })
-        .collect();
-    pool.run(cells).into_iter().collect()
+        }
+        let samples = 50;
+        let mut sums = vec![0.0; daqs.len()];
+        for _ in 0..samples {
+            batch.tick_all(tick);
+            for (lane, daq) in daqs.iter_mut().enumerate() {
+                sums[lane] += daq.sample(batch.lane(lane)).power.watts();
+            }
+        }
+        Ok(frequencies
+            .into_iter()
+            .zip(sums)
+            .map(|(frequency, sum)| (frequency, Watts::new(sum / f64::from(samples))))
+            .collect())
+    };
+    pool.run(vec![cell]).into_iter().next().expect("one batched cell was submitted")
 }
 
 /// Derives the static-clocking frequency for each power limit (our

@@ -21,7 +21,11 @@
 //! - **finite** — every report and trace value is finite.
 //!
 //! A panic anywhere in the run is caught and recorded as its own outcome;
-//! a scenario that fails to build reports the error string instead.
+//! a scenario that fails to build reports the error string instead. A run
+//! that is still going after [`REPLAY_STEP_BUDGET`] control intervals is
+//! abandoned with a wedged (liveness) verdict — `catch_unwind` can catch a
+//! panic but not a hang, so the budget is what keeps a non-terminating
+//! scenario from wedging the whole fuzz driver.
 //!
 //! [`Scenario`]: crate::scenario::Scenario
 
@@ -40,6 +44,14 @@ use crate::scenario::{CommandKind, Scenario};
 
 /// The paper's adherence window: 10 samples at the 10 ms control interval.
 pub const CAP_WINDOW: usize = 10;
+
+/// Hard ceiling on control intervals per oracle replay: 2,000 simulated
+/// seconds at the 10 ms interval, far beyond any committed fixture's
+/// `max_samples` (≤ a few thousand), so legitimate scenarios never feel
+/// it. A run still going at the budget is wedged — most likely stuck on a
+/// state that makes no forward progress — and becomes [`Verdict::Wedged`]
+/// instead of hanging `--fuzz` forever.
+pub const REPLAY_STEP_BUDGET: usize = 200_000;
 
 /// One property's outcome. `detail` values render with six decimals so the
 /// verdict line is byte-stable across runs and job counts.
@@ -111,6 +123,10 @@ pub enum Verdict {
     Invalid(String),
     /// The run panicked.
     Panicked,
+    /// The run exceeded [`REPLAY_STEP_BUDGET`] control intervals without
+    /// finishing: the simulation is wedged (a liveness failure of the
+    /// scenario itself, caught by the budget rather than an oracle).
+    Wedged,
 }
 
 impl Verdict {
@@ -119,6 +135,7 @@ impl Verdict {
     pub fn render(&self) -> String {
         match self {
             Verdict::Panicked => "panic=FAIL".to_owned(),
+            Verdict::Wedged => format!("liveness=FAIL(wedged) budget={REPLAY_STEP_BUDGET}"),
             Verdict::Invalid(reason) => format!("invalid: {reason}"),
             Verdict::Ran(run) => {
                 let mut out = String::with_capacity(128);
@@ -148,6 +165,7 @@ impl Verdict {
     pub fn failures(&self) -> Vec<&'static str> {
         match self {
             Verdict::Panicked => vec!["panic"],
+            Verdict::Wedged => vec!["liveness"],
             Verdict::Invalid(_) => vec!["invalid"],
             Verdict::Ran(run) => [
                 ("cap", run.cap),
@@ -244,18 +262,30 @@ pub fn evaluate_with(scenario: &Scenario, build: &BuildGovernor) -> Verdict {
         ..SimulationConfig::default()
     };
     let seed = scenario.seed;
-    let outcome = catch_unwind(AssertUnwindSafe(move || {
-        Session::builder(MachineConfig::pentium_m_755(seed), program)
+    // Stepping manually (instead of `.run()`) lets the budget abandon a
+    // wedged simulation: `catch_unwind` below can turn a panic into a
+    // verdict but is powerless against a loop that never exits.
+    let outcome = catch_unwind(AssertUnwindSafe(move || -> Result<Option<_>> {
+        let mut session = Session::builder(MachineConfig::pentium_m_755(seed), program)
             .config(sim)
             .governor_boxed(governor)
             .commands(&commands)
             .faults(&windows)
-            .run()
+            .build()?;
+        let mut steps = 0usize;
+        while session.step()?.is_running() {
+            steps += 1;
+            if steps >= REPLAY_STEP_BUDGET {
+                return Ok(None);
+            }
+        }
+        Ok(Some(session.finish()))
     }));
     let (report, stats) = match outcome {
         Err(_) => return Verdict::Panicked,
         Ok(Err(error)) => return Verdict::Invalid(error.to_string()),
-        Ok(Ok(run)) => run,
+        Ok(Ok(None)) => return Verdict::Wedged,
+        Ok(Ok(Some(run))) => run,
     };
     judge(scenario, &report, &stats)
 }
@@ -627,6 +657,29 @@ mod tests {
             }
         }
         assert!(caught, "some limit must separate stock from zero-guardband PM");
+    }
+
+    /// A scenario that cannot finish within the step budget is abandoned
+    /// with a wedged (liveness) verdict instead of hanging the driver: the
+    /// program's instruction budget dwarfs what 2,000 simulated seconds
+    /// can retire, and `max_samples` sits past the replay budget so the
+    /// sample cap never rescues the run first.
+    #[test]
+    fn wedged_scenario_fails_fast_with_a_liveness_verdict() {
+        let mut s = scenario(GovernorSpec::Unconstrained);
+        let mut endless = segment("endless", 0.5, 1.0);
+        endless.instructions = u64::MAX / 4;
+        s.program.segments = vec![endless];
+        s.max_samples = REPLAY_STEP_BUDGET + 10;
+        let verdict = evaluate(&s);
+        assert_eq!(verdict, Verdict::Wedged);
+        assert_eq!(verdict.render(), "liveness=FAIL(wedged) budget=200000");
+        assert_eq!(verdict.failures(), vec!["liveness"]);
+        assert_eq!(
+            verdict.universal_failures(),
+            vec!["liveness"],
+            "a wedged run is always a bug, never excused like cap/floor findings"
+        );
     }
 
     /// A panicking governor becomes a verdict, not a crash.

@@ -77,6 +77,16 @@ pub enum PlatformError {
         /// The offending value.
         value: f64,
     },
+    /// A run over an unbounded horizon reached a state that can never
+    /// finish: the current phase still has instructions pending but its
+    /// effective retire rate is zero (zeroed phase rates), so no finite
+    /// advance reaches the phase boundary.
+    NoForwardProgress {
+        /// Name of the stuck phase.
+        phase: String,
+        /// Instructions still pending in the phase.
+        pending: f64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -111,6 +121,13 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::NonFiniteMeasurement { quantity, value } => {
                 write!(f, "non-finite {quantity}: {value}")
+            }
+            PlatformError::NoForwardProgress { phase, pending } => {
+                write!(
+                    f,
+                    "phase `{phase}` makes no forward progress: {pending} instructions \
+                     pending at a zero retire rate"
+                )
             }
         }
     }
@@ -147,6 +164,7 @@ mod tests {
             PlatformError::TelemetryLost { channel: "power", intervals: 10 },
             PlatformError::CellPanicked { message: "boom".into() },
             PlatformError::NonFiniteMeasurement { quantity: "execution time", value: f64::NAN },
+            PlatformError::NoForwardProgress { phase: "stuck".into(), pending: 1e6 },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -37,11 +37,12 @@
 //!     MachineConfig::pentium_m_755(42),
 //!     PhaseProgram::from_phase(phase),
 //! );
-//! let time = machine.run_to_completion();
+//! let time = machine.run_to_completion()?;
 //! println!("finished in {time}, used {}", machine.true_energy());
 //! # Ok::<(), aapm_platform::error::PlatformError>(())
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod counters;
@@ -61,6 +62,7 @@ pub mod thermal;
 pub mod throttle;
 pub mod units;
 
+pub use batch::MachineBatch;
 pub use config::MachineConfig;
 pub use counters::{CounterDelta, CounterSnapshot};
 pub use error::PlatformError;

@@ -11,7 +11,7 @@
 use crate::config::MachineConfig;
 use crate::counters::{CounterBlock, CounterSnapshot};
 use crate::dvfs::transition_cost;
-use crate::error::Result;
+use crate::error::{PlatformError, Result};
 use crate::events::HardwareEvent;
 use crate::noise::NoiseSource;
 use crate::pipeline::{evaluate, PhaseRates};
@@ -35,7 +35,7 @@ use crate::units::{Joules, Seconds, Watts};
 /// phases and too strict for multi-billion-instruction ones, and the exact
 /// float compare it was paired with could fire on one path but not the
 /// other, double-advancing a boundary.
-const PHASE_END_REL_EPS: f64 = 1e-9;
+pub(crate) const PHASE_END_REL_EPS: f64 = 1e-9;
 
 /// Derived per-segment state, memoized across ticks.
 ///
@@ -48,14 +48,29 @@ const PHASE_END_REL_EPS: f64 = 1e-9;
 /// only as an energy/time weight); throttle changes are rare enough that
 /// the extra invalidations cost nothing.
 #[derive(Debug, Clone, Copy)]
-struct SegmentMemo {
-    phase_index: usize,
-    pstate: PStateId,
-    throttle: ThrottleLevel,
-    rates: PhaseRates,
-    active_power: Watts,
-    gated_power: Watts,
-    phase_instructions: f64,
+pub(crate) struct SegmentMemo {
+    pub(crate) phase_index: usize,
+    pub(crate) pstate: PStateId,
+    pub(crate) throttle: ThrottleLevel,
+    pub(crate) rates: PhaseRates,
+    pub(crate) active_power: Watts,
+    pub(crate) gated_power: Watts,
+    pub(crate) phase_instructions: f64,
+}
+
+/// Time to the current phase boundary at `ips` retired instructions per
+/// second. Zero when nothing is left; unbounded when the segment retires
+/// nothing (a zero-rate segment never reaches its boundary on its own) —
+/// the plain `left / ips` division would produce `0/0 = NaN` there. On
+/// every reachable rate the result is bit-identical to the division.
+fn time_to_phase_end(left_in_phase: f64, ips: f64) -> Seconds {
+    if left_in_phase <= 0.0 {
+        Seconds::ZERO
+    } else if ips <= 0.0 {
+        Seconds::new(f64::INFINITY)
+    } else {
+        Seconds::new(left_in_phase / ips)
+    }
 }
 
 /// What happened during one [`Machine::tick`].
@@ -94,20 +109,23 @@ pub struct TickOutcome {
 #[derive(Debug, Clone)]
 pub struct Machine {
     config: MachineConfig,
-    power_model: GroundTruthPower,
+    // The pub(crate) fields below are the hot state the SoA batch stepper
+    // (`crate::batch`) loads into its lanes and writes back on sync; they
+    // stay private outside the crate.
+    pub(crate) power_model: GroundTruthPower,
     program: PhaseProgram,
     current: PStateId,
     phase_index: usize,
-    phase_done_instructions: f64,
-    phase_jitter: f64,
-    counters: CounterBlock,
-    elapsed: Seconds,
-    true_energy: Joules,
-    transition_remaining: Seconds,
+    pub(crate) phase_done_instructions: f64,
+    pub(crate) phase_jitter: f64,
+    pub(crate) counters: CounterBlock,
+    pub(crate) elapsed: Seconds,
+    pub(crate) true_energy: Joules,
+    pub(crate) transition_remaining: Seconds,
     transitions_performed: u64,
     completion_time: Option<Seconds>,
     throttle: ThrottleLevel,
-    thermal: ThermalModel,
+    pub(crate) thermal: ThermalModel,
     noise: NoiseSource,
     memo: Option<SegmentMemo>,
 }
@@ -296,8 +314,8 @@ impl Machine {
             let seg = self.segment(&ps);
             let ips = seg.rates.instructions_per_second * self.phase_jitter * duty;
             let left_in_phase = seg.phase_instructions - self.phase_done_instructions;
-            let time_to_phase_end = Seconds::new(left_in_phase / ips);
-            let adv = remaining.min(time_to_phase_end);
+            let ttpe = time_to_phase_end(left_in_phase, ips);
+            let adv = remaining.min(ttpe);
 
             let executed = ips * adv.seconds();
             let cycles = ps.frequency().hz() * (adv * duty).seconds();
@@ -333,11 +351,23 @@ impl Machine {
     /// governor decides (and noise streams advance) at every tick, so
     /// skipping ticks would change observable history, not just speed.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoForwardProgress`] when `max_dt` is
+    /// unbounded and the current segment retires nothing (zeroed phase
+    /// rates): no finite advance reaches the phase boundary, so the old
+    /// behaviour — booking `0 × ∞ = NaN` instructions and spinning forever
+    /// under [`Machine::run_to_completion`] — is replaced by an error. With
+    /// a finite `max_dt` the same segment advances boundedly instead: the
+    /// full horizon elapses, gated/leakage energy is booked, and zero
+    /// instructions retire — exactly what an equivalent [`Machine::tick`]
+    /// would do.
+    ///
     /// # Panics
     ///
     /// Panics if `max_dt` is not positive, or if the program has finished
     /// and `max_dt` is non-finite (an unbounded idle segment never ends).
-    pub fn fast_forward(&mut self, max_dt: Seconds) -> TickOutcome {
+    pub fn fast_forward(&mut self, max_dt: Seconds) -> Result<TickOutcome> {
         assert!(max_dt.is_positive(), "fast_forward horizon must be positive");
         let ps = *self.operating_point();
 
@@ -346,7 +376,7 @@ impl Machine {
             let adv = max_dt.min(self.transition_remaining);
             self.transition_remaining = (self.transition_remaining - adv).clamp_non_negative();
             let energy = self.power_model.idle_power(&ps) * adv;
-            return self.book_segment(adv, 0.0, energy);
+            return Ok(self.book_segment(adv, 0.0, energy));
         }
 
         // Idle segment: the program is done, spin for the whole horizon.
@@ -357,7 +387,7 @@ impl Machine {
             );
             self.counters.add(HardwareEvent::Cycles, ps.frequency().hz() * max_dt.seconds());
             let energy = self.power_model.idle_power(&ps) * max_dt;
-            return self.book_segment(max_dt, 0.0, energy);
+            return Ok(self.book_segment(max_dt, 0.0, energy));
         }
 
         // Phase segment: execute up to the phase boundary in one step.
@@ -365,8 +395,14 @@ impl Machine {
         let seg = self.segment(&ps);
         let ips = seg.rates.instructions_per_second * self.phase_jitter * duty;
         let left_in_phase = seg.phase_instructions - self.phase_done_instructions;
-        let time_to_phase_end = Seconds::new(left_in_phase / ips);
-        let adv = max_dt.min(time_to_phase_end);
+        let ttpe = time_to_phase_end(left_in_phase, ips);
+        let adv = max_dt.min(ttpe);
+        if !adv.seconds().is_finite() {
+            return Err(PlatformError::NoForwardProgress {
+                phase: self.program.phases()[self.phase_index].name().to_owned(),
+                pending: left_in_phase,
+            });
+        }
 
         let executed = ips * adv.seconds();
         let cycles = ps.frequency().hz() * (adv * duty).seconds();
@@ -377,12 +413,12 @@ impl Machine {
         if self.phase_boundary_reached(&seg) {
             self.complete_phase(self.elapsed + adv);
         }
-        self.book_segment(adv, executed, energy)
+        Ok(self.book_segment(adv, executed, energy))
     }
 
     /// Returns the memoized derived state for the current (phase, p-state,
     /// throttle) segment, computing and caching it on a key change.
-    fn segment(&mut self, ps: &PState) -> SegmentMemo {
+    pub(crate) fn segment(&mut self, ps: &PState) -> SegmentMemo {
         if let Some(m) = self.memo {
             if m.phase_index == self.phase_index
                 && m.pstate == self.current
@@ -415,7 +451,7 @@ impl Machine {
     /// Advances to the next phase at simulated time `now`, resampling the
     /// execution jitter and latching the completion time if the program is
     /// done.
-    fn complete_phase(&mut self, now: Seconds) {
+    pub(crate) fn complete_phase(&mut self, now: Seconds) {
         self.phase_index += 1;
         self.phase_done_instructions = 0.0;
         self.phase_jitter = Self::sample_jitter(&mut self.noise, self.config.execution_variation());
@@ -446,11 +482,17 @@ impl Machine {
     /// [`Machine::fast_forward`]), returning total wall-clock time. For
     /// unobserved runs only — tests, characterization, benches; governed
     /// runs must tick at their sampling cadence instead.
-    pub fn run_to_completion(&mut self) -> Seconds {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::NoForwardProgress`] when a segment retires
+    /// nothing (zeroed phase rates), since the program can then never
+    /// finish.
+    pub fn run_to_completion(&mut self) -> Result<Seconds> {
         while !self.finished() {
-            self.fast_forward(Seconds::new(f64::INFINITY));
+            self.fast_forward(Seconds::new(f64::INFINITY))?;
         }
-        self.completion_time().expect("finished machines have a completion time")
+        Ok(self.completion_time().expect("finished machines have a completion time"))
     }
 
     /// Reference implementation of [`Machine::tick`] with no memoization:
@@ -498,8 +540,8 @@ impl Machine {
             };
             let ips = rates.instructions_per_second * self.phase_jitter * duty;
             let left_in_phase = phase_instructions - self.phase_done_instructions;
-            let time_to_phase_end = Seconds::new(left_in_phase / ips);
-            let adv = remaining.min(time_to_phase_end);
+            let ttpe = time_to_phase_end(left_in_phase, ips);
+            let adv = remaining.min(ttpe);
 
             let executed = ips * adv.seconds();
             let cycles = ps.frequency().hz() * (adv * duty).seconds();
@@ -564,7 +606,7 @@ mod tests {
     fn program_completes_in_expected_time() {
         // 20M instructions at CPI 1.0, 2 GHz → 10 ms.
         let mut machine = Machine::new(quiet_config(), simple_program(20_000_000));
-        let time = machine.run_to_completion();
+        let time = machine.run_to_completion().unwrap();
         assert!((time.millis() - 10.0).abs() < 0.1, "took {time}");
     }
 
@@ -586,8 +628,8 @@ mod tests {
         let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
         let mut slow = Machine::new(config, simple_program(50_000_000));
         slow.set_pstate(PStateId::new(0)).unwrap();
-        let t_fast = fast.run_to_completion();
-        let t_slow = slow.run_to_completion();
+        let t_fast = fast.run_to_completion().unwrap();
+        let t_slow = slow.run_to_completion().unwrap();
         // Core-bound: time ratio ≈ frequency ratio 2000/600.
         let ratio = t_slow / t_fast;
         assert!((ratio - 2000.0 / 600.0).abs() < 0.05, "ratio {ratio}");
@@ -599,8 +641,8 @@ mod tests {
         let mut fast = Machine::new(config.clone(), simple_program(50_000_000));
         let mut slow = Machine::new(config, simple_program(50_000_000));
         slow.set_pstate(PStateId::new(0)).unwrap();
-        fast.run_to_completion();
-        slow.run_to_completion();
+        fast.run_to_completion().unwrap();
+        slow.run_to_completion().unwrap();
         assert!(fast.true_energy() > Joules::ZERO);
         // Core-bound work at low V/f takes longer but still wins on energy.
         assert!(slow.true_energy() < fast.true_energy());
@@ -637,7 +679,7 @@ mod tests {
     #[test]
     fn finished_machine_idles() {
         let mut machine = Machine::new(quiet_config(), simple_program(1_000));
-        machine.run_to_completion();
+        machine.run_to_completion().unwrap();
         let energy_before = machine.true_energy();
         let outcome = machine.tick(Seconds::from_millis(10.0));
         assert!(outcome.finished);
@@ -660,7 +702,7 @@ mod tests {
             .unwrap();
         let program = PhaseProgram::new("ab", vec![a, b]).unwrap();
         let mut machine = Machine::new(quiet_config(), program);
-        let time = machine.run_to_completion();
+        let time = machine.run_to_completion().unwrap();
         // 10M @ CPI 1 + 10M @ CPI 2 at 2 GHz = 5ms + 10ms.
         assert!((time.millis() - 15.0).abs() < 0.2, "took {time}");
     }
@@ -696,8 +738,8 @@ mod tests {
         let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
         let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
         half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
-        let t_full = full.run_to_completion();
-        let t_half = half.run_to_completion();
+        let t_full = full.run_to_completion().unwrap();
+        let t_half = half.run_to_completion().unwrap();
         let ratio = t_half / t_full;
         assert!((ratio - 2.0).abs() < 0.01, "50% duty doubles time, got {ratio}");
     }
@@ -707,8 +749,8 @@ mod tests {
         let mut full = Machine::new(quiet_config(), simple_program(50_000_000));
         let mut half = Machine::new(quiet_config(), simple_program(50_000_000));
         half.set_throttle(crate::throttle::ThrottleLevel::new(4).unwrap());
-        let t_full = full.run_to_completion();
-        let t_half = half.run_to_completion();
+        let t_full = full.run_to_completion().unwrap();
+        let t_half = half.run_to_completion().unwrap();
         let p_full = full.true_energy() / t_full;
         let p_half = half.true_energy() / t_half;
         assert!(p_half < p_full, "gating halves the active time per second");
@@ -740,8 +782,8 @@ mod tests {
         let config = MachineConfig::pentium_m_755(99);
         let mut m1 = Machine::new(config.clone(), simple_program(30_000_000));
         let mut m2 = Machine::new(config, simple_program(30_000_000));
-        let t1 = m1.run_to_completion();
-        let t2 = m2.run_to_completion();
+        let t1 = m1.run_to_completion().unwrap();
+        let t2 = m2.run_to_completion().unwrap();
         assert_eq!(t1, t2);
         assert_eq!(m1.true_energy(), m2.true_energy());
     }
@@ -749,9 +791,9 @@ mod tests {
     #[test]
     fn different_seeds_vary_execution_time_slightly() {
         let t1 = Machine::new(MachineConfig::pentium_m_755(1), simple_program(200_000_000))
-            .run_to_completion();
+            .run_to_completion().unwrap();
         let t2 = Machine::new(MachineConfig::pentium_m_755(2), simple_program(200_000_000))
-            .run_to_completion();
+            .run_to_completion().unwrap();
         assert_ne!(t1, t2);
         let rel = (t1 / t2 - 1.0).abs();
         assert!(rel < 0.05, "variation should be small, got {rel}");
@@ -837,7 +879,7 @@ mod tests {
         let config = MachineConfig::pentium_m_755(7);
         let mut fast = Machine::new(config.clone(), two_phase_program(10_000_000));
         let mut ticked = Machine::new(config, two_phase_program(10_000_000));
-        let t_fast = fast.run_to_completion();
+        let t_fast = fast.run_to_completion().unwrap();
         while !ticked.finished() {
             ticked.tick(Seconds::from_micros(50.0));
         }
@@ -859,16 +901,86 @@ mod tests {
     fn fast_forward_respects_horizon_and_stalls() {
         let mut machine = Machine::new(quiet_config(), simple_program(2_000_000_000));
         let horizon = Seconds::from_millis(1.0);
-        let outcome = machine.fast_forward(horizon);
+        let outcome = machine.fast_forward(horizon).unwrap();
         assert_eq!(outcome.advanced, horizon, "segment clipped to the horizon");
         assert!(outcome.instructions > 0.0);
         // A DVFS transition stalls the core: the next segment is the stall
         // itself, retiring nothing.
         machine.set_pstate(PStateId::new(0)).unwrap();
-        let stalled = machine.fast_forward(Seconds::new(f64::INFINITY));
+        let stalled = machine.fast_forward(Seconds::new(f64::INFINITY)).unwrap();
         assert_eq!(stalled.instructions, 0.0);
         assert!(stalled.advanced < horizon, "stall is microseconds, not the horizon");
         assert_eq!(machine.elapsed(), horizon + stalled.advanced);
+    }
+
+    /// Forces the current segment's effective retire rate to zero. Every
+    /// validated phase keeps `ips` strictly positive (finite CPI > 0,
+    /// positive frequency, duty ≥ 1/8, jitter clamped to [0.5, 1.5]), so
+    /// the degenerate segment is reachable only by corrupting the jitter —
+    /// which is exactly what this in-module helper does.
+    fn zero_rate(machine: &mut Machine) {
+        machine.phase_jitter = 0.0;
+    }
+
+    #[test]
+    fn zero_rate_segment_fast_forwards_boundedly_on_a_finite_horizon() {
+        let mut machine = Machine::new(quiet_config(), simple_program(50_000_000));
+        zero_rate(&mut machine);
+        let horizon = Seconds::from_millis(10.0);
+        let outcome = machine.fast_forward(horizon).unwrap();
+        // The whole horizon elapses, zero instructions retire, and the
+        // booked quantities stay finite — the old `left / 0` division made
+        // `advanced` infinite here.
+        assert_eq!(outcome.advanced, horizon);
+        assert_eq!(outcome.instructions, 0.0);
+        assert!(outcome.average_power.watts().is_finite());
+        assert!(machine.true_energy().joules().is_finite());
+        assert_eq!(machine.elapsed(), horizon);
+        assert!(!machine.finished());
+    }
+
+    #[test]
+    fn zero_rate_segment_errors_on_an_unbounded_horizon() {
+        let mut machine = Machine::new(quiet_config(), simple_program(50_000_000));
+        zero_rate(&mut machine);
+        let error = machine.fast_forward(Seconds::new(f64::INFINITY)).unwrap_err();
+        assert!(
+            matches!(
+                &error,
+                PlatformError::NoForwardProgress { phase, pending }
+                    if phase == "work" && *pending == 50_000_000.0
+            ),
+            "unexpected error: {error}"
+        );
+        // Nothing was booked: the machine is untouched and usable.
+        assert_eq!(machine.elapsed(), Seconds::ZERO);
+        assert_eq!(machine.true_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn zero_rate_segment_fails_run_to_completion_instead_of_spinning() {
+        // Pre-fix this looped forever: each infinite-horizon fast_forward
+        // booked 0 × ∞ = NaN instructions without ever finishing the phase.
+        let mut machine = Machine::new(quiet_config(), simple_program(50_000_000));
+        zero_rate(&mut machine);
+        assert!(matches!(
+            machine.run_to_completion(),
+            Err(PlatformError::NoForwardProgress { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rate_segment_ticks_idly_without_nan() {
+        // `tick` shares the guarded time-to-phase-end rule: a zero-rate
+        // segment idles through the tick (gated energy, no work) instead of
+        // poisoning the accumulators with NaN.
+        let mut machine = Machine::new(quiet_config(), simple_program(50_000_000));
+        zero_rate(&mut machine);
+        let outcome = machine.tick(Seconds::from_millis(10.0));
+        assert_eq!(outcome.instructions, 0.0);
+        assert!(outcome.average_power.watts().is_finite());
+        assert!(machine.temperature().degrees().is_finite());
+        assert_eq!(machine.elapsed(), Seconds::from_millis(10.0));
     }
 
     mod memo_bit_identity {

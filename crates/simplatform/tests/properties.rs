@@ -143,7 +143,7 @@ proptest! {
         }
         let t_ticked = ticked.completion_time().expect("finished");
         let mut fast = Machine::new(config, PhaseProgram::from_phase(phase));
-        let t_fast = fast.run_to_completion();
+        let t_fast = fast.run_to_completion().unwrap();
         // Completion time is exact; energy differs only by the idle tail of
         // the ticked run's final tick.
         prop_assert!((t_fast.seconds() - t_ticked.seconds()).abs() < 1e-9);
@@ -164,8 +164,8 @@ proptest! {
         let mut full = Machine::new(config.clone(), PhaseProgram::from_phase(phase.clone()));
         let mut gated = Machine::new(config, PhaseProgram::from_phase(phase));
         gated.set_throttle(ThrottleLevel::new(steps).unwrap());
-        let t_full = full.run_to_completion();
-        let t_gated = gated.run_to_completion();
+        let t_full = full.run_to_completion().unwrap();
+        let t_gated = gated.run_to_completion().unwrap();
         let duty = f64::from(steps) / 8.0;
         prop_assert!((t_gated.seconds() * duty - t_full.seconds()).abs() / t_full.seconds() < 1e-6);
     }

@@ -116,8 +116,8 @@ base = json.loads(pathlib.Path("results/BENCH_machine.json").read_text())
 cur = json.loads(pathlib.Path("results/BENCH_machine.current.json").read_text())
 
 failures = []
-for key in ("ticked_sim_per_wall", "fastforward_sim_per_wall",
-            "cache_maccesses_per_sec"):
+for key in ("ticked_sim_per_wall", "batched_sim_per_wall",
+            "fastforward_sim_per_wall", "cache_maccesses_per_sec"):
     floor = base[key] * 0.8
     if cur[key] < floor:
         failures.append(f"{key}: {cur[key]:.1f} < 80% of baseline {base[key]:.1f}")
@@ -128,6 +128,7 @@ if cur["suite_serial_wall_s"] > ceiling:
         f"baseline {base['suite_serial_wall_s']:.3f}s")
 
 print(f"bench-gate: tick {cur['ticked_sim_per_wall']:.0f} sim-s/wall-s, "
+      f"batched {cur['batched_sim_per_wall']:.0f} sim-s/wall-s, "
       f"fast-forward {cur['fastforward_sim_per_wall']:.0f} sim-s/wall-s, "
       f"cache {cur['cache_maccesses_per_sec']:.1f} Maccess/s, "
       f"serial suite {cur['suite_serial_wall_s']:.3f}s "

@@ -139,7 +139,7 @@ proptest! {
                 },
                 program.clone(),
             );
-            t.push(machine.run_to_completion());
+            t.push(machine.run_to_completion().unwrap());
         }
         prop_assert!(t[0] >= t[1], "600 MHz ({}) beat 2 GHz ({})", t[0], t[1]);
     }
