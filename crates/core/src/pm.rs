@@ -78,6 +78,13 @@ pub struct PerformanceMaximizer {
     /// DPC projected for the state chosen last interval, compared against
     /// the next fresh sample to measure eq. 4's projection error.
     predicted_dpc: Option<f64>,
+    /// Guardband headroom (limit − guarded estimate at the chosen state)
+    /// of the most recent fresh decision window.
+    last_headroom: Option<Watts>,
+    /// Watts short of affording the next-higher p-state when the limit
+    /// throttled the most recent fresh decision window (`None` while
+    /// unthrottled).
+    last_deficit: Option<Watts>,
     /// Observability handle (disabled unless the runtime installs one).
     metrics: Metrics,
 }
@@ -98,8 +105,32 @@ impl PerformanceMaximizer {
             last_dpc: None,
             stale_streak: 0,
             predicted_dpc: None,
+            last_headroom: None,
+            last_deficit: None,
             metrics: Metrics::disabled(),
         }
+    }
+
+    /// Guardband headroom of the most recent fresh decision window: the
+    /// watts left between the power limit and the guarded estimate at the
+    /// state the governor chose. This is the slack signal a cluster
+    /// governor reclaims. `None` until the first fresh sample; hold and
+    /// fail-safe windows keep the previous window's value. Exported as
+    /// the `pm.guardband_headroom_w` gauge when metrics are installed.
+    pub fn last_headroom(&self) -> Option<Watts> {
+        self.last_headroom
+    }
+
+    /// How many watts short the limit left the governor of affording the
+    /// next-higher p-state in the most recent fresh decision window — the
+    /// hunger signal a cluster governor weighs against other nodes'
+    /// [`Self::last_headroom`] slack. `None` while unthrottled (the chosen
+    /// state is the top one, or the next state up fits under the limit)
+    /// and before the first fresh sample; hold and fail-safe windows keep
+    /// the previous window's value. Exported as the `pm.power_deficit_w`
+    /// gauge when metrics are installed.
+    pub fn last_deficit(&self) -> Option<Watts> {
+        self.last_deficit
     }
 
     /// The active power limit.
@@ -225,13 +256,33 @@ impl Governor for PerformanceMaximizer {
             self.raise_streak = 0;
             ctx.current
         };
-        if self.metrics.is_enabled() {
-            // Guardband margin: headroom between the limit and the guarded
-            // estimate at the state actually chosen.
-            if let Some(estimate) = self.estimate_at(ctx, dpc, chosen) {
-                self.metrics
-                    .observe("pm.guardband_margin_w", self.limit.watts().watts() - estimate.watts());
+        // Guardband headroom: slack between the limit and the guarded
+        // estimate at the state actually chosen — the per-window signal a
+        // cluster governor reclaims and reallocates. Tracked whether or
+        // not metrics are installed; hold and fail-safe windows return
+        // earlier above and keep the previous window's value.
+        if let Some(estimate) = self.estimate_at(ctx, dpc, chosen) {
+            let headroom = self.limit.watts().watts() - estimate.watts();
+            self.last_headroom = Some(Watts::new(headroom));
+            if self.metrics.is_enabled() {
+                self.metrics.observe("pm.guardband_margin_w", headroom);
+                self.metrics.gauge("pm.guardband_headroom_w", headroom);
             }
+        }
+        // Power deficit: when the limit throttles the node below the top
+        // p-state, the extra watts the next state up would need. A cluster
+        // governor reads this as negative headroom — unmet demand.
+        self.last_deficit = ctx.table.next_higher(chosen).and_then(|next| {
+            let estimate = self.estimate_at(ctx, dpc, next)?;
+            let deficit = estimate.watts() - self.limit.watts().watts();
+            (deficit > 0.0).then(|| Watts::new(deficit))
+        });
+        if self.metrics.is_enabled() {
+            if let Some(deficit) = self.last_deficit {
+                self.metrics.gauge("pm.power_deficit_w", deficit.watts());
+            }
+        }
+        if self.metrics.is_enabled() {
             // One-step-ahead DPC projection for the chosen state (eq. 4),
             // scored against the next fresh sample.
             if let (Ok(from), Ok(to)) = (ctx.table.get(ctx.current), ctx.table.get(chosen)) {
@@ -498,6 +549,28 @@ mod tests {
         assert_eq!(snapshot.counter("pm.stale_intervals"), n as u64 + 2);
         assert_eq!(snapshot.counter("pm.failsafe_steps"), 2, "samples N+1 and N+2 step down");
         assert!(snapshot.histogram("pm.guardband_margin_w").is_some());
+    }
+
+    /// The per-window guardband headroom is tracked on fresh windows,
+    /// exported as the `pm.guardband_headroom_w` gauge, and held across
+    /// stale windows (the cluster governor's input signal).
+    #[test]
+    fn guardband_headroom_tracks_fresh_windows_and_holds_on_stale() {
+        let table = PStateTable::pentium_m_755();
+        let mut pm = pm_with_limit(30.0);
+        assert!(pm.last_headroom().is_none(), "no headroom before the first fresh window");
+        let metrics = Metrics::enabled();
+        Governor::install_metrics(&mut pm, metrics.clone());
+        decide_at(&mut pm, &table, 7, 1.0);
+        // Staying at P7 the guarded estimate is 2.93·1.0 + 12.11 + 0.5 W
+        // (Table II top state plus guardband); headroom is the remainder.
+        let expect = 30.0 - (2.93 + 12.11 + 0.5);
+        let got = pm.last_headroom().expect("fresh window sets headroom").watts();
+        assert!((got - expect).abs() < 1e-9, "headroom {got} != {expect}");
+        assert_eq!(metrics.snapshot().gauge("pm.guardband_headroom_w"), Some(got));
+        // A stale window holds the previous value rather than clearing it.
+        decide_stale(&mut pm, &table, 7);
+        assert_eq!(pm.last_headroom().unwrap().watts(), got);
     }
 
     #[test]

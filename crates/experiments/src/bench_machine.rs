@@ -1,9 +1,10 @@
 //! `--bench-machine`: machine/cache throughput regression harness.
 //!
-//! Measures the simulator's four hot paths — the governed tick loop, the
-//! batched SoA lockstep loop, the segment-level fast-forward path, and the
-//! cache-hierarchy simulation that characterization drives — plus the
-//! wall-clock of the full serial suite.
+//! Measures the simulator's five hot paths — the governed tick loop, the
+//! batched SoA lockstep loop, the segment-level fast-forward path, the
+//! 10,000-node discrete-event fleet engine, and the cache-hierarchy
+//! simulation that characterization drives — plus the wall-clock of the
+//! full serial suite.
 //! The numbers land in `results/BENCH_machine.json`; `scripts/check.sh`
 //! compares each run against the committed baseline and fails the build on
 //! a >20% regression, so hot-path slowdowns surface as red CI instead of
@@ -15,6 +16,7 @@ use std::time::Instant;
 use aapm_platform::batch::MachineBatch;
 use aapm_platform::config::MachineConfig;
 use aapm_platform::error::Result;
+use aapm_platform::fleet::{CohortMode, Fleet, UncontrolledFleet};
 use aapm_platform::hierarchy::{MemoryHierarchy, PrefetchConfig};
 use aapm_platform::machine::Machine;
 use aapm_platform::phase::PhaseDescriptor;
@@ -43,6 +45,10 @@ pub struct MachineBenchReport {
     /// Simulated seconds per wall second through `run_to_completion`'s
     /// segment-level fast-forward path (a full galgel phase program).
     pub fastforward_sim_per_wall: f64,
+    /// Simulated machine-seconds per wall second through the discrete-event
+    /// fleet engine at 10,000 nodes (100 cohorts × 100 lanes, mixed
+    /// cadences, some cohorts retiring mid-run), summed over all nodes.
+    pub fleet_sim_per_wall: f64,
     /// Millions of cache-hierarchy accesses per wall second on the
     /// characterization path (FMA stream, prefetcher enabled).
     pub cache_maccesses_per_sec: f64,
@@ -57,11 +63,12 @@ impl MachineBenchReport {
     pub fn headline(&self) -> String {
         format!(
             "machine bench: tick {:.0} sim-s/wall-s, batched {:.0} sim-s/wall-s, \
-             fast-forward {:.0} sim-s/wall-s, cache {:.1} Maccess/s, train {:.3}s, \
-             serial suite {:.3}s",
+             fast-forward {:.0} sim-s/wall-s, fleet(10k) {:.0} sim-s/wall-s, \
+             cache {:.1} Maccess/s, train {:.3}s, serial suite {:.3}s",
             self.ticked_sim_per_wall,
             self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
+            self.fleet_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
             self.suite_serial_wall_s,
@@ -76,12 +83,13 @@ impl MachineBenchReport {
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
         let json = format!(
             "{{\n  \"ticked_sim_per_wall\": {:.1},\n  \"batched_sim_per_wall\": {:.1},\n  \
-             \"fastforward_sim_per_wall\": {:.1},\n  \
+             \"fastforward_sim_per_wall\": {:.1},\n  \"fleet_sim_per_wall\": {:.1},\n  \
              \"cache_maccesses_per_sec\": {:.2},\n  \"train_wall_s\": {:.3},\n  \
              \"suite_serial_wall_s\": {:.3}\n}}\n",
             self.ticked_sim_per_wall,
             self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
+            self.fleet_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
             self.suite_serial_wall_s,
@@ -182,6 +190,50 @@ fn fastforward_throughput() -> f64 {
     })
 }
 
+/// Simulated machine-seconds/wall-second through the discrete-event fleet
+/// engine: 10,000 nodes as 100 homogeneous cohorts of 100 lanes, cadences
+/// cycling 10/20/50 ticks, every fourth cohort sized to finish (and
+/// retire from the event heap) mid-run. The headline fleet-scale claim —
+/// this must stay comfortably above 1 sim-s/wall-s.
+fn fleet_throughput() -> f64 {
+    const COHORTS: usize = 100;
+    const LANES: usize = 100;
+    const HORIZON_TICKS: u64 = 1_000; // 10 simulated seconds
+    best_throughput(|| {
+        let mut fleet = Fleet::new(Seconds::from_millis(10.0));
+        for cohort in 0..COHORTS {
+            let cadence = [10, 20, 50][cohort % 3];
+            let machines: Vec<Machine> = (0..LANES)
+                .map(|lane| {
+                    let seed = (cohort * LANES + lane) as u64 + 1;
+                    // Every fourth cohort finishes in ~1 simulated second
+                    // and retires; the rest outlive the horizon.
+                    let instructions =
+                        if cohort % 4 == 0 { 2_000_000_000 } else { u64::MAX / 4 };
+                    let phase = PhaseDescriptor::builder("fleet-bench")
+                        .instructions(instructions)
+                        .core_cpi(0.7)
+                        .build()
+                        .expect("fixture phase is valid");
+                    Machine::new(
+                        MachineConfig::pentium_m_755(seed),
+                        PhaseProgram::from_phase(phase),
+                    )
+                })
+                .collect();
+            fleet
+                .add_cohort(machines, CohortMode::Governed { cadence_ticks: cadence })
+                .expect("bench cohorts are valid");
+        }
+        let start = Instant::now();
+        fleet.run_des(HORIZON_TICKS, 0, &mut UncontrolledFleet).expect("bench fleet runs");
+        let simulated: f64 = (0..fleet.cohort_count())
+            .map(|c| (0..fleet.lanes(c)).map(|l| fleet.elapsed(c, l).seconds()).sum::<f64>())
+            .sum();
+        (simulated, start.elapsed().as_secs_f64())
+    })
+}
+
 /// Millions of hierarchy accesses per second on the characterization path.
 ///
 /// # Errors
@@ -215,6 +267,7 @@ pub fn run() -> Result<MachineBenchReport> {
     let ticked_sim_per_wall = ticked_throughput();
     let batched_sim_per_wall = batched_throughput();
     let fastforward_sim_per_wall = fastforward_throughput();
+    let fleet_sim_per_wall = fleet_throughput();
     let cache_maccesses_per_sec = cache_throughput()?;
 
     let train_start = Instant::now();
@@ -230,6 +283,7 @@ pub fn run() -> Result<MachineBenchReport> {
         ticked_sim_per_wall,
         batched_sim_per_wall,
         fastforward_sim_per_wall,
+        fleet_sim_per_wall,
         cache_maccesses_per_sec,
         train_wall_s,
         suite_serial_wall_s,
@@ -247,6 +301,7 @@ mod tests {
         assert!(ticked_throughput() > 0.0);
         assert!(batched_throughput() > 0.0);
         assert!(fastforward_throughput() > 0.0);
+        assert!(fleet_throughput() > 1.0, "10k-node fleet must beat real time");
         assert!(cache_throughput().unwrap() > 0.0);
     }
 
@@ -256,6 +311,7 @@ mod tests {
             ticked_sim_per_wall: 1234.5,
             batched_sim_per_wall: 9876.5,
             fastforward_sim_per_wall: 67890.1,
+            fleet_sim_per_wall: 4321.0,
             cache_maccesses_per_sec: 42.25,
             train_wall_s: 0.5,
             suite_serial_wall_s: 0.75,
@@ -268,6 +324,7 @@ mod tests {
             "ticked_sim_per_wall",
             "batched_sim_per_wall",
             "fastforward_sim_per_wall",
+            "fleet_sim_per_wall",
             "cache_maccesses_per_sec",
             "train_wall_s",
             "suite_serial_wall_s",

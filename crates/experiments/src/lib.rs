@@ -27,6 +27,7 @@
 //! | ablation-throttle/-thermal | actuator studies | [`ablation_actuators`] |
 //! | adaptive | static vs online-refit power model | [`adaptive`] |
 //! | fault-matrix | robustness under injected faults | [`fault_matrix`] |
+//! | fleet | hierarchical vs uniform fleet budgets | [`fleet`] |
 
 pub mod ablation_actuators;
 pub mod ablations;
@@ -44,6 +45,7 @@ pub mod fig08_ps_trace;
 pub mod fig09_ps_suite;
 pub mod fig10_ps_energy;
 pub mod fig11_ps_perf;
+pub mod fleet;
 pub mod headline;
 pub mod model_error;
 pub mod observe;
@@ -70,11 +72,11 @@ pub use pool::Pool;
 use aapm_platform::error::Result;
 
 /// Ids of all experiments, in presentation order.
-pub const ALL_IDS: [&str; 29] = [
+pub const ALL_IDS: [&str; 30] = [
     "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "pm-adherence", "headline", "ablation-guardband", "ablation-window",
     "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "adaptive", "signatures", "model-error", "efficiency",
-    "fault-matrix", "all",
+    "fault-matrix", "fleet", "all",
 ];
 
 /// Runs one experiment by id (`"all"` is handled by callers).
@@ -113,6 +115,7 @@ pub fn run_by_id(ctx: &ExperimentContext, pool: &Pool, id: &str) -> Result<Vec<E
         "model-error" => single(model_error::run(ctx, pool)?),
         "efficiency" => single(efficiency::run(ctx, pool)?),
         "fault-matrix" => single(fault_matrix::run(ctx, pool)?),
+        "fleet" => single(fleet::run(ctx, pool)?),
         "all" => run_suite(ctx, pool),
         other => Err(aapm_platform::error::PlatformError::InvalidConfig {
             parameter: "experiment",
@@ -127,7 +130,7 @@ const SUITE_PRE: [&str; 10] =
 
 /// Experiments that run after the sweep-derived figures, in presentation
 /// order.
-const SUITE_POST: [&str; 13] = [
+const SUITE_POST: [&str; 14] = [
     "ablation-guardband",
     "ablation-window",
     "ablation-feedback",
@@ -141,6 +144,7 @@ const SUITE_POST: [&str; 13] = [
     "model-error",
     "efficiency",
     "fault-matrix",
+    "fleet",
 ];
 
 /// Runs the full suite, fanning whole experiments over the pool while

@@ -198,7 +198,7 @@ pub fn worst_case_power_curve(pool: &Pool, table: &PStateTable) -> Result<Vec<(M
         for _ in 0..5 {
             batch.tick_all(tick);
             for (lane, daq) in daqs.iter_mut().enumerate() {
-                let _ = daq.sample(batch.lane(lane));
+                let _ = daq.sample(batch.sync_lane(lane));
             }
         }
         let samples = 50;
@@ -206,7 +206,7 @@ pub fn worst_case_power_curve(pool: &Pool, table: &PStateTable) -> Result<Vec<(M
         for _ in 0..samples {
             batch.tick_all(tick);
             for (lane, daq) in daqs.iter_mut().enumerate() {
-                sums[lane] += daq.sample(batch.lane(lane)).power.watts();
+                sums[lane] += daq.sample(batch.sync_lane(lane)).power.watts();
             }
         }
         Ok(frequencies

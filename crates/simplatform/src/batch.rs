@@ -80,9 +80,10 @@ struct LaneDerived {
 ///     batch.tick_all(Seconds::from_millis(10.0));
 ///     solo.tick(Seconds::from_millis(10.0));
 /// }
-/// // Batch lanes are bit-identical to the same machine stepped alone.
-/// assert_eq!(batch.lane(0).true_energy(), solo.true_energy());
-/// assert_eq!(batch.lane(0).counter_snapshot(), solo.counter_snapshot());
+/// // Batch lanes are bit-identical to the same machine stepped alone
+/// // (sync_lane writes the hot SoA state back before reading).
+/// assert_eq!(batch.sync_lane(0).true_energy(), solo.true_energy());
+/// assert_eq!(batch.sync_lane(0).counter_snapshot(), solo.counter_snapshot());
 /// ```
 #[derive(Debug)]
 pub struct MachineBatch {
@@ -159,12 +160,36 @@ impl MachineBatch {
         self.machines.iter().all(Machine::finished)
     }
 
+    /// Read access to one lane's machine **without syncing**.
+    ///
+    /// Control-plane state is always live here: the p-state, throttle
+    /// level, program position, `finished`, and `completion_time` are
+    /// maintained on the machine itself. The hot accumulators — counters,
+    /// energy, elapsed time, temperature — are authoritative in the SoA
+    /// arrays between syncs, so read those through
+    /// [`MachineBatch::counter_snapshot`], [`MachineBatch::energy`], and
+    /// [`MachineBatch::elapsed`], or take a fully coherent view with
+    /// [`MachineBatch::sync_lane`] / [`MachineBatch::lane_mut`].
+    pub fn lane(&self, lane: usize) -> &Machine {
+        &self.machines[lane]
+    }
+
     /// Read access to one lane, with its hot state synced back into the
     /// machine first — counters, energy, elapsed time, and temperature all
     /// reflect the batch's progress (this is the DAQ/PMC sampling path).
-    pub fn lane(&mut self, lane: usize) -> &Machine {
-        self.sync_lane(lane);
+    pub fn sync_lane(&mut self, lane: usize) -> &Machine {
+        self.write_back_lane(lane);
         &self.machines[lane]
+    }
+
+    /// Exclusive access to one lane's machine, synced on entry; when the
+    /// guard drops, the machine's state is loaded back into the SoA arrays
+    /// and the lane's derived constants are recomputed. This is the
+    /// escape hatch for per-lane scalar operations the batch has no sweep
+    /// for — e.g. `fast_forward`ing one lane through an unobserved span.
+    pub fn lane_mut(&mut self, lane: usize) -> LaneGuard<'_> {
+        self.write_back_lane(lane);
+        LaneGuard { batch: self, lane }
     }
 
     /// Requests a p-state change on one lane (see [`Machine::set_pstate`]);
@@ -190,7 +215,7 @@ impl MachineBatch {
     /// lane's final state.
     pub fn into_machines(mut self) -> Vec<Machine> {
         for lane in 0..self.machines.len() {
-            self.sync_lane(lane);
+            self.write_back_lane(lane);
         }
         self.machines
     }
@@ -294,7 +319,7 @@ impl MachineBatch {
     /// it exactly, and load the result back. Handles DVFS stalls, boundary
     /// crossings, and degenerate zero-rate segments.
     fn fallback_tick(&mut self, lane: usize, dt: Seconds) {
-        self.sync_lane(lane);
+        self.write_back_lane(lane);
         self.machines[lane].tick(dt);
         self.load_lane(lane);
         self.refresh_lane(lane);
@@ -327,7 +352,7 @@ impl MachineBatch {
     }
 
     /// Writes a lane's SoA slots back into its machine.
-    fn sync_lane(&mut self, lane: usize) {
+    fn write_back_lane(&mut self, lane: usize) {
         let n = self.machines.len();
         let machine = &mut self.machines[lane];
         machine.elapsed = Seconds::new(self.elapsed_s[lane]);
@@ -462,6 +487,52 @@ impl MachineBatch {
         }
         CounterSnapshot::from_raw(counts)
     }
+
+    /// A lane's accumulated true energy, read straight from the SoA arrays
+    /// (no sync).
+    pub fn energy(&self, lane: usize) -> Joules {
+        Joules::new(self.energy_j[lane])
+    }
+
+    /// A lane's elapsed simulated time, read straight from the SoA arrays
+    /// (no sync).
+    pub fn elapsed(&self, lane: usize) -> Seconds {
+        Seconds::new(self.elapsed_s[lane])
+    }
+}
+
+/// Exclusive access to one lane's machine, handed out by
+/// [`MachineBatch::lane_mut`]. On entry the lane's SoA state has been
+/// synced into the machine; on drop the machine's state is loaded back
+/// into the SoA arrays and the lane's derived per-tick constants are
+/// recomputed, so a manual `tick`/`fast_forward`/actuation through the
+/// guard leaves the batch exactly as if the machine had always been
+/// stepped in place.
+#[derive(Debug)]
+pub struct LaneGuard<'a> {
+    batch: &'a mut MachineBatch,
+    lane: usize,
+}
+
+impl std::ops::Deref for LaneGuard<'_> {
+    type Target = Machine;
+
+    fn deref(&self) -> &Machine {
+        &self.batch.machines[self.lane]
+    }
+}
+
+impl std::ops::DerefMut for LaneGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Machine {
+        &mut self.batch.machines[self.lane]
+    }
+}
+
+impl Drop for LaneGuard<'_> {
+    fn drop(&mut self) {
+        self.batch.load_lane(self.lane);
+        self.batch.refresh_lane(self.lane);
+    }
 }
 
 #[cfg(test)]
@@ -496,7 +567,7 @@ mod tests {
     }
 
     fn assert_lane_matches(batch: &mut MachineBatch, lane: usize, scalar: &Machine) {
-        let machine = batch.lane(lane);
+        let machine = batch.sync_lane(lane);
         assert_eq!(machine.counter_snapshot(), scalar.counter_snapshot(), "lane {lane}");
         assert_eq!(machine.true_energy(), scalar.true_energy(), "lane {lane}");
         assert_eq!(machine.elapsed(), scalar.elapsed(), "lane {lane}");
@@ -565,6 +636,65 @@ mod tests {
     }
 
     #[test]
+    fn lane_is_read_only_and_control_plane_live() {
+        let mut batch = MachineBatch::new(lanes());
+        batch.tick_all(Seconds::from_millis(10.0));
+        // Control-plane state (p-state, program position) is live on the
+        // unsynced machine; the hot accumulators are authoritative in the
+        // SoA arrays instead.
+        batch.set_pstate(0, PStateId::new(3)).unwrap();
+        assert_eq!(batch.lane(0).pstate(), PStateId::new(3));
+        assert!(!batch.lane(0).finished());
+        assert_eq!(batch.elapsed(0), Seconds::from_millis(10.0));
+        assert!(batch.energy(0).joules() > 0.0);
+        assert_eq!(
+            batch.counter_snapshot(0),
+            batch.sync_lane(0).counter_snapshot(),
+            "sync_lane reconciles the machine with the SoA view"
+        );
+    }
+
+    #[test]
+    fn lane_mut_fast_forward_stays_bit_identical_to_scalar() {
+        // Mixed driving: batch ticks, then a per-lane fast_forward span
+        // through the lane_mut guard, then more batch ticks — every step
+        // mirrored on scalar twins. The guard's drop-time reload must leave
+        // the batch exactly as if the machine had been stepped in place.
+        let mut scalars = lanes();
+        let mut batch = MachineBatch::new(lanes());
+        let dt = Seconds::from_millis(10.0);
+        for _ in 0..20 {
+            for scalar in &mut scalars {
+                scalar.tick(dt);
+            }
+            batch.tick_all(dt);
+        }
+        let span = Seconds::from_millis(250.0);
+        for (lane, scalar) in scalars.iter_mut().enumerate() {
+            let mut remaining = span;
+            while remaining.is_positive() {
+                let advanced = scalar.fast_forward(remaining).unwrap().advanced;
+                remaining = (remaining - advanced).clamp_non_negative();
+            }
+            let mut guard = batch.lane_mut(lane);
+            let mut remaining = span;
+            while remaining.is_positive() {
+                let advanced = guard.fast_forward(remaining).unwrap().advanced;
+                remaining = (remaining - advanced).clamp_non_negative();
+            }
+        }
+        for _ in 0..20 {
+            for scalar in &mut scalars {
+                scalar.tick(dt);
+            }
+            batch.tick_all(dt);
+        }
+        for (lane, scalar) in scalars.iter().enumerate() {
+            assert_lane_matches(&mut batch, lane, scalar);
+        }
+    }
+
+    #[test]
     fn into_machines_round_trips_final_state() {
         let mut scalars = lanes();
         let mut batch = MachineBatch::new(lanes());
@@ -589,7 +719,7 @@ mod tests {
         batch.tick_all(Seconds::from_millis(10.0));
         for lane in 0..batch.len() {
             let soa = batch.counter_snapshot(lane);
-            let synced = batch.lane(lane).counter_snapshot();
+            let synced = batch.sync_lane(lane).counter_snapshot();
             assert_eq!(soa, synced);
         }
     }
@@ -643,7 +773,7 @@ mod tests {
                     }
                     batch.tick_all(dt);
                     for (lane, scalar) in scalars.iter().enumerate() {
-                        let machine = batch.lane(lane);
+                        let machine = batch.sync_lane(lane);
                         prop_assert_eq!(machine.counter_snapshot(), scalar.counter_snapshot());
                         prop_assert_eq!(machine.true_energy(), scalar.true_energy());
                         prop_assert_eq!(machine.elapsed(), scalar.elapsed());

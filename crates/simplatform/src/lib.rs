@@ -50,6 +50,7 @@ pub mod dram;
 pub mod dvfs;
 pub mod error;
 pub mod events;
+pub mod fleet;
 pub mod hierarchy;
 pub mod machine;
 pub mod noise;
@@ -67,6 +68,7 @@ pub use config::MachineConfig;
 pub use counters::{CounterDelta, CounterSnapshot};
 pub use error::PlatformError;
 pub use events::HardwareEvent;
+pub use fleet::{CohortId, CohortMode, Fleet, FleetController};
 pub use machine::Machine;
 pub use phase::PhaseDescriptor;
 pub use program::PhaseProgram;

@@ -90,6 +90,18 @@ cmp results/adaptive.jobs1.txt results/adaptive.jobs2.txt
 rm -f results/adaptive.jobs*.txt
 echo "adaptive gate: static-vs-adaptive experiment byte-identical at --jobs 1/2"
 
+# Fleet smoke: the hierarchical-vs-uniform fleet experiment must run on a
+# 2-wide pool and agree byte for byte with the serial run (per-arm fleets
+# and controllers live inside each cell, so pool width must not leak into
+# the discrete-event schedule or the budget-tree arithmetic).
+cargo run --release --offline -p aapm-experiments -- fleet --jobs 1 \
+    > results/fleet.jobs1.txt
+cargo run --release --offline -p aapm-experiments -- fleet --jobs 2 \
+    > results/fleet.jobs2.txt
+cmp results/fleet.jobs1.txt results/fleet.jobs2.txt
+rm -f results/fleet.jobs*.txt
+echo "fleet gate: hierarchical-vs-uniform experiment byte-identical at --jobs 1/2"
+
 # Fuzz smoke: a fixed-seed sweep through the property oracles. Findings
 # (cap/floor, the paper-expected model-deception violations) are reported
 # but tolerated; any universal failure — panic, non-finite metric,
@@ -117,10 +129,17 @@ cur = json.loads(pathlib.Path("results/BENCH_machine.current.json").read_text())
 
 failures = []
 for key in ("ticked_sim_per_wall", "batched_sim_per_wall",
-            "fastforward_sim_per_wall", "cache_maccesses_per_sec"):
+            "fastforward_sim_per_wall", "fleet_sim_per_wall",
+            "cache_maccesses_per_sec"):
     floor = base[key] * 0.8
     if cur[key] < floor:
         failures.append(f"{key}: {cur[key]:.1f} < 80% of baseline {base[key]:.1f}")
+# The fleet-scale headline claim is absolute, not relative: 10,000 nodes
+# must simulate faster than real time.
+if cur["fleet_sim_per_wall"] <= 1.0:
+    failures.append(
+        f"fleet_sim_per_wall: {cur['fleet_sim_per_wall']:.2f} sim-s/wall-s "
+        f"is not faster than real time at 10k nodes")
 ceiling = base["suite_serial_wall_s"] * 1.25
 if cur["suite_serial_wall_s"] > ceiling:
     failures.append(
@@ -130,6 +149,7 @@ if cur["suite_serial_wall_s"] > ceiling:
 print(f"bench-gate: tick {cur['ticked_sim_per_wall']:.0f} sim-s/wall-s, "
       f"batched {cur['batched_sim_per_wall']:.0f} sim-s/wall-s, "
       f"fast-forward {cur['fastforward_sim_per_wall']:.0f} sim-s/wall-s, "
+      f"fleet(10k) {cur['fleet_sim_per_wall']:.0f} sim-s/wall-s, "
       f"cache {cur['cache_maccesses_per_sec']:.1f} Maccess/s, "
       f"serial suite {cur['suite_serial_wall_s']:.3f}s "
       f"(baseline {base['suite_serial_wall_s']:.3f}s)")
