@@ -41,6 +41,7 @@ fn bench_pm_decision(c: &mut Criterion) {
                 power: None, temperature: None,
                 current: PStateId::new(6),
                 table: &table,
+                queue: None,
             };
             pm.decide(&ctx)
         })
@@ -61,6 +62,7 @@ fn bench_ps_decision(c: &mut Criterion) {
                 power: None, temperature: None,
                 current: PStateId::new(4),
                 table: &table,
+                queue: None,
             };
             ps.decide(&ctx)
         })

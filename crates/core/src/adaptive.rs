@@ -423,6 +423,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(current),
             table,
+            queue: None,
         };
         layer.decide(&ctx)
     }
@@ -517,6 +518,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             layer.decide(&ctx);
         }
@@ -547,6 +549,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(current_a),
                 table: &table,
+                queue: None,
             };
             let ctx_b = SampleContext {
                 counters: &s,
@@ -554,6 +557,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(current_b),
                 table: &table,
+                queue: None,
             };
             current_a = pm.decide(&ctx_a).index();
             current_b = layer.decide(&ctx_b).index();
@@ -625,6 +629,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             layer.decide(&ctx);
         }

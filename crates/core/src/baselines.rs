@@ -182,7 +182,7 @@ mod tests {
         let mut g = StaticClock::new(PStateId::new(3));
         let s = sample(1.0);
         for current in [0usize, 3, 7] {
-            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table: &table };
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table: &table, queue: None };
             assert_eq!(g.decide(&ctx), PStateId::new(3));
         }
         assert_eq!(g.name(), "static-p3");
@@ -193,7 +193,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = StaticClock::new(PStateId::new(99));
         let s = sample(1.0);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(0), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(0), table: &table, queue: None };
         assert_eq!(g.decide(&ctx), table.highest());
     }
 
@@ -202,7 +202,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = Unconstrained::new();
         let s = sample(0.1);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table, queue: None };
         assert_eq!(g.decide(&ctx), table.highest());
     }
 
@@ -213,7 +213,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = DemandBasedSwitching::new();
         let s = sample(1.2);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table, queue: None };
         assert_eq!(g.decide(&ctx), table.highest());
     }
 
@@ -222,7 +222,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = DemandBasedSwitching::new();
         let s = sample(0.0);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table, queue: None };
         assert_eq!(g.decide(&ctx), table.lowest());
     }
 
@@ -254,7 +254,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = DemandBasedSwitching::with_target(1.0).unwrap();
         let s = sample(1.2);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: table.highest(), table: &table, queue: None };
         assert_eq!(g.decide(&ctx), table.highest(), "target 1.0 at full load keeps peak");
     }
 }

@@ -716,6 +716,7 @@ impl FleetController for FleetPmController {
                     temperature: None,
                     current,
                     table: &self.table,
+                    queue: None,
                 };
                 let chosen = self.pms[node].decide(&ctx);
                 // A throttled node's deficit is negative headroom: its

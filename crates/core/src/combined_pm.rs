@@ -131,6 +131,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(current),
             table,
+            queue: None,
         }
     }
 

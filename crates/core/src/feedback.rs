@@ -218,6 +218,7 @@ mod tests {
                 power: Some(&p), temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             g.decide(&ctx);
         }
@@ -238,6 +239,7 @@ mod tests {
                 power: Some(&hot), temperature: None,
                 current: chosen,
                 table: &table,
+                queue: None,
             };
             chosen = g.decide(&ctx);
         }
@@ -258,6 +260,7 @@ mod tests {
                 power: Some(&accurate), temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             g.decide(&ctx);
         }
@@ -269,7 +272,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut g = FeedbackPm::new(PowerModel::paper_table_ii(), PowerLimit::new(17.5).unwrap());
         let s = sample(1.0);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(7), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(7), table: &table, queue: None };
         g.decide(&ctx);
         assert_eq!(g.correction(), 1.0);
     }

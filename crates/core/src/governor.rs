@@ -9,6 +9,7 @@
 
 use aapm_platform::events::HardwareEvent;
 use aapm_platform::pstate::{PStateId, PStateTable};
+use aapm_platform::requests::QueueSample;
 use aapm_platform::thermal::Celsius;
 use aapm_platform::throttle::ThrottleLevel;
 use aapm_models::power_model::PStateCoefficients;
@@ -33,6 +34,12 @@ pub struct SampleContext<'a> {
     pub current: PStateId,
     /// The platform's p-state table.
     pub table: &'a PStateTable,
+    /// The request-queue sample for serve-mode (open-loop) sessions:
+    /// end-of-interval depth, conservation counters, and the sojourn times
+    /// completed this interval. `None` on batch runs — queue-aware
+    /// governors (e.g. [`crate::slo_save::SloSave`]) must degrade
+    /// gracefully, exactly like missing power or thermal telemetry.
+    pub queue: Option<&'a QueueSample>,
 }
 
 /// A runtime command delivered to a governor mid-run — the simulation

@@ -151,6 +151,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(3),
             table: &table,
+            queue: None,
         };
         assert_eq!(Governor::name(&probe), "probe<unconstrained>");
         assert_eq!(probe.decide(&ctx), table.highest());

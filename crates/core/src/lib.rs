@@ -81,6 +81,7 @@ pub mod ps;
 pub mod report;
 pub mod runtime;
 pub mod session;
+pub mod slo_save;
 pub mod spec;
 pub mod thermal_guard;
 pub mod throttle_save;
@@ -98,9 +99,8 @@ pub use pm::{PerformanceMaximizer, PmConfig};
 pub use ps::PowerSave;
 pub use report::RunReport;
 pub use runtime::{ScheduledCommand, Session, SessionBuilder, SessionStatus, SimulationConfig};
-#[allow(deprecated)]
-pub use runtime::{run, run_with_faults};
 pub use session::{run_session, SessionReport};
+pub use slo_save::{SloSave, SloSaveConfig};
 pub use spec::{GovernorSpec, RegistryEntry, SpecModels, REGISTRY};
 pub use thermal_guard::{ThermalGuard, ThermalGuardConfig};
 pub use throttle_save::ThrottleSave;

@@ -142,6 +142,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(current),
             table,
+            queue: None,
         };
         g.decide(&ctx)
     }

@@ -337,7 +337,7 @@ mod tests {
 
     fn decide_at(pm: &mut PerformanceMaximizer, table: &PStateTable, current: usize, dpc: f64) -> PStateId {
         let s = sample(dpc);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table, queue: None };
         pm.decide(&ctx)
     }
 
@@ -470,7 +470,7 @@ mod tests {
 
     fn decide_stale(pm: &mut PerformanceMaximizer, table: &PStateTable, current: usize) -> PStateId {
         let s = stale_sample(0.0);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table, queue: None };
         pm.decide(&ctx)
     }
 
@@ -585,7 +585,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let pm = pm_with_limit(15.0);
         let s = sample(1.0);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(7), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(7), table: &table, queue: None };
         // At P3 (1200 MHz) the projected DPC is 1.0 × 2000/1200 = 5/3;
         // Table II: 1.06·(5/3) + 5.60 + 0.5 guardband.
         let est = pm.estimate_at(&ctx, 1.0, PStateId::new(3)).unwrap();

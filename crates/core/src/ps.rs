@@ -252,7 +252,7 @@ mod tests {
 
     fn decide_at(ps: &mut PowerSave, table: &PStateTable, current: usize, ipc: f64, dcu: f64) -> PStateId {
         let s = sample(ipc, dcu);
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(current), table, queue: None };
         ps.decide(&ctx)
     }
 
@@ -354,12 +354,12 @@ mod tests {
         let s = stale_sample();
         // Within the hold window the previous choice is repeated.
         for i in 0..PowerSave::STALE_HOLD_SAMPLES {
-            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table, queue: None };
             assert_eq!(ps.decide(&ctx), held, "stale sample {i}");
         }
         // Past the window PS fails toward the performance floor's safe
         // side: higher frequency, one state per sample.
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table, queue: None };
         let stepped = ps.decide(&ctx);
         assert_eq!(stepped, table.next_higher(held).unwrap());
     }
@@ -378,11 +378,11 @@ mod tests {
         let held = decide_at(&mut ps, &table, 7, 0.3, 1.8);
         let s = stale_sample();
         for i in 1..=n {
-            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table, queue: None };
             assert_eq!(ps.decide(&ctx), held, "stale sample {i} holds");
         }
         // Stale sample N+1 is the first fail-safe step toward the peak.
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table, queue: None };
         assert_eq!(ps.decide(&ctx), table.next_higher(held).unwrap(), "sample N+1 steps up");
     }
 
@@ -402,7 +402,7 @@ mod tests {
         let held = decide_at(&mut ps, &table, 7, 0.3, 1.8);
         let s = stale_sample();
         for _ in 0..n + 3 {
-            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table };
+            let ctx = SampleContext { counters: &s, power: None, temperature: None, current: held, table: &table, queue: None };
             ps.decide(&ctx);
         }
         decide_at(&mut ps, &table, 7, 0.3, 1.8);
@@ -419,7 +419,7 @@ mod tests {
         let table = PStateTable::pentium_m_755();
         let mut ps = ps_with_floor(0.8);
         let s = stale_sample();
-        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table };
+        let ctx = SampleContext { counters: &s, power: None, temperature: None, current: PStateId::new(2), table: &table, queue: None };
         assert_eq!(ps.decide(&ctx), PStateId::new(3), "no history: step up immediately");
     }
 

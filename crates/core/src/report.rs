@@ -25,11 +25,30 @@ pub struct RunReport {
     pub completed: bool,
     /// The full sample trace.
     pub trace: RunTrace,
-    /// End-of-run metrics snapshot (empty unless the run was observed via
-    /// [`run_observed`] with an enabled registry).
-    ///
-    /// [`run_observed`]: crate::runtime::run_observed
+    /// End-of-run metrics snapshot (empty unless an enabled registry was
+    /// installed via `SessionBuilder::observer`).
     pub metrics: MetricsSnapshot,
+    /// Request accounting for open-loop (serve) runs; `None` on batch
+    /// runs.
+    pub requests: Option<RequestSummary>,
+}
+
+/// Request-level accounting of an open-loop serve run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSummary {
+    /// Requests that arrived during the run.
+    pub arrived: u64,
+    /// Requests completed during the run.
+    pub completed: u64,
+    /// Requests still queued when the run ended (the backlog). Queue
+    /// accounting conserves: `arrived == completed + pending` always.
+    pub pending: u64,
+    /// True energy divided by completed requests (the serve experiment's
+    /// headline metric); zero when nothing completed.
+    pub energy_per_request: Joules,
+    /// Mean sojourn (queueing + service) time over completed requests;
+    /// zero when nothing completed.
+    pub mean_sojourn: Seconds,
 }
 
 impl RunReport {
@@ -95,6 +114,7 @@ mod tests {
             completed: true,
             trace: RunTrace::new(Seconds::from_millis(10.0)),
             metrics: MetricsSnapshot::default(),
+            requests: None,
         }
     }
 

@@ -8,16 +8,23 @@
 //! The single entry point is [`Session::builder`]: faults, scheduled
 //! commands, and an observability handle are all optional builder calls,
 //! and [`Session::step`] exposes the control loop one interval at a time
-//! so a future scheduler can interleave many sessions. The historical
-//! free functions (`run`, `run_with_faults`, `run_observed`) survive as
-//! deprecated shims over the builder.
+//! so a future scheduler can interleave many sessions.
+//!
+//! Sessions are generic over the [`WorkloadSource`] they drive. A batch
+//! source (a [`PhaseProgram`](aapm_platform::program::PhaseProgram)) runs
+//! to completion; an open-loop source keeps its machine's request queue
+//! fed — the runtime pulls the arrivals for each upcoming interval before
+//! ticking, drains a [`QueueSample`] afterwards, and shows it to the
+//! governor ([`SampleContext::queue`]) and the metrics registry
+//! (`queue.depth` gauge, `request.sojourn_s` histogram).
 
 use aapm_platform::config::MachineConfig;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::machine::Machine;
-use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::{PStateId, PStateTable};
-use aapm_platform::units::Seconds;
+use aapm_platform::requests::{QueueSample, Request};
+use aapm_platform::units::{Joules, Seconds};
+use aapm_platform::workload::WorkloadSource;
 use aapm_telemetry::daq::{DaqConfig, PowerDaq, PowerSample};
 use aapm_telemetry::faults::{
     ActuationFault, FaultConfig, FaultPlan, FaultStats, FaultWindow, PowerFault,
@@ -28,7 +35,7 @@ use aapm_telemetry::sensor::{ThermalSensor, ThermalSensorConfig};
 use aapm_telemetry::trace::RunTrace;
 
 use crate::governor::{Governor, GovernorCommand, SampleContext};
-use crate::report::RunReport;
+use crate::report::{RequestSummary, RunReport};
 use crate::spec::{GovernorSpec, SpecModels};
 
 /// Configuration of a governed run.
@@ -231,7 +238,7 @@ impl SessionStatus {
 #[must_use = "a SessionBuilder does nothing until build() or run()"]
 pub struct SessionBuilder<'a> {
     machine_config: MachineConfig,
-    program: PhaseProgram,
+    source: Box<dyn WorkloadSource>,
     config: SimulationConfig,
     governor: Option<GovernorSlot<'a>>,
     commands: Vec<ScheduledCommand>,
@@ -253,11 +260,11 @@ impl<'a> SessionBuilder<'a> {
         'a: 'b,
     {
         let SessionBuilder {
-            machine_config, program, config, commands, fault_windows, metrics, ..
+            machine_config, source, config, commands, fault_windows, metrics, ..
         } = self;
         SessionBuilder {
             machine_config,
-            program,
+            source,
             config,
             governor: Some(GovernorSlot::Borrowed(governor)),
             commands,
@@ -318,7 +325,7 @@ impl<'a> SessionBuilder<'a> {
     /// rates/windows.
     pub fn build(self) -> Result<Session<'a>> {
         let SessionBuilder {
-            machine_config, program, config, governor, commands, fault_windows, metrics,
+            machine_config, source, config, governor, commands, fault_windows, metrics,
         } = self;
         let Some(mut governor) = governor else {
             return Err(PlatformError::InvalidConfig {
@@ -343,9 +350,18 @@ impl<'a> SessionBuilder<'a> {
 
         governor.get_mut().install_metrics(metrics.clone());
 
-        let workload = program.name().to_owned();
+        let workload = source.name().to_owned();
+        let open_loop = source.open_loop();
         let table = machine_config.pstates().clone();
-        let machine = Machine::new(machine_config, program);
+        let machine = source.machine(machine_config);
+        if open_loop && !machine.is_serving() {
+            return Err(PlatformError::InvalidConfig {
+                parameter: "source",
+                reason: format!(
+                    "open-loop workload '{workload}' must build a serve-mode machine"
+                ),
+            });
+        }
         let daq = PowerDaq::new(config.daq, config.seed);
         let pmc = PmcDriver::new(governor.get().events());
         let thermal = ThermalSensor::new(config.thermal_sensor, config.seed);
@@ -358,6 +374,10 @@ impl<'a> SessionBuilder<'a> {
         Ok(Session {
             config,
             governor,
+            source,
+            open_loop,
+            arrivals: Vec::new(),
+            queue_sample: None,
             machine,
             daq,
             pmc,
@@ -435,6 +455,12 @@ impl<'a> SessionBuilder<'a> {
 pub struct Session<'a> {
     config: SimulationConfig,
     governor: GovernorSlot<'a>,
+    source: Box<dyn WorkloadSource>,
+    open_loop: bool,
+    /// Scratch buffer for each interval's arrivals (reused across steps).
+    arrivals: Vec<Request>,
+    /// The queue sample drained after the most recent tick (serve mode).
+    queue_sample: Option<QueueSample>,
     machine: Machine,
     daq: PowerDaq,
     pmc: PmcDriver,
@@ -455,11 +481,20 @@ pub struct Session<'a> {
 }
 
 impl<'a> Session<'a> {
-    /// Starts configuring a run of `program` on `machine_config`.
-    pub fn builder(machine_config: MachineConfig, program: PhaseProgram) -> SessionBuilder<'a> {
+    /// Starts configuring a run of `source` on `machine_config`.
+    ///
+    /// Any [`WorkloadSource`] works: a
+    /// [`PhaseProgram`](aapm_platform::program::PhaseProgram) runs as a
+    /// batch job to completion, an open-loop request workload (e.g.
+    /// `aapm_workloads::RequestWorkload`) runs as a server until the
+    /// sample cap.
+    pub fn builder(
+        machine_config: MachineConfig,
+        source: impl WorkloadSource + 'static,
+    ) -> SessionBuilder<'a> {
         SessionBuilder {
             machine_config,
-            program,
+            source: Box::new(source),
             config: SimulationConfig::default(),
             governor: None,
             commands: Vec::new(),
@@ -507,9 +542,29 @@ impl<'a> Session<'a> {
             self.next_command += 1;
         }
 
+        // Open-loop sources feed the machine's queue with this interval's
+        // arrivals before it ticks. Windows abut exactly ([start, end)
+        // with end = next start), so every arrival is offered once.
+        if self.open_loop {
+            let start = self.machine.elapsed();
+            let end = start + self.config.sample_interval;
+            self.arrivals.clear();
+            self.source.arrivals_into(start, end, &mut self.arrivals);
+            for request in self.arrivals.drain(..) {
+                self.machine.offer_request(request);
+            }
+        }
+
         let interval_pstate = self.machine.pstate();
         self.machine.tick(self.config.sample_interval);
         let now = self.machine.elapsed();
+        self.queue_sample = self.machine.take_queue_sample();
+        if let Some(sample) = &self.queue_sample {
+            self.metrics.gauge("queue.depth", sample.depth as f64);
+            for &sojourn in &sample.sojourns {
+                self.metrics.observe("request.sojourn_s", sojourn);
+            }
+        }
         let faults = self.plan.next_interval(now);
 
         // The DAQ and thermal sensor are sampled unconditionally so their
@@ -574,6 +629,7 @@ impl<'a> Session<'a> {
             temperature: shown_temperature,
             current: interval_pstate,
             table: &self.table,
+            queue: self.queue_sample.as_ref(),
         };
         let governor = self.governor.get_mut();
         let target = governor.decide(&ctx);
@@ -635,6 +691,30 @@ impl<'a> Session<'a> {
         let completed = self.machine.finished();
         let execution_time =
             self.machine.completion_time().unwrap_or_else(|| self.machine.elapsed());
+        let requests = self.machine.queue().map(|queue| {
+            let done = queue.completed();
+            RequestSummary {
+                arrived: queue.arrived(),
+                completed: done,
+                pending: queue.pending() as u64,
+                energy_per_request: if done > 0 {
+                    Joules::new(self.machine.true_energy().joules() / done as f64)
+                } else {
+                    Joules::new(0.0)
+                },
+                mean_sojourn: if done > 0 {
+                    Seconds::new(queue.total_sojourn() / done as f64)
+                } else {
+                    Seconds::new(0.0)
+                },
+            }
+        });
+        if let Some(summary) = &requests {
+            self.metrics.gauge("serve.requests_arrived", summary.arrived as f64);
+            self.metrics.gauge("serve.requests_completed", summary.completed as f64);
+            self.metrics.gauge("serve.requests_pending", summary.pending as f64);
+            self.metrics.gauge("serve.energy_per_request_j", summary.energy_per_request.joules());
+        }
         let report = RunReport {
             workload: self.workload,
             governor: self.governor.get().name().to_owned(),
@@ -645,6 +725,7 @@ impl<'a> Session<'a> {
             completed,
             trace: self.trace,
             metrics: self.metrics.snapshot(),
+            requests,
         };
         (report, self.stats)
     }
@@ -680,79 +761,6 @@ impl<'a> Session<'a> {
     }
 }
 
-/// Runs `program` on a machine under `governor` until completion.
-///
-/// # Errors
-///
-/// Propagates platform errors (invalid p-states from a misbehaving
-/// governor).
-#[deprecated(note = "use Session::builder(machine_config, program).governor(governor).run()")]
-pub fn run(
-    governor: &mut dyn Governor,
-    machine_config: MachineConfig,
-    program: PhaseProgram,
-    config: SimulationConfig,
-    commands: &[ScheduledCommand],
-) -> Result<RunReport> {
-    Session::builder(machine_config, program)
-        .config(config)
-        .governor(governor)
-        .commands(commands)
-        .run()
-        .map(|(report, _)| report)
-}
-
-/// Runs `program` under `governor` with fault injection, returning the run
-/// report plus counters of every fault injected or absorbed.
-///
-/// # Errors
-///
-/// As [`SessionBuilder::build`] and [`Session::step`].
-#[deprecated(
-    note = "use Session::builder(machine_config, program).governor(governor).faults(windows).run()"
-)]
-pub fn run_with_faults(
-    governor: &mut dyn Governor,
-    machine_config: MachineConfig,
-    program: PhaseProgram,
-    config: SimulationConfig,
-    commands: &[ScheduledCommand],
-    fault_windows: &[FaultWindow],
-) -> Result<(RunReport, FaultStats)> {
-    Session::builder(machine_config, program)
-        .config(config)
-        .governor(governor)
-        .commands(commands)
-        .faults(fault_windows)
-        .run()
-}
-
-/// Fault-injected run with an observability handle installed.
-///
-/// # Errors
-///
-/// As [`SessionBuilder::build`] and [`Session::step`].
-#[deprecated(
-    note = "use Session::builder(machine_config, program).governor(governor).observer(metrics).run()"
-)]
-pub fn run_observed(
-    governor: &mut dyn Governor,
-    machine_config: MachineConfig,
-    program: PhaseProgram,
-    config: SimulationConfig,
-    commands: &[ScheduledCommand],
-    fault_windows: &[FaultWindow],
-    metrics: &Metrics,
-) -> Result<(RunReport, FaultStats)> {
-    Session::builder(machine_config, program)
-        .config(config)
-        .governor(governor)
-        .commands(commands)
-        .faults(fault_windows)
-        .observer(metrics)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +770,7 @@ mod tests {
     use crate::pm::PerformanceMaximizer;
     use aapm_models::power_model::PowerModel;
     use aapm_platform::phase::PhaseDescriptor;
+    use aapm_platform::program::PhaseProgram;
     use aapm_platform::pstate::PStateId;
 
     fn program(instructions: u64) -> PhaseProgram {
@@ -908,42 +917,6 @@ mod tests {
         assert_eq!(a.execution_time, b.execution_time);
         assert_eq!(a.measured_energy, b.measured_energy);
         assert_eq!(a.trace, b.trace);
-    }
-
-    /// The deprecated free-function shims stay bit-identical to the
-    /// builder they wrap.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let via_shim = run(
-            &mut Unconstrained::new(),
-            quiet_machine(11),
-            program(200_000_000),
-            SimulationConfig::default(),
-            &[],
-        )
-        .unwrap();
-        let via_builder = run_plain(
-            &mut Unconstrained::new(),
-            quiet_machine(11),
-            program(200_000_000),
-            SimulationConfig::default(),
-            &[],
-        );
-        assert_eq!(via_shim.trace, via_builder.trace);
-        assert_eq!(via_shim.execution_time, via_builder.execution_time);
-
-        let (faulted, stats) = run_with_faults(
-            &mut Unconstrained::new(),
-            quiet_machine(11),
-            program(200_000_000),
-            SimulationConfig::default(),
-            &[],
-            &[],
-        )
-        .unwrap();
-        assert_eq!(faulted.trace, via_builder.trace);
-        assert_eq!(stats, FaultStats::default());
     }
 
     /// step() exposes the same run one interval at a time: stepping until
@@ -1101,6 +1074,154 @@ mod tests {
         assert_eq!(snapshot.counter("fault.pmc_missed"), observed_stats.pmc_missed);
         assert_eq!(snapshot.counter("runtime.commands_delivered"), 1);
         assert!(snapshot.counter("runtime.pstate_changes") > 0);
+    }
+
+    /// A fixed-rate open-loop source for runtime tests: one 2 M-instruction
+    /// request every 2 ms (service ≈ 0.8 ms at the top p-state, so the
+    /// queue keeps up at full frequency). The integer cursor makes window
+    /// stitching exact: each arrival is emitted in the first window whose
+    /// (floating-point) end lies past it, never twice.
+    #[derive(Default)]
+    struct ScriptedServe {
+        next_k: u64,
+    }
+
+    impl WorkloadSource for ScriptedServe {
+        fn name(&self) -> &str {
+            "scripted-serve"
+        }
+
+        fn machine(&self, config: MachineConfig) -> Machine {
+            let service = PhaseDescriptor::builder("service")
+                .instructions(2_000_000)
+                .core_cpi(0.8)
+                .decode_ratio(1.2)
+                .mispredict_rate(0.0)
+                .build()
+                .unwrap();
+            Machine::server(config, service)
+        }
+
+        fn arrivals_into(&mut self, _start: Seconds, end: Seconds, out: &mut Vec<Request>) {
+            const SPACING: f64 = 0.002;
+            loop {
+                let t = self.next_k as f64 * SPACING;
+                if t >= end.seconds() {
+                    break;
+                }
+                out.push(Request::new(Seconds::new(t), 2_000_000.0));
+                self.next_k += 1;
+            }
+        }
+
+        fn open_loop(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn serve_session_runs_to_cap_and_reports_request_accounting() {
+        let metrics = Metrics::enabled();
+        let config = SimulationConfig { max_samples: 100, ..SimulationConfig::default() };
+        let (report, _) = Session::builder(quiet_machine(2), ScriptedServe::default())
+            .config(config)
+            .governor_boxed(Box::new(Unconstrained::new()))
+            .observer(&metrics)
+            .run()
+            .unwrap();
+        assert_eq!(report.workload, "scripted-serve");
+        assert!(!report.completed, "an open-loop server never finishes");
+        assert_eq!(report.trace.len(), 100, "runs to the sample cap");
+        let summary = report.requests.expect("serve runs report request accounting");
+        // 1 s of arrivals at 500 rps starting at t = 0; whether the t = 1 s
+        // arrival lands depends on the floating-point end of the final
+        // window, so allow both.
+        assert!((500..=501).contains(&summary.arrived), "arrived {}", summary.arrived);
+        assert!(summary.completed > 0 && summary.completed <= summary.arrived);
+        assert!(summary.energy_per_request.joules() > 0.0);
+        assert!(summary.mean_sojourn.seconds() > 0.0);
+        // The sojourn histogram has one observation per completion and the
+        // end-of-run gauges mirror the summary.
+        let sojourns = report.metrics.histogram("request.sojourn_s").unwrap();
+        assert_eq!(sojourns.count, summary.completed);
+        assert_eq!(
+            report.metrics.gauge("serve.requests_arrived"),
+            Some(summary.arrived as f64)
+        );
+        assert_eq!(
+            report.metrics.gauge("serve.requests_completed"),
+            Some(summary.completed as f64)
+        );
+        assert_eq!(
+            report.metrics.gauge("serve.energy_per_request_j"),
+            Some(summary.energy_per_request.joules())
+        );
+        assert!(report.metrics.gauge("queue.depth").is_some());
+    }
+
+    /// Serve sessions show the governor a queue sample every interval;
+    /// batch sessions show `None` — same contract as missing power or
+    /// thermal telemetry.
+    #[test]
+    fn governor_sees_queue_sample_only_on_serve_runs() {
+        #[derive(Default)]
+        struct QueueProbe {
+            with_queue: usize,
+            without_queue: usize,
+        }
+        impl Governor for QueueProbe {
+            fn name(&self) -> &str {
+                "queue-probe"
+            }
+            fn events(&self) -> Vec<aapm_platform::events::HardwareEvent> {
+                Vec::new()
+            }
+            fn decide(&mut self, ctx: &SampleContext<'_>) -> PStateId {
+                match ctx.queue {
+                    Some(_) => self.with_queue += 1,
+                    None => self.without_queue += 1,
+                }
+                ctx.current
+            }
+        }
+
+        let config = SimulationConfig { max_samples: 20, ..SimulationConfig::default() };
+        let mut probe = QueueProbe::default();
+        Session::builder(quiet_machine(2), ScriptedServe::default())
+            .config(config)
+            .governor(&mut probe)
+            .run()
+            .unwrap();
+        assert_eq!(probe.with_queue, 20);
+        assert_eq!(probe.without_queue, 0);
+
+        let mut probe = QueueProbe::default();
+        Session::builder(quiet_machine(2), program(50_000_000))
+            .governor(&mut probe)
+            .run()
+            .unwrap();
+        assert_eq!(probe.with_queue, 0);
+        assert!(probe.without_queue > 0);
+    }
+
+    /// Same seeds, same source → bit-identical serve runs (the trace and
+    /// the request accounting both).
+    #[test]
+    fn serve_runs_are_reproducible_with_same_seeds() {
+        let run_once = || {
+            let config = SimulationConfig { max_samples: 50, ..SimulationConfig::default() };
+            Session::builder(quiet_machine(4), ScriptedServe::default())
+                .config(config)
+                .governor_boxed(Box::new(Unconstrained::new()))
+                .run()
+                .unwrap()
+                .0
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.true_energy, b.true_energy);
     }
 
     #[test]

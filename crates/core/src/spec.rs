@@ -20,6 +20,7 @@ use aapm_models::perf_model::{PerfModel, PerfModelParams};
 use aapm_models::power_model::PowerModel;
 use aapm_platform::error::{PlatformError, Result};
 use aapm_platform::pstate::PStateId;
+use aapm_platform::units::Seconds;
 
 use crate::adaptive::{Adaptive, AdaptiveConfig};
 use crate::baselines::{DemandBasedSwitching, StaticClock, Unconstrained};
@@ -31,6 +32,7 @@ use crate::limits::{PerformanceFloor, PowerLimit};
 use crate::phase_pm::PhasePm;
 use crate::pm::PerformanceMaximizer;
 use crate::ps::PowerSave;
+use crate::slo_save::SloSave;
 use crate::thermal_guard::ThermalGuard;
 use crate::throttle_save::ThrottleSave;
 use crate::watchdog::Watchdog;
@@ -117,6 +119,12 @@ pub enum GovernorSpec {
         /// Performance floor as a fraction of peak in (0, 1].
         floor: f64,
     },
+    /// [`SloSave`]: energy saver under a p99 sojourn-time SLO (serve
+    /// workloads).
+    SloSave {
+        /// The p99 sojourn-time SLO in milliseconds.
+        slo_ms: f64,
+    },
     /// [`Watchdog`] wrapped around an inner spec.
     Watchdog {
         /// The wrapped governor's spec.
@@ -200,6 +208,11 @@ pub const REGISTRY: &[RegistryEntry] = &[
         description: "clock-modulation-only power saver above a floor",
     },
     RegistryEntry {
+        kind: "slo-save",
+        params: "slo_ms",
+        description: "energy saver under a p99 sojourn-time SLO (serve workloads)",
+    },
+    RegistryEntry {
         kind: "watchdog",
         params: "inner",
         description: "telemetry-blackout watchdog wrapped around an inner spec",
@@ -229,6 +242,7 @@ impl GovernorSpec {
             GovernorSpec::CombinedPm { .. } => "combined-pm",
             GovernorSpec::PhasePm { .. } => "phase-pm",
             GovernorSpec::ThrottleSave { .. } => "throttle-save",
+            GovernorSpec::SloSave { .. } => "slo-save",
             GovernorSpec::Watchdog { .. } => "watchdog",
             GovernorSpec::ThermalGuard { .. } => "thermal-guard",
             GovernorSpec::Adaptive { .. } => "adaptive",
@@ -248,6 +262,7 @@ impl GovernorSpec {
             GovernorSpec::CombinedPm { .. } => "pm-combined".to_owned(),
             GovernorSpec::PhasePm { .. } => "pm-phase".to_owned(),
             GovernorSpec::ThrottleSave { .. } => "throttle-save".to_owned(),
+            GovernorSpec::SloSave { .. } => "slo-save".to_owned(),
             GovernorSpec::Watchdog { inner } => format!("watchdog<{}>", inner.governor_name()),
             GovernorSpec::ThermalGuard { inner } => format!("thermal<{}>", inner.governor_name()),
             GovernorSpec::Adaptive { inner, .. } => format!("adaptive<{}>", inner.governor_name()),
@@ -287,6 +302,9 @@ impl GovernorSpec {
             }
             GovernorSpec::ThrottleSave { floor } => {
                 Box::new(ThrottleSave::new(PerformanceFloor::new(*floor)?))
+            }
+            GovernorSpec::SloSave { slo_ms } => {
+                Box::new(SloSave::new(Seconds::from_millis(*slo_ms))?)
             }
             GovernorSpec::Watchdog { inner } => {
                 Box::new(Watchdog::new(BoxedGovernor(inner.build(models)?)))
@@ -341,6 +359,9 @@ impl GovernorSpec {
             }
             GovernorSpec::Ps { floor } | GovernorSpec::ThrottleSave { floor } => {
                 let _ = write!(out, ",\"floor\":{floor}");
+            }
+            GovernorSpec::SloSave { slo_ms } => {
+                let _ = write!(out, ",\"slo_ms\":{slo_ms}");
             }
             GovernorSpec::Watchdog { inner } | GovernorSpec::ThermalGuard { inner } => {
                 out.push_str(",\"inner\":");
@@ -446,6 +467,10 @@ impl GovernorSpec {
                 expect_keys(&["floor"])?;
                 GovernorSpec::ThrottleSave { floor: expect_number("floor")? }
             }
+            "slo-save" => {
+                expect_keys(&["slo_ms"])?;
+                GovernorSpec::SloSave { slo_ms: expect_number("slo_ms")? }
+            }
             "watchdog" | "thermal-guard" => {
                 expect_keys(&["inner"])?;
                 let inner = match fields.iter().find(|(k, _)| k == "inner") {
@@ -516,7 +541,9 @@ mod tests {
             GovernorSpec::CombinedPm { limit_w: 3.5 },
             GovernorSpec::PhasePm { limit_w: 10.5 },
             GovernorSpec::ThrottleSave { floor: 0.75 },
+            GovernorSpec::SloSave { slo_ms: 50.0 },
             GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::Pm { limit_w: 12.5 }) },
+            GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::SloSave { slo_ms: 80.0 }) },
             GovernorSpec::ThermalGuard {
                 inner: Box::new(GovernorSpec::Watchdog {
                     inner: Box::new(GovernorSpec::Ps { floor: 0.8 }),

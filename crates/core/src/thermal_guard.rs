@@ -212,6 +212,7 @@ mod tests {
             temperature: Some(Celsius::new(temperature)),
             current: PStateId::new(current),
             table,
+            queue: None,
         };
         guard.decide(&ctx)
     }
@@ -265,6 +266,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(7),
             table: &table,
+            queue: None,
         };
         assert_eq!(guard.decide(&ctx), table.highest());
         assert_eq!(guard.ceiling(), None, "one missing read must not engage the guard");
@@ -286,6 +288,7 @@ mod tests {
                 temperature: None,
                 current,
                 table: &table,
+                queue: None,
             };
             assert_eq!(guard.decide(&ctx), table.highest());
         }
@@ -297,6 +300,7 @@ mod tests {
                 temperature: None,
                 current,
                 table: &table,
+                queue: None,
             };
             current = guard.decide(&ctx);
             assert_eq!(current, PStateId::new(expected));
@@ -309,6 +313,7 @@ mod tests {
                 temperature: Some(Celsius::new(60.0)),
                 current,
                 table: &table,
+                queue: None,
             };
             guard.decide(&ctx);
         }

@@ -243,6 +243,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(7),
             table: &table,
+            queue: None,
         };
         assert_eq!(dog.decide(&ctx), PStateId::new(7));
         assert!(!dog.engaged());
@@ -264,6 +265,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             // Seed PM with one fresh decision first so it has DPC history.
             if i == 0 {
@@ -275,6 +277,7 @@ mod tests {
                     temperature: None,
                     current: PStateId::new(7),
                     table: &table,
+                    queue: None,
                 };
                 dog.decide(&warm);
             }
@@ -288,6 +291,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(7),
             table: &table,
+            queue: None,
         };
         assert_eq!(dog.decide(&ctx), PStateId::new(0));
         assert!(dog.engaged());
@@ -308,6 +312,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(0),
                 table: &table,
+                queue: None,
             };
             assert_eq!(dog.decide(&healthy), PStateId::new(0), "recovery interval {i}");
             assert!(dog.engaged());
@@ -318,6 +323,7 @@ mod tests {
             temperature: None,
             current: PStateId::new(0),
             table: &table,
+            queue: None,
         };
         dog.decide(&healthy);
         assert!(!dog.engaged(), "full healthy window releases the watchdog");
@@ -343,6 +349,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             dog.decide(&ctx);
         }
@@ -356,6 +363,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(0),
                 table: &table,
+                queue: None,
             };
             dog.decide(&ctx);
         }
@@ -375,6 +383,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             dog.decide(&ctx);
         }
@@ -389,6 +398,7 @@ mod tests {
                 temperature: None,
                 current: PStateId::new(7),
                 table: &table,
+                queue: None,
             };
             dog.decide(&ctx);
         }

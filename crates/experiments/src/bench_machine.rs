@@ -1,10 +1,10 @@
 //! `--bench-machine`: machine/cache throughput regression harness.
 //!
-//! Measures the simulator's five hot paths — the governed tick loop, the
+//! Measures the simulator's six hot paths — the governed tick loop, the
 //! batched SoA lockstep loop, the segment-level fast-forward path, the
-//! 10,000-node discrete-event fleet engine, and the cache-hierarchy
-//! simulation that characterization drives — plus the wall-clock of the
-//! full serial suite.
+//! 10,000-node discrete-event fleet engine, the open-loop serve path, and
+//! the cache-hierarchy simulation that characterization drives — plus the
+//! wall-clock of the full serial suite.
 //! The numbers land in `results/BENCH_machine.json`; `scripts/check.sh`
 //! compares each run against the committed baseline and fails the build on
 //! a >20% regression, so hot-path slowdowns surface as red CI instead of
@@ -23,8 +23,10 @@ use aapm_platform::phase::PhaseDescriptor;
 use aapm_platform::program::PhaseProgram;
 use aapm_platform::pstate::PStateId;
 use aapm_platform::units::Seconds;
+use aapm_platform::workload::WorkloadSource;
 use aapm_workloads::footprint::Footprint;
 use aapm_workloads::loops::MicroLoop;
+use aapm_workloads::requests::RequestWorkload;
 
 use crate::pool::Pool;
 use crate::{run_suite, ExperimentContext};
@@ -49,6 +51,10 @@ pub struct MachineBenchReport {
     /// fleet engine at 10,000 nodes (100 cohorts × 100 lanes, mixed
     /// cadences, some cohorts retiring mid-run), summed over all nodes.
     pub fleet_sim_per_wall: f64,
+    /// Simulated seconds per wall second through the open-loop serve path:
+    /// a server machine draining a seeded request stream, arrivals fed
+    /// tick by tick as the session runtime does.
+    pub serve_sim_per_wall: f64,
     /// Millions of cache-hierarchy accesses per wall second on the
     /// characterization path (FMA stream, prefetcher enabled).
     pub cache_maccesses_per_sec: f64,
@@ -64,11 +70,13 @@ impl MachineBenchReport {
         format!(
             "machine bench: tick {:.0} sim-s/wall-s, batched {:.0} sim-s/wall-s, \
              fast-forward {:.0} sim-s/wall-s, fleet(10k) {:.0} sim-s/wall-s, \
-             cache {:.1} Maccess/s, train {:.3}s, serial suite {:.3}s",
+             serve {:.0} sim-s/wall-s, cache {:.1} Maccess/s, train {:.3}s, \
+             serial suite {:.3}s",
             self.ticked_sim_per_wall,
             self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
             self.fleet_sim_per_wall,
+            self.serve_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
             self.suite_serial_wall_s,
@@ -84,12 +92,14 @@ impl MachineBenchReport {
         let json = format!(
             "{{\n  \"ticked_sim_per_wall\": {:.1},\n  \"batched_sim_per_wall\": {:.1},\n  \
              \"fastforward_sim_per_wall\": {:.1},\n  \"fleet_sim_per_wall\": {:.1},\n  \
+             \"serve_sim_per_wall\": {:.1},\n  \
              \"cache_maccesses_per_sec\": {:.2},\n  \"train_wall_s\": {:.3},\n  \
              \"suite_serial_wall_s\": {:.3}\n}}\n",
             self.ticked_sim_per_wall,
             self.batched_sim_per_wall,
             self.fastforward_sim_per_wall,
             self.fleet_sim_per_wall,
+            self.serve_sim_per_wall,
             self.cache_maccesses_per_sec,
             self.train_wall_s,
             self.suite_serial_wall_s,
@@ -234,6 +244,43 @@ fn fleet_throughput() -> f64 {
     })
 }
 
+/// Simulated-seconds/wall-second through the open-loop serve path: one
+/// server machine draining a seeded diurnal arrival stream, ticked at the
+/// 10 ms control cadence with each tick's arrivals offered just before it
+/// (the session runtime's feeding pattern), under the same every-100-ticks
+/// DVFS cadence as the other tick benches. The load is sized to keep the
+/// queue busy so the bench exercises the serve/idle segment loop rather
+/// than idling through empty ticks.
+fn serve_throughput() -> f64 {
+    const TICKS: u32 = 20_000; // 200 simulated seconds
+    let tick = Seconds::from_millis(10.0);
+    best_throughput(|| {
+        let mut source = {
+            let mut b = RequestWorkload::builder("serve-bench");
+            b.seed(7).rates(150.0, 300.0);
+            b.build().expect("bench workload is valid")
+        };
+        let mut machine = source.machine(MachineConfig::pentium_m_755(7));
+        let mut arrivals = Vec::new();
+        let start = Instant::now();
+        for i in 0..TICKS {
+            arrivals.clear();
+            let window_start = Seconds::new(f64::from(i) * tick.seconds());
+            let window_end = Seconds::new(f64::from(i + 1) * tick.seconds());
+            source.arrivals_into(window_start, window_end, &mut arrivals);
+            for request in arrivals.drain(..) {
+                machine.offer_request(request);
+            }
+            if i % 100 == 0 {
+                let target = PStateId::new(((i / 100) % 8) as usize);
+                machine.set_pstate(target).expect("p-state 0..8 valid");
+            }
+            machine.tick(tick);
+        }
+        (f64::from(TICKS) * tick.seconds(), start.elapsed().as_secs_f64())
+    })
+}
+
 /// Millions of hierarchy accesses per second on the characterization path.
 ///
 /// # Errors
@@ -268,6 +315,7 @@ pub fn run() -> Result<MachineBenchReport> {
     let batched_sim_per_wall = batched_throughput();
     let fastforward_sim_per_wall = fastforward_throughput();
     let fleet_sim_per_wall = fleet_throughput();
+    let serve_sim_per_wall = serve_throughput();
     let cache_maccesses_per_sec = cache_throughput()?;
 
     let train_start = Instant::now();
@@ -284,6 +332,7 @@ pub fn run() -> Result<MachineBenchReport> {
         batched_sim_per_wall,
         fastforward_sim_per_wall,
         fleet_sim_per_wall,
+        serve_sim_per_wall,
         cache_maccesses_per_sec,
         train_wall_s,
         suite_serial_wall_s,
@@ -302,6 +351,7 @@ mod tests {
         assert!(batched_throughput() > 0.0);
         assert!(fastforward_throughput() > 0.0);
         assert!(fleet_throughput() > 1.0, "10k-node fleet must beat real time");
+        assert!(serve_throughput() > 1.0, "one serve lane must beat real time");
         assert!(cache_throughput().unwrap() > 0.0);
     }
 
@@ -312,6 +362,7 @@ mod tests {
             batched_sim_per_wall: 9876.5,
             fastforward_sim_per_wall: 67890.1,
             fleet_sim_per_wall: 4321.0,
+            serve_sim_per_wall: 321.0,
             cache_maccesses_per_sec: 42.25,
             train_wall_s: 0.5,
             suite_serial_wall_s: 0.75,
@@ -325,6 +376,7 @@ mod tests {
             "batched_sim_per_wall",
             "fastforward_sim_per_wall",
             "fleet_sim_per_wall",
+            "serve_sim_per_wall",
             "cache_maccesses_per_sec",
             "train_wall_s",
             "suite_serial_wall_s",

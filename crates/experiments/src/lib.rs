@@ -28,6 +28,7 @@
 //! | adaptive | static vs online-refit power model | [`adaptive`] |
 //! | fault-matrix | robustness under injected faults | [`fault_matrix`] |
 //! | fleet | hierarchical vs uniform fleet budgets | [`fleet`] |
+//! | serve | SLO governor vs static cap on open-loop traffic | [`serve`] |
 
 pub mod ablation_actuators;
 pub mod ablations;
@@ -54,6 +55,7 @@ pub mod pm_adherence;
 pub mod pool;
 pub mod ps_sweep;
 pub mod runner;
+pub mod serve;
 pub mod signatures;
 pub mod tab01_microbench;
 pub mod tab02_power_model;
@@ -72,11 +74,11 @@ pub use pool::Pool;
 use aapm_platform::error::Result;
 
 /// Ids of all experiments, in presentation order.
-pub const ALL_IDS: [&str; 30] = [
+pub const ALL_IDS: [&str; 31] = [
     "fig1", "fig2", "tab1", "tab2", "tab3", "tab4", "fig5", "fig6", "fig7", "fig8", "fig9",
     "fig10", "fig11", "pm-adherence", "headline", "ablation-guardband", "ablation-window",
     "ablation-feedback", "ablation-dbs", "ablation-throttle", "ablation-thermal", "ablation-deepcap", "ablation-phase", "adaptive", "signatures", "model-error", "efficiency",
-    "fault-matrix", "fleet", "all",
+    "fault-matrix", "fleet", "serve", "all",
 ];
 
 /// Runs one experiment by id (`"all"` is handled by callers).
@@ -116,6 +118,7 @@ pub fn run_by_id(ctx: &ExperimentContext, pool: &Pool, id: &str) -> Result<Vec<E
         "efficiency" => single(efficiency::run(ctx, pool)?),
         "fault-matrix" => single(fault_matrix::run(ctx, pool)?),
         "fleet" => single(fleet::run(ctx, pool)?),
+        "serve" => single(serve::run(ctx, pool)?),
         "all" => run_suite(ctx, pool),
         other => Err(aapm_platform::error::PlatformError::InvalidConfig {
             parameter: "experiment",
@@ -130,7 +133,7 @@ const SUITE_PRE: [&str; 10] =
 
 /// Experiments that run after the sweep-derived figures, in presentation
 /// order.
-const SUITE_POST: [&str; 14] = [
+const SUITE_POST: [&str; 15] = [
     "ablation-guardband",
     "ablation-window",
     "ablation-feedback",
@@ -145,6 +148,7 @@ const SUITE_POST: [&str; 14] = [
     "efficiency",
     "fault-matrix",
     "fleet",
+    "serve",
 ];
 
 /// Runs the full suite, fanning whole experiments over the pool while

@@ -117,6 +117,19 @@ fn observer_outputs_are_byte_identical_across_widths() {
     let _ = std::fs::remove_dir_all(&temp);
 }
 
+/// The serve experiment — open-loop arrivals, the SLO governor, and the
+/// fleet spike stage — must render byte-identically at any pool width:
+/// every arrival stream is owned by exactly one cell, so the fan-out
+/// must not perturb a single draw.
+#[test]
+fn serve_output_is_byte_identical_across_widths() {
+    assert_eq!(
+        rendered(&Pool::new(1), "serve"),
+        rendered(&Pool::new(2), "serve"),
+        "`serve` must not depend on pool width"
+    );
+}
+
 #[test]
 fn unknown_ids_error_at_any_width() {
     for pool in [Pool::new(1), Pool::new(8)] {

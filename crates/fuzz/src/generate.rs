@@ -106,6 +106,7 @@ pub fn base_governor() -> impl Strategy<Value = GovernorSpec> {
         (8.0f64..25.0).prop_map(|limit_w| GovernorSpec::PhasePm { limit_w }),
         (0.4f64..0.95).prop_map(|floor| GovernorSpec::Ps { floor }),
         (0.4f64..0.95).prop_map(|floor| GovernorSpec::ThrottleSave { floor }),
+        (20.0f64..200.0).prop_map(|slo_ms| GovernorSpec::SloSave { slo_ms }),
     ]
 }
 

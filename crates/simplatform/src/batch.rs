@@ -39,6 +39,7 @@ use crate::error::Result;
 use crate::events::HardwareEvent;
 use crate::machine::Machine;
 use crate::pstate::PStateId;
+use crate::requests::Request;
 use crate::thermal::Celsius;
 use crate::throttle::ThrottleLevel;
 use crate::units::{Joules, Seconds};
@@ -209,6 +210,20 @@ impl MachineBatch {
     pub fn set_throttle(&mut self, lane: usize, level: ThrottleLevel) {
         self.machines[lane].set_throttle(level);
         self.refresh_lane(lane);
+    }
+
+    /// Offers a request to one serve-mode lane's queue (see
+    /// [`Machine::offer_request`]). The queue is control-plane state that
+    /// never enters the SoA arrays — serve lanes always tick through the
+    /// scalar fallback, which reads the live queue — so no lane sync is
+    /// needed on either side of the push.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::offer_request`]: panics if the lane is a batch
+    /// (program-driven) machine.
+    pub fn offer_request(&mut self, lane: usize, request: Request) {
+        self.machines[lane].offer_request(request);
     }
 
     /// Dissolves the batch back into its machines, each synced to its
@@ -387,7 +402,14 @@ impl MachineBatch {
             let resistance = thermal.resistance_c_per_w;
             let decay = (-dt.seconds() / thermal.time_constant.seconds()).exp();
 
-            if machine.transition_remaining.is_positive() {
+            if machine.is_serving() {
+                // Serve-mode lane: arrivals and request completions
+                // subdivide any tick, and the queue lives on the machine
+                // (not in SoA hot state), so every tick takes the scalar
+                // fallback — write-back → `Machine::tick` → reload keeps
+                // the queue exact.
+                None
+            } else if machine.transition_remaining.is_positive() {
                 // Mid-DVFS-stall: sub-tick structure, scalar fallback.
                 None
             } else if machine.finished() {

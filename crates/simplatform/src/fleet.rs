@@ -42,6 +42,7 @@ use crate::counters::CounterSnapshot;
 use crate::error::{PlatformError, Result};
 use crate::machine::Machine;
 use crate::pstate::PStateId;
+use crate::requests::{Request, RequestQueue};
 use crate::units::{Joules, Seconds};
 
 /// Identifies one cohort within a [`Fleet`].
@@ -259,6 +260,26 @@ impl Fleet {
     /// As [`MachineBatch::set_pstate`].
     pub fn set_pstate(&mut self, cohort: CohortId, lane: usize, target: PStateId) -> Result<()> {
         self.cohorts[cohort].batch.set_pstate(lane, target)
+    }
+
+    /// Offers a request to one serve-mode lane. Open-loop fleet cohorts
+    /// are fed by their controller: queue a cadence window of arrivals
+    /// *before* the window is ticked (future arrival times are fine — the
+    /// queue starts a request only once lane time reaches it).
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::offer_request`]: panics if the lane is a batch
+    /// (program-driven) machine.
+    pub fn offer_request(&mut self, cohort: CohortId, lane: usize, request: Request) {
+        self.cohorts[cohort].batch.offer_request(lane, request);
+    }
+
+    /// A serve-mode lane's request queue, `None` for batch lanes. Queue
+    /// state is control-plane (never mirrored into the SoA arrays), so
+    /// this read is live without a lane sync.
+    pub fn queue(&self, cohort: CohortId, lane: usize) -> Option<&RequestQueue> {
+        self.cohorts[cohort].batch.lane(lane).queue()
     }
 
     /// Advances every fast-forward cohort to `tick` through closed-form
@@ -545,6 +566,118 @@ mod tests {
         let done = fleet.machine(2, 1).completion_time().expect("lane 1 finishes");
         assert_eq!(fleet.elapsed(2, 1), done, "finished FF lanes freeze at completion");
         assert!(done < fleet.time_at(500));
+    }
+
+    fn server(seed: u64) -> Machine {
+        let service = PhaseDescriptor::builder("service")
+            .instructions(1)
+            .core_cpi(1.0)
+            .build()
+            .unwrap();
+        Machine::server(MachineConfig::pentium_m_755(seed), service)
+    }
+
+    /// Serve fleet: one open-loop cohort (cadence 5) next to a governed
+    /// batch cohort, so serve lanes and SoA fast-path lanes interleave in
+    /// the event heap.
+    fn build_serve_fleet() -> Fleet {
+        let mut fleet = Fleet::new(Seconds::from_millis(10.0));
+        fleet
+            .add_cohort(vec![server(11), server(12)], CohortMode::Governed { cadence_ticks: 5 })
+            .unwrap();
+        fleet
+            .add_cohort(
+                vec![machine(3, 200_000_000_000, 1.0)],
+                CohortMode::Governed { cadence_ticks: 3 },
+            )
+            .unwrap();
+        fleet
+    }
+
+    /// Feeds a deterministic open-loop arrival script into the serve
+    /// cohort, always one cadence window ahead of the lanes' clock, and
+    /// cycles lane 0 through p-states to cover DVFS on the serve path.
+    struct ServeScript {
+        cadence: u64,
+        fed_until: u64,
+        offered: u64,
+        decisions: usize,
+    }
+
+    impl ServeScript {
+        fn new(cadence: u64) -> Self {
+            Self { cadence, fed_until: 0, offered: 0, decisions: 0 }
+        }
+
+        /// One 8M-instruction request per lane every second tick.
+        fn feed(&mut self, fleet: &mut Fleet, upto: u64) {
+            while self.fed_until < upto {
+                let tick = self.fed_until;
+                if tick % 2 == 0 {
+                    let arrival = fleet.time_at(tick);
+                    for lane in 0..fleet.lanes(0) {
+                        fleet.offer_request(0, lane, Request::new(arrival, 8e6));
+                        self.offered += 1;
+                    }
+                }
+                self.fed_until += 1;
+            }
+        }
+    }
+
+    impl FleetController for ServeScript {
+        fn cohort_stepped(&mut self, fleet: &mut Fleet, cohort: CohortId, now: u64) -> Result<()> {
+            if cohort == 0 {
+                self.feed(fleet, now + self.cadence);
+                self.decisions += 1;
+                fleet.set_pstate(0, 0, PStateId::new(self.decisions % 8))?;
+            }
+            Ok(())
+        }
+
+        fn governor_tick(&mut self, _fleet: &mut Fleet, _now: u64) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Queue accounting per serve lane, bit-exact.
+    fn queue_state(fleet: &Fleet) -> Vec<(u64, u64, usize, u64)> {
+        (0..fleet.lanes(0))
+            .map(|lane| {
+                let q = fleet.queue(0, lane).expect("serve lanes expose their queue");
+                (q.arrived(), q.completed(), q.pending(), q.total_sojourn().to_bits())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_cohort_des_matches_lockstep_and_conserves_requests() {
+        let mut des = build_serve_fleet();
+        let mut naive = build_serve_fleet();
+        let mut des_ctl = ServeScript::new(5);
+        let mut naive_ctl = ServeScript::new(5);
+        des_ctl.feed(&mut des, 5);
+        naive_ctl.feed(&mut naive, 5);
+        des.run_des(400, 0, &mut des_ctl).unwrap();
+        naive.run_lockstep(400, 0, &mut naive_ctl).unwrap();
+
+        assert_eq!(des_ctl.offered, naive_ctl.offered);
+        assert_eq!(node_state(&des), node_state(&naive));
+        assert_eq!(queue_state(&des), queue_state(&naive));
+
+        // Conservation: every offered request is either completed or still
+        // queued; an open-loop cohort never retires.
+        let total: u64 = queue_state(&des)
+            .iter()
+            .map(|(arrived, completed, pending, _)| {
+                assert_eq!(*arrived, completed + *pending as u64, "queue accounting conserves");
+                *arrived
+            })
+            .sum();
+        assert_eq!(total, des_ctl.offered, "every offered request arrived at a queue");
+        let completed: u64 = queue_state(&des).iter().map(|(_, c, _, _)| *c).sum();
+        assert!(completed > 0, "the fleet must actually serve traffic");
+        assert!(!des.retired(0), "serve cohorts never retire");
     }
 
     #[test]

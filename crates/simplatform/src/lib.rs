@@ -59,9 +59,11 @@ pub mod pipeline;
 pub mod power;
 pub mod program;
 pub mod pstate;
+pub mod requests;
 pub mod thermal;
 pub mod throttle;
 pub mod units;
+pub mod workload;
 
 pub use batch::MachineBatch;
 pub use config::MachineConfig;
@@ -73,6 +75,8 @@ pub use machine::Machine;
 pub use phase::PhaseDescriptor;
 pub use program::PhaseProgram;
 pub use pstate::{PState, PStateId, PStateTable};
+pub use requests::{QueueSample, Request, RequestQueue};
 pub use thermal::{Celsius, ThermalModel, ThermalParams};
 pub use throttle::ThrottleLevel;
 pub use units::{Joules, MegaHertz, Seconds, Volts, Watts};
+pub use workload::WorkloadSource;

@@ -14,9 +14,11 @@ use crate::dvfs::transition_cost;
 use crate::error::{PlatformError, Result};
 use crate::events::HardwareEvent;
 use crate::noise::NoiseSource;
+use crate::phase::PhaseDescriptor;
 use crate::pipeline::{evaluate, PhaseRates};
 use crate::power::GroundTruthPower;
 use crate::program::PhaseProgram;
+use crate::requests::{QueueSample, Request, RequestQueue};
 use crate::pstate::{PState, PStateId};
 use crate::thermal::{Celsius, ThermalModel};
 use crate::throttle::ThrottleLevel;
@@ -128,6 +130,11 @@ pub struct Machine {
     pub(crate) thermal: ThermalModel,
     noise: NoiseSource,
     memo: Option<SegmentMemo>,
+    /// Serve mode: an open-loop request queue drained work-conservingly by
+    /// [`Machine::tick`] instead of the batch phase loop. `None` for batch
+    /// machines; the batch stepper keys off this to route serve lanes
+    /// through the scalar fallback path.
+    serve: Option<RequestQueue>,
 }
 
 impl Machine {
@@ -154,7 +161,22 @@ impl Machine {
             thermal,
             noise,
             memo: None,
+            serve: None,
         }
+    }
+
+    /// Creates a serve-mode machine: an open-loop server whose work
+    /// arrives as [`Request`]s instead of a fixed instruction budget.
+    ///
+    /// `service` describes the per-request instruction *mix* (CPI, memory
+    /// behaviour, activity); its own instruction budget is ignored — each
+    /// request carries its demand. A serve-mode machine never finishes:
+    /// [`Machine::finished`] stays false and ticking an empty queue idles
+    /// at the current p-state's idle power.
+    pub fn server(config: MachineConfig, service: PhaseDescriptor) -> Self {
+        let mut machine = Machine::new(config, PhaseProgram::from_phase(service));
+        machine.serve = Some(RequestQueue::new());
+        machine
     }
 
     fn sample_jitter(noise: &mut NoiseSource, variation: f64) -> f64 {
@@ -216,11 +238,44 @@ impl Machine {
         self.counters.snapshot()
     }
 
+    /// Whether this machine serves an open-loop request queue.
+    pub fn is_serving(&self) -> bool {
+        self.serve.is_some()
+    }
+
+    /// The request queue, when in serve mode.
+    pub fn queue(&self) -> Option<&RequestQueue> {
+        self.serve.as_ref()
+    }
+
+    /// Offers a request to the serve queue (arrivals may lie in the
+    /// future; the server starts them once simulated time reaches them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in serve mode, or (debug) if arrivals
+    /// regress.
+    pub fn offer_request(&mut self, request: Request) {
+        self.serve.as_mut().expect("offer_request on a batch machine").offer(request);
+    }
+
+    /// Drains the completions since the previous call into a
+    /// [`QueueSample`] stamped at the current simulated time. `None` for
+    /// batch machines.
+    pub fn take_queue_sample(&mut self) -> Option<QueueSample> {
+        let now = self.elapsed;
+        self.serve.as_mut().map(|q| q.drain_sample(now))
+    }
+
     /// Instantaneous true power right now (idle power if finished or
     /// mid-transition; duty-weighted under clock modulation).
     pub fn instantaneous_power(&self) -> Watts {
         let ps = *self.operating_point();
         if self.finished() || self.transition_remaining.is_positive() {
+            return self.power_model.idle_power(&ps);
+        }
+        // An open-loop server with nothing in the queue draws idle power.
+        if self.serve.as_ref().is_some_and(|q| q.head_at(self.elapsed).is_none()) {
             return self.power_model.idle_power(&ps);
         }
         let duty = self.throttle.duty();
@@ -281,6 +336,9 @@ impl Machine {
     ///
     /// Panics if `dt` is not positive.
     pub fn tick(&mut self, dt: Seconds) -> TickOutcome {
+        if self.serve.is_some() {
+            return self.tick_serve(dt);
+        }
         assert!(dt.is_positive(), "tick duration must be positive");
         let mut remaining = dt;
         let mut energy = Joules::ZERO;
@@ -337,6 +395,104 @@ impl Machine {
         TickOutcome { advanced: dt, instructions, average_power, finished: self.finished() }
     }
 
+    /// The serve-mode tick: drains the request queue work-conservingly at
+    /// the current p-state's throughput.
+    ///
+    /// The tick subdivides at DVFS stalls, request completions, and future
+    /// arrivals: with an arrived head request the core executes the
+    /// service phase's rates until the head's demand is met (recording its
+    /// sojourn and resampling the execution jitter per request, the serve
+    /// analogue of per-phase jitter); with an empty-at-`now` queue it
+    /// idles — idle power, halted-clock cycles only — until the next
+    /// arrival or the end of the tick. A zero-rate segment (corrupted
+    /// jitter) idles through the tick exactly as the batch path does.
+    ///
+    /// Segment times are tracked on the absolute clock (`now`), not as a
+    /// shrinking per-tick remainder: when the core idles up to an arrival
+    /// the clock is *assigned* to the arrival time, never advanced by a
+    /// `now`-relative difference. A sub-ulp arrival gap (an arrival one ulp
+    /// past the derived clock, common once arrivals come from a different
+    /// float-summation order than the tick grid) would otherwise vanish
+    /// when subtracted from the tick remainder and the loop would spin
+    /// forever without advancing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    fn tick_serve(&mut self, dt: Seconds) -> TickOutcome {
+        assert!(dt.is_positive(), "tick duration must be positive");
+        let end = self.elapsed + dt;
+        let mut now = self.elapsed;
+        let mut energy = Joules::ZERO;
+        let mut instructions = 0.0;
+
+        while now < end {
+            let ps = *self.operating_point();
+            let left = (end - now).clamp_non_negative();
+
+            // 1. DVFS stall: clock halted, idle power, no events.
+            if self.transition_remaining.is_positive() {
+                let adv = left.min(self.transition_remaining);
+                energy += self.power_model.idle_power(&ps) * adv;
+                self.transition_remaining = (self.transition_remaining - adv).clamp_non_negative();
+                now = if adv >= left { end } else { now + adv };
+                continue;
+            }
+
+            let queue = self.serve.as_mut().expect("tick_serve on a batch machine");
+
+            // 2. Head already within the completion tolerance (a clamped
+            //    minimal demand, or a boundary ulp): retire it now.
+            if queue.head_at(now).is_some() && queue.head_complete() {
+                queue.complete_head(now);
+                self.phase_jitter =
+                    Self::sample_jitter(&mut self.noise, self.config.execution_variation());
+                continue;
+            }
+
+            // 3. Idle: nothing has arrived yet. Spin at idle power until
+            //    the next arrival or the end of the tick.
+            if queue.head_at(now).is_none() {
+                let (adv, landing) = match queue.next_arrival_after(now) {
+                    Some(at) if at < end => ((at - now).clamp_non_negative(), at),
+                    _ => (left, end),
+                };
+                energy += self.power_model.idle_power(&ps) * adv;
+                self.counters.add(HardwareEvent::Cycles, ps.frequency().hz() * adv.seconds());
+                now = landing;
+                continue;
+            }
+
+            // 4. Serve the head request at the service phase's rates.
+            let duty = self.throttle.duty();
+            let seg = self.segment(&ps);
+            let ips = seg.rates.instructions_per_second * self.phase_jitter * duty;
+            let head_left = self.serve.as_ref().expect("serve mode").head_remaining();
+            let adv = left.min(time_to_phase_end(head_left, ips));
+
+            let executed = ips * adv.seconds();
+            let cycles = ps.frequency().hz() * (adv * duty).seconds();
+            self.counters.add_rates(&seg.rates, cycles);
+            energy += seg.active_power * (adv * duty) + seg.gated_power * (adv * (1.0 - duty));
+            instructions += executed;
+            now = if adv >= left { end } else { now + adv };
+
+            let queue = self.serve.as_mut().expect("serve mode");
+            queue.advance_head(executed);
+            if queue.head_complete() {
+                queue.complete_head(now);
+                self.phase_jitter =
+                    Self::sample_jitter(&mut self.noise, self.config.execution_variation());
+            }
+        }
+
+        self.elapsed = end;
+        self.true_energy += energy;
+        let average_power = energy / dt;
+        self.thermal.advance(average_power, dt);
+        TickOutcome { advanced: dt, instructions, average_power, finished: false }
+    }
+
     /// Advances the machine analytically by exactly one *segment*: the
     /// shortest of `max_dt`, the rest of a DVFS stall, or the time to the
     /// current phase boundary — energy, counters, thermal state, and
@@ -369,6 +525,16 @@ impl Machine {
     /// and `max_dt` is non-finite (an unbounded idle segment never ends).
     pub fn fast_forward(&mut self, max_dt: Seconds) -> Result<TickOutcome> {
         assert!(max_dt.is_positive(), "fast_forward horizon must be positive");
+        // A serve-mode machine has no closed form (arrivals subdivide any
+        // span), so a bounded horizon delegates to the tick loop; an
+        // unbounded one can never end — an open-loop server never finishes.
+        if self.serve.is_some() {
+            assert!(
+                max_dt.seconds().is_finite(),
+                "cannot fast_forward an open-loop server over an unbounded horizon"
+            );
+            return Ok(self.tick_serve(max_dt));
+        }
         let ps = *self.operating_point();
 
         // DVFS stall segment: clock halted, idle power, no events.
@@ -981,6 +1147,176 @@ mod tests {
         assert!(outcome.average_power.watts().is_finite());
         assert!(machine.temperature().degrees().is_finite());
         assert_eq!(machine.elapsed(), Seconds::from_millis(10.0));
+    }
+
+    mod serve_mode {
+        use super::*;
+        use crate::requests::Request;
+
+        fn service_phase() -> PhaseDescriptor {
+            // CPI 1.0 at 2 GHz → 2e9 instructions/s at the top p-state.
+            PhaseDescriptor::builder("svc")
+                .instructions(1) // ignored: demand comes from each request
+                .core_cpi(1.0)
+                .mispredict_rate(0.0)
+                .build()
+                .unwrap()
+        }
+
+        fn server() -> Machine {
+            Machine::server(quiet_config(), service_phase())
+        }
+
+        #[test]
+        fn serve_machine_never_finishes_and_samples_queues() {
+            let mut m = server();
+            assert!(m.is_serving());
+            assert!(!m.finished());
+            m.tick(Seconds::from_millis(10.0));
+            assert!(!m.finished(), "an open-loop server never finishes");
+            let sample = m.take_queue_sample().unwrap();
+            assert_eq!(sample.depth, 0);
+            assert_eq!(sample.arrived, 0);
+        }
+
+        #[test]
+        fn request_completes_at_analytic_service_time() {
+            let mut m = server();
+            // 20M instructions at 2e9 ips = 10 ms of service.
+            m.offer_request(Request::new(Seconds::ZERO, 20e6));
+            let outcome = m.tick(Seconds::from_millis(10.0));
+            assert!((outcome.instructions - 20e6).abs() < 1.0);
+            let sample = m.take_queue_sample().unwrap();
+            assert_eq!(sample.completed, 1);
+            assert_eq!(sample.sojourns.len(), 1);
+            assert!((sample.sojourns[0] - 0.010).abs() < 1e-9, "{}", sample.sojourns[0]);
+        }
+
+        #[test]
+        fn sojourn_includes_queueing_delay() {
+            let mut m = server();
+            // Two requests arriving together: the second waits for the
+            // first, so its sojourn is service + queueing.
+            m.offer_request(Request::new(Seconds::ZERO, 10e6)); // 5 ms service
+            m.offer_request(Request::new(Seconds::ZERO, 10e6));
+            m.tick(Seconds::from_millis(10.0));
+            let sample = m.take_queue_sample().unwrap();
+            assert_eq!(sample.completed, 2);
+            assert!((sample.sojourns[0] - 0.005).abs() < 1e-9);
+            assert!((sample.sojourns[1] - 0.010).abs() < 1e-9, "waited 5 ms");
+        }
+
+        #[test]
+        fn future_arrival_idles_then_serves() {
+            let mut busy = server();
+            let mut lazy = server();
+            busy.offer_request(Request::new(Seconds::ZERO, 10e6));
+            // Same demand arriving 5 ms in: the server idles first, and
+            // the sojourn clock starts at the arrival, not the offer.
+            lazy.offer_request(Request::new(Seconds::from_millis(5.0), 10e6));
+            busy.tick(Seconds::from_millis(10.0));
+            lazy.tick(Seconds::from_millis(10.0));
+            let b = busy.take_queue_sample().unwrap();
+            let l = lazy.take_queue_sample().unwrap();
+            assert_eq!(b.completed, 1);
+            assert_eq!(l.completed, 1);
+            assert!((b.sojourns[0] - l.sojourns[0]).abs() < 1e-9, "equal sojourns");
+            // Both spend 5 ms active + 5 ms idle (busy idles after its
+            // early completion), just in opposite order — equal energy.
+            assert_eq!(lazy.true_energy(), busy.true_energy());
+        }
+
+        #[test]
+        fn lower_pstate_serves_slower_and_queues_deepen() {
+            let mut fast = server();
+            let mut slow = server();
+            slow.set_pstate(PStateId::new(0)).unwrap();
+            slow.tick(Seconds::from_millis(1.0)); // absorb the DVFS stall
+            fast.tick(Seconds::from_millis(1.0));
+            for i in 0..10 {
+                let at = Seconds::from_millis(1.0 + f64::from(i));
+                fast.offer_request(Request::new(at, 10e6));
+                slow.offer_request(Request::new(at, 10e6));
+            }
+            for _ in 0..10 {
+                fast.tick(Seconds::from_millis(1.0));
+                slow.tick(Seconds::from_millis(1.0));
+            }
+            let f = fast.take_queue_sample().unwrap();
+            let s = slow.take_queue_sample().unwrap();
+            assert!(s.completed < f.completed, "600 MHz retires fewer: {s:?} vs {f:?}");
+            assert!(s.depth > f.depth, "backlog builds at the low p-state");
+            let q = slow.queue().unwrap();
+            assert_eq!(q.arrived(), q.completed() + q.pending() as u64, "conservation");
+        }
+
+        #[test]
+        fn empty_queue_draws_idle_power() {
+            let mut m = server();
+            assert_eq!(
+                m.instantaneous_power(),
+                m.power_model.idle_power(m.operating_point()),
+                "no arrived work → idle power"
+            );
+            m.tick(Seconds::from_millis(10.0));
+            let idle_energy = m.true_energy();
+            let mut busy = server();
+            busy.offer_request(Request::new(Seconds::ZERO, 100e6));
+            busy.tick(Seconds::from_millis(10.0));
+            assert!(idle_energy < busy.true_energy());
+        }
+
+        #[test]
+        fn fast_forward_finite_horizon_matches_tick() {
+            let mut a = server();
+            let mut b = server();
+            for m in [&mut a, &mut b] {
+                m.offer_request(Request::new(Seconds::from_millis(2.0), 5e6));
+                m.offer_request(Request::new(Seconds::from_millis(4.0), 5e6));
+            }
+            let ta = a.tick(Seconds::from_millis(10.0));
+            let tb = b.fast_forward(Seconds::from_millis(10.0)).unwrap();
+            assert_eq!(ta, tb);
+            assert_eq!(a.true_energy(), b.true_energy());
+            assert_eq!(a.counter_snapshot(), b.counter_snapshot());
+        }
+
+        #[test]
+        #[should_panic(expected = "unbounded horizon")]
+        fn fast_forward_unbounded_horizon_panics() {
+            let mut m = server();
+            let _ = m.fast_forward(Seconds::new(f64::INFINITY));
+        }
+
+        #[test]
+        fn zero_rate_serve_segment_idles_without_nan() {
+            let mut m = server();
+            m.offer_request(Request::new(Seconds::ZERO, 10e6));
+            m.phase_jitter = 0.0;
+            let outcome = m.tick(Seconds::from_millis(10.0));
+            assert_eq!(outcome.instructions, 0.0);
+            assert!(outcome.average_power.watts().is_finite());
+            assert_eq!(m.elapsed(), Seconds::from_millis(10.0));
+            assert_eq!(m.take_queue_sample().unwrap().completed, 0);
+        }
+
+        #[test]
+        fn serve_runs_are_reproducible_with_same_seeds() {
+            let run = || {
+                let mut m = Machine::server(MachineConfig::pentium_m_755(3), service_phase());
+                for i in 0..50 {
+                    m.offer_request(Request::new(Seconds::from_millis(f64::from(i)), 3e6));
+                }
+                for _ in 0..60 {
+                    m.tick(Seconds::from_millis(1.0));
+                }
+                (m.true_energy(), m.take_queue_sample().unwrap())
+            };
+            let (e1, s1) = run();
+            let (e2, s2) = run();
+            assert_eq!(e1, e2);
+            assert_eq!(s1, s2);
+        }
     }
 
     mod memo_bit_identity {

@@ -1,0 +1,273 @@
+//! The open-loop request layer: queues of timed requests served by a
+//! machine in *serve* mode.
+//!
+//! Batch programs run to completion; a server never finishes. Work arrives
+//! as [`Request`]s — an arrival time plus an instruction demand — queued
+//! FIFO on a [`RequestQueue`] attached to a [`crate::machine::Machine`]
+//! built with [`crate::machine::Machine::server`]. The machine drains the
+//! queue work-conservingly at the current p-state's throughput, records
+//! each request's *sojourn* (queueing + service) time on completion, and
+//! exposes a per-interval [`QueueSample`] for governors and telemetry.
+//!
+//! Conservation is a first-class invariant: at any instant
+//! `arrived == completed + pending`, and the property tests in
+//! `aapm-core` hold the machine to it under fault injection.
+
+use std::collections::VecDeque;
+
+use crate::machine::PHASE_END_REL_EPS;
+use crate::units::Seconds;
+
+/// One open-loop request: when it arrives and how much work it carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Simulated arrival time.
+    pub arrival: Seconds,
+    /// Instruction demand (service requirement at the machine's rates).
+    pub instructions: f64,
+}
+
+impl Request {
+    /// Creates a request. Demands are clamped to at least one instruction
+    /// so a degenerate draw can never wedge the server in a zero-length
+    /// service loop.
+    pub fn new(arrival: Seconds, instructions: f64) -> Self {
+        debug_assert!(arrival.seconds().is_finite(), "arrival must be finite");
+        debug_assert!(instructions.is_finite(), "demand must be finite");
+        Request { arrival, instructions: instructions.max(1.0) }
+    }
+}
+
+/// What a control interval observed about the queue: the end-of-interval
+/// depth, cumulative conservation counters, and the sojourn times of every
+/// request completed since the previous sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueSample {
+    /// Requests waiting or in service at the sample instant (arrivals in
+    /// the future are excluded — they have not happened yet).
+    pub depth: usize,
+    /// Total requests ever offered to the queue.
+    pub arrived: u64,
+    /// Total requests ever completed.
+    pub completed: u64,
+    /// Sojourn times (arrival → completion, seconds) of the requests that
+    /// completed during the sampled interval, in completion order.
+    pub sojourns: Vec<f64>,
+}
+
+/// FIFO queue of open-loop requests with conservation accounting.
+///
+/// Requests must be offered in non-decreasing arrival order (arrival
+/// processes generate them that way); the head of the queue is therefore
+/// always the earliest-arriving pending request.
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    pending: VecDeque<Request>,
+    /// Instructions already retired into the head request.
+    head_done: f64,
+    arrived: u64,
+    completed: u64,
+    /// Sojourns completed since the last [`RequestQueue::drain_sample`].
+    recent_sojourns: Vec<f64>,
+    /// Sum of all sojourn times ever recorded (for energy-per-request and
+    /// mean-latency reporting).
+    total_sojourn: f64,
+}
+
+impl RequestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RequestQueue::default()
+    }
+
+    /// Offers a request. Arrivals must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `request.arrival` precedes the last offered
+    /// arrival.
+    pub fn offer(&mut self, request: Request) {
+        debug_assert!(
+            self.pending.back().is_none_or(|last| last.arrival <= request.arrival),
+            "requests must be offered in arrival order"
+        );
+        self.pending.push_back(request);
+        self.arrived += 1;
+    }
+
+    /// Requests waiting or in service at `now` (future arrivals excluded).
+    pub fn depth_at(&self, now: Seconds) -> usize {
+        self.pending.partition_point(|r| r.arrival <= now)
+    }
+
+    /// Total requests ever offered.
+    pub fn arrived(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Total requests ever completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests still pending (arrived or future).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sum of all recorded sojourn times, in seconds.
+    pub fn total_sojourn(&self) -> f64 {
+        self.total_sojourn
+    }
+
+    /// The head request, if it has arrived by `now`.
+    pub(crate) fn head_at(&self, now: Seconds) -> Option<&Request> {
+        self.pending.front().filter(|r| r.arrival <= now)
+    }
+
+    /// Arrival time of the earliest pending request strictly after `now`.
+    pub(crate) fn next_arrival_after(&self, now: Seconds) -> Option<Seconds> {
+        self.pending.front().map(|r| r.arrival).filter(|&a| a > now)
+    }
+
+    /// Instructions left on the head request (0 when the queue is empty).
+    pub(crate) fn head_remaining(&self) -> f64 {
+        self.pending.front().map_or(0.0, |r| r.instructions - self.head_done)
+    }
+
+    /// Retires `instructions` into the head request.
+    pub(crate) fn advance_head(&mut self, instructions: f64) {
+        self.head_done += instructions;
+    }
+
+    /// Whether the head request's remaining demand is within the relative
+    /// completion tolerance (same boundary rule as phase completion).
+    pub(crate) fn head_complete(&self) -> bool {
+        self.pending
+            .front()
+            .is_some_and(|r| r.instructions - self.head_done <= r.instructions * PHASE_END_REL_EPS)
+    }
+
+    /// Pops the completed head, recording its sojourn at completion time
+    /// `now`.
+    pub(crate) fn complete_head(&mut self, now: Seconds) {
+        let head = self.pending.pop_front().expect("complete_head on an empty queue");
+        self.head_done = 0.0;
+        self.completed += 1;
+        let sojourn = (now - head.arrival).clamp_non_negative().seconds();
+        self.recent_sojourns.push(sojourn);
+        self.total_sojourn += sojourn;
+    }
+
+    /// Drains the interval's completions into a [`QueueSample`] stamped
+    /// with the queue state at `now`.
+    pub fn drain_sample(&mut self, now: Seconds) -> QueueSample {
+        QueueSample {
+            depth: self.depth_at(now),
+            arrived: self.arrived,
+            completed: self.completed,
+            sojourns: std::mem::take(&mut self.recent_sojourns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(arrival: f64, instructions: f64) -> Request {
+        Request::new(Seconds::new(arrival), instructions)
+    }
+
+    #[test]
+    fn offers_accumulate_in_arrival_order() {
+        let mut q = RequestQueue::new();
+        q.offer(r(0.0, 100.0));
+        q.offer(r(1.0, 200.0));
+        q.offer(r(1.0, 300.0));
+        assert_eq!(q.arrived(), 3);
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.depth_at(Seconds::new(0.5)), 1);
+        assert_eq!(q.depth_at(Seconds::new(1.0)), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "arrival order")]
+    fn out_of_order_offer_panics() {
+        let mut q = RequestQueue::new();
+        q.offer(r(2.0, 1.0));
+        q.offer(r(1.0, 1.0));
+    }
+
+    #[test]
+    fn zero_demand_is_clamped_to_one_instruction() {
+        assert_eq!(r(0.0, 0.0).instructions, 1.0);
+        assert_eq!(r(0.0, -5.0).instructions, 1.0);
+    }
+
+    #[test]
+    fn head_progress_and_completion_record_sojourn() {
+        let mut q = RequestQueue::new();
+        q.offer(r(1.0, 1000.0));
+        assert!(q.head_at(Seconds::new(0.5)).is_none(), "not yet arrived");
+        assert!(q.head_at(Seconds::new(1.0)).is_some());
+        q.advance_head(999.9999999999);
+        assert!(q.head_complete(), "within relative tolerance");
+        q.complete_head(Seconds::new(3.5));
+        assert_eq!(q.completed(), 1);
+        assert_eq!(q.pending(), 0);
+        let sample = q.drain_sample(Seconds::new(3.5));
+        assert_eq!(sample.sojourns, vec![2.5]);
+        assert_eq!(sample.arrived, 1);
+        assert_eq!(sample.completed, 1);
+        assert_eq!(sample.depth, 0);
+    }
+
+    #[test]
+    fn drain_sample_resets_recent_but_not_totals() {
+        let mut q = RequestQueue::new();
+        q.offer(r(0.0, 1.0));
+        q.advance_head(1.0);
+        q.complete_head(Seconds::new(0.25));
+        let first = q.drain_sample(Seconds::new(0.25));
+        assert_eq!(first.sojourns.len(), 1);
+        let second = q.drain_sample(Seconds::new(0.5));
+        assert!(second.sojourns.is_empty(), "recent sojourns drained");
+        assert_eq!(second.completed, 1, "cumulative counters persist");
+        assert!((q.total_sojourn() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_holds_through_a_mixed_history() {
+        let mut q = RequestQueue::new();
+        for i in 0..10 {
+            q.offer(r(i as f64, 50.0));
+        }
+        for _ in 0..4 {
+            q.advance_head(50.0);
+            assert!(q.head_complete());
+            q.complete_head(Seconds::new(20.0));
+        }
+        assert_eq!(q.arrived(), q.completed() + q.pending() as u64);
+    }
+
+    #[test]
+    fn next_arrival_after_skips_arrived_head() {
+        let mut q = RequestQueue::new();
+        q.offer(r(2.0, 1.0));
+        assert_eq!(q.next_arrival_after(Seconds::new(1.0)), Some(Seconds::new(2.0)));
+        assert_eq!(q.next_arrival_after(Seconds::new(2.0)), None, "already arrived");
+    }
+
+    #[test]
+    fn sojourn_clamps_negative_to_zero() {
+        // A completion stamped (pathologically) before the arrival must not
+        // record a negative sojourn.
+        let mut q = RequestQueue::new();
+        q.offer(r(5.0, 1.0));
+        q.advance_head(1.0);
+        q.complete_head(Seconds::new(4.0));
+        assert_eq!(q.drain_sample(Seconds::new(4.0)).sojourns, vec![0.0]);
+    }
+}

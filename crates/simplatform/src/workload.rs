@@ -1,0 +1,81 @@
+//! The workload-source abstraction: what a session executes.
+//!
+//! Historically the runtime ran exactly one thing — a batch
+//! [`PhaseProgram`], executed start to finish. The serve-traffic refactor
+//! splits "what work exists" from "how the machine executes it":
+//! a [`WorkloadSource`] names itself, builds the machine that will run it,
+//! and (for open-loop sources) generates the timed [`Request`]s that arrive
+//! while the session runs. Batch programs implement the trait trivially —
+//! no arrivals, machine runs the program to completion. The open-loop
+//! request family in `aapm-workloads` builds a serve-mode machine instead
+//! and streams seeded arrivals into each control interval.
+//!
+//! The contract that keeps runs deterministic: `arrivals_into` is called
+//! exactly once per control interval with abutting `[start, end)` windows,
+//! so a source may keep cursor state (an RNG, the last arrival time) and
+//! must produce the same stream for the same window sequence.
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use crate::program::PhaseProgram;
+use crate::requests::Request;
+use crate::units::Seconds;
+
+/// A source of work for one simulated machine.
+///
+/// Implementors are either *batch* (the default method bodies: the machine
+/// executes a phase program to completion, no arrivals) or *open-loop*
+/// (`open_loop()` returns true, `machine()` builds a serve-mode machine,
+/// and `arrivals_into` streams requests).
+pub trait WorkloadSource {
+    /// Workload name for reports.
+    fn name(&self) -> &str;
+
+    /// Builds the machine that executes this workload.
+    fn machine(&self, config: MachineConfig) -> Machine;
+
+    /// Appends the requests arriving in `[start, end)`, in non-decreasing
+    /// arrival order. Called once per control interval with abutting
+    /// windows. Batch sources leave the buffer untouched.
+    fn arrivals_into(&mut self, start: Seconds, end: Seconds, out: &mut Vec<Request>) {
+        let _ = (start, end, out);
+    }
+
+    /// Whether this source is open-loop (never finishes; the session runs
+    /// until its sample cap instead of to completion).
+    fn open_loop(&self) -> bool {
+        false
+    }
+}
+
+/// Batch programs are workload sources: the machine runs them to
+/// completion and no requests ever arrive.
+impl WorkloadSource for PhaseProgram {
+    fn name(&self) -> &str {
+        PhaseProgram::name(self)
+    }
+
+    fn machine(&self, config: MachineConfig) -> Machine {
+        Machine::new(config, self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseDescriptor;
+
+    #[test]
+    fn phase_program_is_a_batch_source() {
+        let phase = PhaseDescriptor::builder("batch").instructions(1_000).build().unwrap();
+        let mut program = PhaseProgram::from_phase(phase);
+        assert_eq!(WorkloadSource::name(&program), "batch");
+        assert!(!program.open_loop());
+        let mut out = Vec::new();
+        program.arrivals_into(Seconds::ZERO, Seconds::new(1.0), &mut out);
+        assert!(out.is_empty(), "batch sources generate no requests");
+        let machine = WorkloadSource::machine(&program, MachineConfig::default());
+        assert!(!machine.is_serving());
+        assert_eq!(machine.program().total_instructions(), 1_000);
+    }
+}

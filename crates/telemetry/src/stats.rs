@@ -51,18 +51,19 @@ pub fn median(values: &[f64]) -> Option<f64> {
 }
 
 /// Linear-interpolation percentile (`p` in `[0, 100]`); `None` for an empty
-/// slice.
+/// slice **or an out-of-range `p`** (including NaN). An invalid rank is a
+/// caller bug either way, but governors compute ranks from live telemetry —
+/// a poisoned rank must degrade like missing telemetry does everywhere
+/// else in the stack, not panic the control loop.
 ///
-/// NaNs sort after `+inf` (IEEE 754 total order) instead of panicking. The
-/// interpolation rank is clamped to the slice, and exact ranks (p = 0,
-/// p = 100, single element) return the element directly rather than
-/// interpolating — `inf * 0.0` would manufacture a NaN.
-///
-/// # Panics
-///
-/// Panics if `p` is outside `[0, 100]`.
+/// NaNs in `values` sort after `+inf` (IEEE 754 total order) instead of
+/// panicking. The interpolation rank is clamped to the slice, and exact
+/// ranks (p = 0, p = 100, single element) return the element directly
+/// rather than interpolating — `inf * 0.0` would manufacture a NaN.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&p), "percentile must lie in [0, 100]");
+    if !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     if values.is_empty() {
         return None;
     }
@@ -108,9 +109,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "[0, 100]")]
-    fn percentile_out_of_range_panics() {
-        let _ = percentile(&[1.0], 101.0);
+    fn percentile_out_of_range_is_none() {
+        assert_eq!(percentile(&[1.0], 101.0), None);
+        assert_eq!(percentile(&[1.0], -0.5), None);
+        assert_eq!(percentile(&[1.0], f64::NAN), None);
+        assert_eq!(percentile(&[1.0], f64::INFINITY), None);
     }
 
     #[test]

@@ -83,6 +83,18 @@ impl MovingWindow {
         self.values.iter().cloned().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
+    /// Linear-interpolation percentile of the held values (`p` in
+    /// `[0, 100]`); `None` when the window is empty or `p` is out of range
+    /// (see [`crate::stats::percentile`]). This is the tail-latency probe
+    /// for SLO governors: `window.percentile(99.0)` over a window of
+    /// sojourn times is the moving p99. NaNs among the held values sort
+    /// after `+inf`, so a few poisoned samples inflate the tail (fail-safe
+    /// toward "SLO violated") rather than panicking.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let values: Vec<f64> = self.values.iter().copied().collect();
+        crate::stats::percentile(&values, p)
+    }
+
     /// Whether every held value satisfies `predicate`. `false` when the
     /// window is not yet full (PM requires a *full* window of good samples
     /// before raising frequency).
@@ -144,6 +156,36 @@ mod tests {
         assert!(w.full_and_all(|v| v < 2.0));
         w.push(5.0);
         assert!(!w.full_and_all(|v| v < 2.0));
+    }
+
+    #[test]
+    fn percentile_over_window_tracks_eviction() {
+        let mut w = MovingWindow::new(5);
+        assert_eq!(w.percentile(99.0), None, "empty window has no percentile");
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            w.push(v);
+        }
+        assert_eq!(w.percentile(50.0), Some(30.0));
+        assert_eq!(w.percentile(100.0), Some(50.0));
+        w.push(60.0); // evicts 10.0 → window is [20, 60]
+        assert_eq!(w.percentile(0.0), Some(20.0));
+        assert_eq!(w.percentile(100.0), Some(60.0));
+    }
+
+    #[test]
+    fn percentile_survives_non_finite_values() {
+        let mut w = MovingWindow::new(4);
+        for v in [1.0, f64::NAN, 2.0, f64::INFINITY] {
+            w.push(v);
+        }
+        // NaN sorts after +inf: the tail is poisoned (inflated), the
+        // lower order statistics are intact, and nothing panics.
+        assert_eq!(w.percentile(0.0), Some(1.0));
+        assert!(w.percentile(99.0).unwrap().is_nan() || w.percentile(99.0).unwrap().is_infinite());
+        assert!(w.percentile(100.0).unwrap().is_nan());
+        // Out-of-range ranks degrade to None, not a panic.
+        assert_eq!(w.percentile(101.0), None);
+        assert_eq!(w.percentile(f64::NAN), None);
     }
 
     #[test]

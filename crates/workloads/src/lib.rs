@@ -13,6 +13,9 @@
 //!   ammp's phase alternation, art/mcf's deceptive DCU profiles).
 //! * **Random workloads** ([`synth`]) for property-based testing, and a
 //!   text format for user-defined workloads ([`dsl`]).
+//! * **Open-loop request workloads** ([`requests`]): seeded diurnal ×
+//!   Poisson/burst arrival processes with heavy-tailed service demands,
+//!   the serve-traffic family for latency-SLO experiments.
 //!
 //! # Examples
 //!
@@ -28,10 +31,12 @@ pub mod characterize;
 pub mod dsl;
 pub mod footprint;
 pub mod loops;
+pub mod requests;
 pub mod spec;
 pub mod synth;
 
 pub use characterize::{characterize as characterize_loop, training_set, CharacterizedLoop};
 pub use footprint::Footprint;
 pub use loops::MicroLoop;
+pub use requests::{Burst, RequestWorkload};
 pub use spec::{by_name, suite, SpecBenchmark, SpecCategory};

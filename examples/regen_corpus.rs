@@ -197,6 +197,20 @@ fn fixtures() -> Vec<(&'static str, Scenario)> {
     adapt.faults.windows.push(WindowSpec { kind: FaultKind::PmcMissed, start: 0.5, end: 1.1 });
     out.push(("012-adaptive-pm-pmc-outage.json", adapt));
 
+    // 013 — watchdog over the SLO governor on a batch program through a PMC
+    // outage: slo-save reads queue telemetry, not counters, so the outage
+    // cannot blind it; on a batch run it sees no queue at all, holds for its
+    // stale budget, and then fails toward the peak p-state (the latency-safe
+    // direction). The verdict pins that batch-mode fail-safe path and the
+    // oracle's refusal to treat the SLO floor as an IPC floor (floor=SKIP).
+    let mut slo = base(
+        "watchdog-slo-save-pmc-outage",
+        GovernorSpec::Watchdog { inner: Box::new(GovernorSpec::SloSave { slo_ms: 80.0 }) },
+        mixed_program(),
+    );
+    slo.faults.windows.push(WindowSpec { kind: FaultKind::PmcMissed, start: 0.3, end: 0.9 });
+    out.push(("013-watchdog-slo-save-pmc-outage.json", slo));
+
     out
 }
 

@@ -11,14 +11,12 @@ cargo clippy --all-targets --offline -- -D warnings
 cargo bench --no-run --offline
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q --offline
 
-# Deprecation gate: the run/run_with_faults/run_observed shims survive only
-# inside aapm-core (as two-line Session::builder calls). Everything else —
-# the binaries, examples, integration tests, and the other crates — must go
-# through the builder. A hit here means a call site regressed.
-if grep -rnE '\b(run_with_faults|run_observed|runtime::run)\s*\(' \
-    --include='*.rs' src examples tests crates \
-    | grep -v '^crates/core/'; then
-    echo "deprecation gate FAIL: deprecated run_* entry points called outside crates/core" >&2
+# Deprecation gate: the pre-builder run/run_with_faults/run_observed free
+# functions are deleted. The symbols must stay gone everywhere — as
+# definitions or as call sites; every run goes through Session::builder.
+if grep -rnE '\b(run_with_faults|run_observed|runtime::run)\b' \
+    --include='*.rs' src examples tests crates; then
+    echo "deprecation gate FAIL: deleted run_*/runtime::run symbols reappeared" >&2
     exit 1
 fi
 
@@ -62,7 +60,7 @@ cargo test -q --offline -p aapm-experiments --test parallel_determinism \
 
 # Adversarial corpus gate: every committed fixture must replay to its
 # recorded verdict (exit 0 means all matched), byte-identically across
-# pool widths, and the corpus must hold its 12-fixture floor.
+# pool widths, and the corpus must hold its 13-fixture floor.
 cargo run --release --offline -p aapm-experiments -- --replay-corpus --jobs 1 \
     > results/corpus-replay.jobs1.txt
 for jobs in 2 8; do
@@ -71,8 +69,8 @@ for jobs in 2 8; do
     cmp "results/corpus-replay.jobs1.txt" "results/corpus-replay.jobs${jobs}.txt"
 done
 fixtures=$(wc -l < results/corpus-replay.jobs1.txt)
-if [ "$fixtures" -lt 12 ]; then
-    echo "corpus gate FAIL: only ${fixtures} fixture(s) replayed (floor is 12)" >&2
+if [ "$fixtures" -lt 13 ]; then
+    echo "corpus gate FAIL: only ${fixtures} fixture(s) replayed (floor is 13)" >&2
     exit 1
 fi
 rm -f results/corpus-replay.jobs*.txt
@@ -102,6 +100,18 @@ cmp results/fleet.jobs1.txt results/fleet.jobs2.txt
 rm -f results/fleet.jobs*.txt
 echo "fleet gate: hierarchical-vs-uniform experiment byte-identical at --jobs 1/2"
 
+# Serve smoke: the open-loop SLO-governor experiment must run on a 2-wide
+# pool and agree byte for byte with the serial run (each arm owns its
+# arrival streams and meter, so pool width must not perturb one draw of
+# the request processes or the fleet spike stage).
+cargo run --release --offline -p aapm-experiments -- serve --jobs 1 \
+    > results/serve.jobs1.txt
+cargo run --release --offline -p aapm-experiments -- serve --jobs 2 \
+    > results/serve.jobs2.txt
+cmp results/serve.jobs1.txt results/serve.jobs2.txt
+rm -f results/serve.jobs*.txt
+echo "serve gate: slo-save-vs-static-cap experiment byte-identical at --jobs 1/2"
+
 # Fuzz smoke: a fixed-seed sweep through the property oracles. Findings
 # (cap/floor, the paper-expected model-deception violations) are reported
 # but tolerated; any universal failure — panic, non-finite metric,
@@ -130,7 +140,7 @@ cur = json.loads(pathlib.Path("results/BENCH_machine.current.json").read_text())
 failures = []
 for key in ("ticked_sim_per_wall", "batched_sim_per_wall",
             "fastforward_sim_per_wall", "fleet_sim_per_wall",
-            "cache_maccesses_per_sec"):
+            "serve_sim_per_wall", "cache_maccesses_per_sec"):
     floor = base[key] * 0.8
     if cur[key] < floor:
         failures.append(f"{key}: {cur[key]:.1f} < 80% of baseline {base[key]:.1f}")
@@ -150,6 +160,7 @@ print(f"bench-gate: tick {cur['ticked_sim_per_wall']:.0f} sim-s/wall-s, "
       f"batched {cur['batched_sim_per_wall']:.0f} sim-s/wall-s, "
       f"fast-forward {cur['fastforward_sim_per_wall']:.0f} sim-s/wall-s, "
       f"fleet(10k) {cur['fleet_sim_per_wall']:.0f} sim-s/wall-s, "
+      f"serve {cur['serve_sim_per_wall']:.0f} sim-s/wall-s, "
       f"cache {cur['cache_maccesses_per_sec']:.1f} Maccess/s, "
       f"serial suite {cur['suite_serial_wall_s']:.3f}s "
       f"(baseline {base['suite_serial_wall_s']:.3f}s)")

@@ -6,6 +6,7 @@
 use aapm::limits::PowerLimit;
 use aapm::pm::PerformanceMaximizer;
 use aapm::runtime::{ScheduledCommand, Session, SimulationConfig};
+use aapm::slo_save::SloSave;
 use aapm::watchdog::{Watchdog, WatchdogConfig};
 use aapm::GovernorCommand;
 use aapm_models::power_model::PowerModel;
@@ -16,6 +17,7 @@ use aapm_platform::pstate::PStateId;
 use aapm_platform::units::Seconds;
 use aapm_telemetry::faults::{FaultConfig, FaultKind, FaultWindow};
 use aapm_telemetry::pmc::{wrapped_delta, COUNTER_WRAP};
+use aapm_workloads::requests::RequestWorkload;
 use aapm_workloads::synth::random_program;
 use proptest::prelude::*;
 
@@ -253,6 +255,43 @@ proptest! {
         prop_assert_eq!(a.execution_time, b.execution_time);
         prop_assert_eq!(a.measured_energy, b.measured_energy);
         prop_assert_eq!(a.trace, b.trace);
+    }
+
+    /// Open-loop serve sessions conserve request accounting under any
+    /// fault plan: every arrival the source emitted is either completed or
+    /// still queued when the sample cap lands, whatever telemetry the
+    /// faults ate along the way.
+    #[test]
+    fn serve_queue_conserves_requests_under_faults(seed in 0u64..100) {
+        let mut b = RequestWorkload::builder("serve-faulted");
+        b.seed(seed).day(Seconds::new(4.0)).rates(60.0, 180.0);
+        let workload = b.build().unwrap();
+        let faults = FaultConfig {
+            seed: seed ^ 0x5EED,
+            power_dropout_rate: 0.15,
+            power_stuck_rate: 0.1,
+            thermal_dropout_rate: 0.15,
+            pmc_missed_rate: 0.15,
+            actuation_ignored_rate: 0.1,
+            actuation_stall_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let sim = SimulationConfig { max_samples: 400, faults, ..SimulationConfig::default() };
+        let (report, stats) = Session::builder(MachineConfig::pentium_m_755(seed), workload)
+            .config(sim)
+            .governor(&mut SloSave::new(Seconds::from_millis(40.0)).unwrap())
+            .run()
+            .expect("serve run reaches the sample cap");
+        prop_assert!(!report.completed, "an open-loop server never finishes");
+        let summary = report.requests.expect("serve runs report request accounting");
+        prop_assert_eq!(
+            summary.arrived,
+            summary.completed + summary.pending,
+            "queue accounting must conserve requests"
+        );
+        prop_assert!(summary.arrived > 0, "4 s at ≥60 rps must see traffic");
+        prop_assert!(summary.completed > 0, "the governed server must serve");
+        prop_assert!(stats.telemetry_losses() > 0, "heavy rates must fire");
     }
 
     /// No governor panics and every run completes under heavy mixed faults

@@ -42,6 +42,7 @@ fn trained_models_drive_sensible_governor_decisions() {
         power: None, temperature: None,
         current: PStateId::new(7),
         table: &table,
+        queue: None,
     };
     let cool_choice = pm.decide(&cool_ctx);
     let hot = sample(2.4);
@@ -50,6 +51,7 @@ fn trained_models_drive_sensible_governor_decisions() {
         power: None, temperature: None,
         current: PStateId::new(7),
         table: &table,
+        queue: None,
     };
     let hot_choice = pm.decide(&hot_ctx);
     assert_eq!(cool_choice, PStateId::new(7), "a cool sample keeps 2 GHz at 12.5 W");
